@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures via the
+experiment registry, prints the rendered output (visible with ``-s`` or
+in captured logs), attaches the structured rows to the pytest-benchmark
+record via ``extra_info``, and asserts the *shape* of the paper's
+result — orderings, dominant factors, crossovers — rather than absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def publish(benchmark, result) -> None:
+    """Print an experiment's rendering and attach rows to the record."""
+    sys.stdout.write("\n" + result.rendered + "\n")
+    for note in result.notes:
+        sys.stdout.write(f"note: {note}\n")
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["title"] = result.title
+    benchmark.extra_info["rows"] = [
+        [str(cell) for cell in row] for row in result.rows
+    ]
+    benchmark.extra_info["notes"] = list(result.notes)
+
+
+def pct(text: str) -> float:
+    """Parse a rendered percentage cell back to a float."""
+    return float(str(text).rstrip("%").replace(",", ""))

@@ -1,0 +1,27 @@
+"""Bench: the Section 6 countermeasure ablation."""
+
+from _helpers import publish
+
+from repro.experiments import ablation
+
+
+def test_ablation_countermeasures(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation.run(seed=0, saddns_iterations=200,
+                             frag_attempts=100),
+        rounds=1, iterations=1,
+    )
+    publish(benchmark, result)
+    # Every (attack, mitigation) outcome matches Section 6's claims.
+    assert result.data["agreement"] == result.data["total"] == 24
+    cells = {(cell.attack, cell.mitigation): cell
+             for cell in result.data["cells"]}
+    # Named spot checks from the paper's discussion:
+    # 0x20 stops SadDNS but cannot stop FragDNS (case is in fragment 1).
+    assert not cells[("SadDNS", "0x20-encoding")].attack_succeeded
+    assert cells[("FragDNS", "0x20-encoding")].attack_succeeded
+    # DNSSEC stops all three; ROV stops only the hijack.
+    for attack in ("HijackDNS", "SadDNS", "FragDNS"):
+        assert not cells[(attack, "dnssec")].attack_succeeded
+    assert not cells[("HijackDNS", "rpki-rov")].attack_succeeded
+    assert cells[("SadDNS", "rpki-rov")].attack_succeeded

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 1 (SadDNS message sequence)."""
+
+from _helpers import publish
+
+from repro.experiments import figure1
+
+
+def test_figure1_saddns_sequence(benchmark):
+    result = benchmark.pedantic(figure1.run, rounds=1, iterations=1)
+    publish(benchmark, result)
+    # The attack run behind the figure must actually have poisoned.
+    assert result.data["poisoned"]
+    assert result.data["port"] is not None
+    # Every step of the paper's figure appears, in order.
+    steps = [row[0] for row in result.rows]
+    assert steps == result.paper_reference["steps"]
+    # The rendered chart names all four principals.
+    for actor in ("attacker", "resolver", "nameserver", "service"):
+        assert actor in result.rendered

@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 2 (FragDNS message sequence)."""
+
+from _helpers import publish
+
+from repro.experiments import figure2
+
+
+def test_figure2_fragdns_sequence(benchmark):
+    result = benchmark.pedantic(figure2.run, rounds=1, iterations=1)
+    publish(benchmark, result)
+    assert result.data["poisoned"]
+    # The PTB forced the minimum MTU and the fragment boundary is the
+    # 48-byte payload cut of a 68-byte MTU.
+    assert result.data["effective_mtu"] == 68
+    assert result.data["fragment_boundary"] == 48
+    # The defragmentation cache was filled to its 64-slot capacity.
+    assert result.data["planted"] == 64
+    steps = [row[0] for row in result.rows]
+    assert steps == result.paper_reference["steps"]

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 3 (announced prefix length distribution)."""
+
+from _helpers import publish
+
+from repro.experiments import figure3
+
+
+def test_figure3_prefix_lengths(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure3.run(seed=0, scale=0.01), rounds=1, iterations=1)
+    publish(benchmark, result)
+    series = result.data["series"]
+    slash24 = result.data["slash24"]
+    # Shape: the Alexa nameserver population has the largest /24 mass
+    # (least sub-prefix hijackable), matching the paper's 53% vs 70-74%.
+    assert slash24["Nameservers: Alexa"] > slash24["Resolvers: Open resolver"]
+    assert slash24["Nameservers: Alexa"] > slash24["Resolvers: Adnet"]
+    # The implied hijackable fractions match the calibration targets.
+    for label, expected in result.paper_reference["slash24_mass"].items():
+        assert abs(slash24[label] - expected) < 0.06
+    # All mass lies within /11../24.
+    for label, mix in series.items():
+        assert abs(sum(mix.values()) - 1.0) < 1e-6
+        assert all(11 <= length <= 24 for length in mix)

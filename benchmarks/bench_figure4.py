@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 4 (EDNS sizes vs minimum fragment sizes)."""
+
+from _helpers import publish
+
+from repro.experiments import figure4
+
+
+def test_figure4_edns_vs_fragment_sizes(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure4.run(seed=0, scale=0.01), rounds=1, iterations=1)
+    publish(benchmark, result)
+    edns_cdf = dict(result.data["edns_cdf"])
+    frag_cdf = dict(result.data["frag_cdf"])
+    # Shape: the resolver population splits into two groups — ~40% at
+    # 512 bytes and ~50% above 4000 bytes (the paper's partition).
+    assert 0.28 <= edns_cdf[548] <= 0.52       # the 512-byte group
+    assert edns_cdf[2048] - edns_cdf[548] <= 0.2   # the thin middle
+    assert 1.0 - edns_cdf[3072] >= 0.35        # the >=4000 group
+    # Most fragmenting nameservers go down to 548 bytes; a small
+    # fraction reaches the 292-byte floor.
+    assert frag_cdf[548] >= 0.75
+    assert 0.02 <= frag_cdf[292] <= 0.15

@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 5 (Venn diagrams of vulnerable systems)."""
+
+from _helpers import publish
+
+from repro.experiments import figure5
+
+
+def test_figure5_venn_diagrams(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure5.run(seed=0, scale=0.01), rounds=1, iterations=1)
+    publish(benchmark, result)
+    resolvers = result.data["resolver_venn"]
+    domains = result.data["domain_venn"]
+    # Shape: HijackDNS has by far the largest set in both diagrams.
+    assert resolvers.set_total("HijackDNS") \
+        > resolvers.set_total("FragDNS") \
+        > resolvers.set_total("SadDNS")
+    assert domains.set_total("HijackDNS") > domains.set_total("SadDNS") \
+        > domains.set_total("FragDNS")
+    # SadDNS & FragDNS overlap little compared to their overlaps with
+    # HijackDNS (independence, as the paper observes).
+    assert resolvers.bc < resolvers.ac
+    assert domains.bc < domains.ab
+    # Magnitudes: the scaled resolver total is in the paper's millions
+    # regime (their union is ~1.66M back-end addresses).
+    assert resolvers.total > 500_000

@@ -1,0 +1,15 @@
+"""Bench: §4.3 in-text measurements (shared caches, forwarders)."""
+
+from _helpers import publish
+
+from repro.experiments import section4
+
+
+def test_section4_cross_application_caches(benchmark):
+    result = benchmark.pedantic(
+        lambda: section4.run(seed=0, scale=0.01), rounds=1, iterations=1)
+    publish(benchmark, result)
+    # ~69% of open resolvers cache two or more applications.
+    assert abs(result.data["shared"] - 0.69) < 0.08
+    # ~79% of client resolvers are reachable through open forwarders.
+    assert abs(result.data["coverage"] - 0.79) < 0.08

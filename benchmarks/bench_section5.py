@@ -1,0 +1,27 @@
+"""Bench: §5 in-text measurements (same-prefix sim, record types)."""
+
+from _helpers import publish
+
+from repro.experiments import section5
+
+
+def test_section5_measurements(benchmark):
+    result = benchmark.pedantic(
+        lambda: section5.run(seed=0, trials=120), rounds=1, iterations=1)
+    publish(benchmark, result)
+    same = result.data["same"]
+    sub = result.data["sub"]
+    rates = result.data["rates"]
+    # Same-prefix hijacks succeed in roughly 80% of evaluations.
+    assert 0.65 <= same.success_rate <= 0.95
+    # Sub-prefix hijacks are the stronger variant.
+    assert sub.success_rate >= same.success_rate
+    # Record-type ordering: ANY >> bloated > MX >= A, with ANY around
+    # the paper's 19.5% and A well under 1%.
+    assert rates.any_rate > rates.bloated_rate > rates.a_rate
+    assert 0.12 <= rates.any_rate <= 0.30
+    assert rates.a_rate < 0.01
+    assert rates.mx_rate < 0.02
+    assert rates.bloated_rate > 0.10
+    # Nameserver hosting is heavily concentrated.
+    assert result.data["concentration"] > 0.5

@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 1 (applicability matrix)."""
+
+from _helpers import publish
+
+from repro.experiments import table1
+
+
+def test_table1_applicability_matrix(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    publish(benchmark, result)
+    # Shape: every derived methodology cell matches the paper's matrix.
+    assert result.data["cell_matches"] == result.data["cell_comparisons"]
+    # HijackDNS applies to every application row.
+    hijack_column = [row[7] for row in result.rows]
+    assert all(cell == "v" for cell in hijack_column)
+    # SadDNS and FragDNS are blocked somewhere (NTP/Bitcoin/DV/RPKI).
+    assert "x" in [row[8] for row in result.rows]
+    assert "x" in [row[9] for row in result.rows]

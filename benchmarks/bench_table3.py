@@ -1,0 +1,33 @@
+"""Bench: regenerate Table 3 (vulnerable resolvers per dataset)."""
+
+from _helpers import pct, publish
+
+from repro.experiments import table3
+
+
+def test_table3_vulnerable_resolvers(benchmark):
+    result = benchmark.pedantic(
+        lambda: table3.run(seed=0, scale=0.01), rounds=1, iterations=1)
+    publish(benchmark, result)
+    rows = {row[0]: row for row in result.rows}
+    open_row = rows["Open resolvers"]
+    adnet_row = rows["Ad-net study"]
+    ca_row = rows["Popular CAs"]
+    # Shape assertions mirroring the paper's key findings:
+    # hijackability is the dominant vulnerability everywhere ...
+    assert pct(open_row[2]) > pct(open_row[3])
+    assert pct(open_row[2]) > pct(open_row[4])
+    # ... SadDNS is the rarest (patched) methodology ...
+    assert pct(open_row[3]) < 25
+    # ... ad-net resolvers are far more fragmentation-prone than open
+    # resolvers (91% vs 31%) ...
+    assert pct(adnet_row[4]) > 2 * pct(open_row[4])
+    # ... and CA resolvers reject fragmented responses entirely.
+    assert pct(ca_row[4]) == 0
+    # Every dataset lands within sampling error of the paper's numbers.
+    for spec_key, (hijack, saddns, frag) in result.paper_reference.items():
+        summary = result.data["summaries"][spec_key]
+        if summary.size >= 200:
+            assert abs(summary.pct("hijack") - hijack) < 12
+            assert abs(summary.pct("saddns") - saddns) < 8
+            assert abs(summary.pct("frag") - frag) < 12

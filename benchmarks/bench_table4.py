@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 4 (vulnerable domains per dataset)."""
+
+from _helpers import pct, publish
+
+from repro.experiments import table4
+
+
+def test_table4_vulnerable_domains(benchmark):
+    result = benchmark.pedantic(
+        lambda: table4.run(seed=0, scale=0.01), rounds=1, iterations=1)
+    publish(benchmark, result)
+    rows = {row[0] + "/" + row[1]: row for row in result.rows}
+    alexa = rows["Alexa 1M/HTTP DANE DV"]
+    eduroam = rows["Eduroam list/Radius"]
+    rpki = rows["Well-known/RPKI"]
+    # Shape: eduroam domains are exceptionally hijackable (~96%) while
+    # RPKI repository domains are exceptionally resilient (~14%).
+    assert pct(eduroam[2]) > pct(alexa[2]) > pct(rpki[2])
+    # Global-IPID fragmentation is a strict subset of any-IPID.
+    for row in result.rows:
+        assert pct(row[5]) <= pct(row[4]) + 0.01
+    # DNSSEC is rare except among RPKI operators (67%).
+    assert pct(rpki[6]) > 30
+    assert pct(alexa[6]) < 10
+    # Sampled datasets land near the paper's numbers.
+    for key, expected in result.paper_reference.items():
+        summary = result.data["summaries"][key]
+        if summary.size >= 200:
+            assert abs(summary.pct("hijack") - expected[0]) < 12
+            assert abs(summary.pct("saddns") - expected[1]) < 8

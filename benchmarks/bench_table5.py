@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 5 (ANY caching across implementations)."""
+
+from _helpers import publish
+
+from repro.experiments import table5
+
+
+def test_table5_any_caching(benchmark):
+    result = benchmark.pedantic(table5.run, rounds=1, iterations=1)
+    publish(benchmark, result)
+    # Shape: 3 of 5 implementations cache ANY contents; all five
+    # verdicts match the paper exactly.
+    assert result.data["matches"] == result.data["total"] == 5
+    vulnerable = [row[0] for row in result.rows if row[1] == "yes"]
+    assert len(vulnerable) == 3
+    assert any("BIND" in name for name in vulnerable)
+    immune = [row[0] for row in result.rows if row[1] == "no"]
+    assert any("Unbound" in name for name in immune)
+    assert any("dnsmasq" in name for name in immune)

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Run the paper's Section 5 Internet measurement study end to end.
+
+Prints Tables 3 and 4, the Figure 3/4 distributions and the Figure 5
+Venn regions from one seeded synthetic Internet.  Increase ``--scale``
+for tighter statistics (0.01 samples ~16k of the 1.58M open resolvers).
+
+Run:  python examples/internet_survey.py [--scale 0.01] [--seed 0]
+"""
+
+import argparse
+
+from repro.experiments import figure3, figure4, figure5, table3, table4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="population sampling fraction")
+    parser.add_argument("--seed", type=int, default=0)
+    arguments = parser.parse_args()
+
+    for module in (table3, table4, figure3, figure4, figure5):
+        result = module.run(seed=arguments.seed, scale=arguments.scale)
+        print(result.rendered)
+        for note in result.notes:
+            print(f"  note: {note}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

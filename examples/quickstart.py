@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: poison a resolver's cache with HijackDNS in ~30 lines.
+
+Builds the paper's standard testbed (Figures 1/2): the victim network
+30.0.0.0/24 with its resolver, the target domain vict.im on its own
+nameserver, and an off-path attacker at 6.6.6.6.  The attacker announces
+a sub-prefix covering the nameserver, intercepts the resolver's query,
+answers it with a forged record, and from then on every client of that
+resolver is redirected to the attacker.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.attacks import (
+    HijackDnsAttack,
+    OffPathAttacker,
+    SpoofedClientTrigger,
+)
+from repro.dns.stub import StubResolver
+from repro.testbed import (
+    RESOLVER_IP,
+    SERVICE_IP,
+    TARGET_DOMAIN,
+    TARGET_NS_IP,
+    standard_testbed,
+)
+
+
+def main() -> None:
+    world = standard_testbed(seed="quickstart")
+    testbed = world["testbed"]
+    resolver = world["resolver"]
+
+    # A legitimate client resolves vict.im before the attack.
+    client = StubResolver(world["service"], RESOLVER_IP)
+    print("before attack:", TARGET_DOMAIN, "->",
+          client.lookup(TARGET_DOMAIN).addresses())
+    resolver.cache.flush()  # let the TTL "expire" for the demo
+
+    # The off-path attacker hijacks the nameserver's prefix, triggers a
+    # query, and answers it first (it saw every challenge value).
+    attacker = OffPathAttacker(world["attacker"])
+    trigger = SpoofedClientTrigger(world["attacker"], RESOLVER_IP,
+                                   SERVICE_IP,
+                                   rng=attacker.rng.derive("trigger"))
+    attack = HijackDnsAttack(attacker, testbed.network, resolver,
+                             TARGET_DOMAIN, TARGET_NS_IP,
+                             malicious_records=[])
+    result = attack.execute(trigger)
+    print(result.describe())
+
+    # Every later client of the poisoned resolver is now redirected.
+    answer = client.lookup(TARGET_DOMAIN)
+    print("after attack: ", TARGET_DOMAIN, "->", answer.addresses())
+    assert answer.addresses() == [attacker.address]
+    print("cache entry poisoned:",
+          resolver.cache.entry(TARGET_DOMAIN, 1).poisoned)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The paper's headline cross-layer attack: defeating RPKI through DNS.
+
+Scenario (paper §1 and Table 1, "RPKI / Repository sync."):
+
+1. A victim AS protects its prefix with a ROA; every other AS enforces
+   route origin validation (ROV).  A same/sub-prefix hijack therefore
+   validates INVALID and is filtered — RPKI works.
+2. The relying party ("RPKI cache") locates its repository by DNS name.
+   The attacker poisons that name at the relying party's resolver.
+3. The next synchronisation fails, the validated ROA set is empty, and
+   the hijack announcement now validates UNKNOWN — which ROV does *not*
+   filter, because most of the Internet is unknown.
+4. The same BGP hijack that step 1 blocked now succeeds, even though
+   every network still "enforces" ROV.
+
+Run:  python examples/rpki_downgrade.py
+"""
+
+from repro.attacks.base import plant_poison
+from repro.bgp import (
+    BgpSimulation,
+    Prefix,
+    RelyingParty,
+    Roa,
+    RpkiRepository,
+    generate_topology,
+    sameprefix_hijack,
+)
+from repro.core.rng import DeterministicRNG
+from repro.dns.records import rr_a
+from repro.dns.stub import StubResolver
+from repro.testbed import Testbed
+
+VICTIM_ASN = 500
+ATTACKER_ASN = 666
+VICTIM_PREFIX = Prefix.parse("30.0.0.0/22")
+REPOSITORY_NAME = "rpki-repo.vict.im"
+
+
+def main() -> None:
+    # --- DNS side: repository, resolver, relying party ------------------
+    bed = Testbed(seed="rpki-downgrade")
+    repo_host = bed.make_host("repository", "123.9.0.10")
+    repository = RpkiRepository(repo_host, REPOSITORY_NAME)
+    repository.publish(Roa(prefix=VICTIM_PREFIX, max_length=23,
+                           origin=VICTIM_ASN))
+    bed.add_domain("vict.im", "123.0.0.53",
+                   records=[rr_a(REPOSITORY_NAME, "123.9.0.10")])
+    resolver = bed.make_resolver("30.0.0.1")
+    rp_host = bed.make_host("relying-party", "30.0.0.8")
+    relying_party = RelyingParty(rp_host, StubResolver(rp_host, "30.0.0.1"),
+                                 REPOSITORY_NAME)
+
+    # --- BGP side: topology with universal ROV --------------------------
+    topology = generate_topology(DeterministicRNG("rpki-topology"))
+    simulation = BgpSimulation(topology)
+    simulation.announce(VICTIM_PREFIX, VICTIM_ASN)
+    for asn in topology.asns:
+        simulation.set_rov_filter(asn, relying_party.as_rov_filter())
+    sources = [asn for asn in topology.asns[:40]
+               if asn not in (VICTIM_ASN, ATTACKER_ASN)]
+
+    # Phase 1: RPKI healthy — the hijack is filtered.
+    assert relying_party.synchronise()
+    print("ROAs validated:", len(relying_party.validated))
+    verdict = relying_party.validate(VICTIM_PREFIX, ATTACKER_ASN)
+    print(f"attacker announcement validates: {verdict}")
+    outcome = sameprefix_hijack(simulation, ATTACKER_ASN, VICTIM_ASN,
+                                VICTIM_PREFIX, sources)
+    print(f"hijack with ROV enforced: captured "
+          f"{len(outcome.captured_sources)}/{len(sources)} sources")
+    assert not outcome.captured_sources
+
+    # Phase 2: poison the repository's DNS name, relying party resyncs.
+    plant_poison(resolver, [rr_a(REPOSITORY_NAME, "6.6.6.6", ttl=86400)])
+    assert not relying_party.synchronise()
+    print("\nafter DNS poisoning:", relying_party.log.last_error)
+    verdict = relying_party.validate(VICTIM_PREFIX, ATTACKER_ASN)
+    print(f"attacker announcement now validates: {verdict}")
+
+    # Phase 3: the very same hijack now succeeds.
+    outcome = sameprefix_hijack(simulation, ATTACKER_ASN, VICTIM_ASN,
+                                VICTIM_PREFIX, sources)
+    print(f"hijack with ROV downgraded: captured "
+          f"{len(outcome.captured_sources)}/{len(sources)} sources "
+          f"({outcome.capture_rate:.0%})")
+    assert outcome.captured_sources
+    print("\nRPKI was never broken — it was simply never consulted.")
+
+
+if __name__ == "__main__":
+    main()

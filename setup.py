@@ -1,0 +1,10 @@
+"""Legacy install shim.
+
+The metadata lives in pyproject.toml; this file only exists so that
+``pip install -e .`` works on environments whose setuptools cannot build
+PEP 660 editable wheels (offline, no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""crosslayer-repro: a reproduction of "From IP to Transport and Beyond:
+Cross-Layer Attacks Against Applications" (SIGCOMM 2021).
+
+The package implements, on a byte-accurate simulated Internet:
+
+* the three off-path DNS cache poisoning methodologies the paper
+  evaluates — HijackDNS (BGP prefix hijack), SadDNS (ICMP rate-limit
+  side channel) and FragDNS (IPv4 fragment injection) — in
+  :mod:`repro.attacks`;
+* every substrate they need: an IPv4/UDP/ICMP network stack with
+  fragmentation and rate limiting (:mod:`repro.netsim`), a full DNS
+  ecosystem (:mod:`repro.dns`), and interdomain routing with RPKI
+  (:mod:`repro.bgp`);
+* the application victims of Table 1 (:mod:`repro.apps`);
+* the Internet-scale measurement study of Section 5
+  (:mod:`repro.measurements`) and the countermeasures of Section 6
+  (:mod:`repro.countermeasures`);
+* an experiment registry regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.testbed import standard_testbed, RESOLVER_IP, SERVICE_IP
+    from repro.attacks import (HijackDnsAttack, OffPathAttacker,
+                               SpoofedClientTrigger)
+
+    world = standard_testbed(seed=1)
+    attacker = OffPathAttacker(world["attacker"])
+    trigger = SpoofedClientTrigger(world["attacker"], RESOLVER_IP,
+                                   SERVICE_IP)
+    attack = HijackDnsAttack(attacker, world["testbed"].network,
+                             world["resolver"], "vict.im", "123.0.0.53",
+                             malicious_records=[])
+    result = attack.execute(trigger)
+    print(result.describe())
+"""
+
+from repro.testbed import Testbed, standard_testbed
+
+__version__ = "1.0.0"
+
+__all__ = ["Testbed", "__version__", "standard_testbed"]

@@ -1,0 +1,125 @@
+"""The nine application categories attacked in the paper (Table 1)."""
+
+from repro.apps.base import (
+    Application,
+    AppOutcome,
+    QUERY_CONFIG,
+    QUERY_KNOWN,
+    QUERY_TARGET,
+    Table1Row,
+    USE_AUTHORISATION,
+    USE_FEDERATION,
+    USE_LOCATION,
+)
+from repro.apps.bitcoin import BitcoinNode, BitcoinPeer, ChainTip
+from repro.apps.email_ import (
+    DkimApplication,
+    Email,
+    SmtpServer,
+    SpamPolicy,
+    SpfApplication,
+)
+from repro.apps.middlebox import (
+    AliasProvider,
+    CdnEdge,
+    Firewall,
+    LoadBalancer,
+    MiddleboxProfile,
+    Proxy,
+    ResolvingMiddlebox,
+    TABLE2_PROFILES,
+)
+from repro.apps.ntp import NtpClient, NtpServer
+from repro.apps.pki import (
+    CertificateAuthority,
+    OcspClient,
+    OcspResponder,
+    RpkiApplication,
+)
+from repro.apps.radius import RadiusServer
+from repro.apps.tls import Certificate, TlsAuthority
+from repro.apps.vpn import (
+    IkeApplication,
+    OpenVpnClient,
+    OpportunisticIpsecPeer,
+    VpnGateway,
+)
+from repro.apps.web import (
+    Account,
+    HttpClient,
+    HttpServer,
+    PasswordRecoveryService,
+)
+from repro.apps.xmpp import XmppMailbox, XmppMessage, XmppServer
+
+ALL_APPLICATIONS: list[type[Application]] = [
+    RadiusServer,
+    XmppServer,
+    SmtpServer,
+    SpfApplication,
+    DkimApplication,
+    HttpClient,
+    PasswordRecoveryService,
+    NtpClient,
+    BitcoinNode,
+    OpenVpnClient,
+    IkeApplication,
+    OpportunisticIpsecPeer,
+    CertificateAuthority,
+    OcspClient,
+    RpkiApplication,
+    Firewall,
+    LoadBalancer,
+    CdnEdge,
+    AliasProvider,
+    Proxy,
+]
+
+__all__ = [
+    "ALL_APPLICATIONS",
+    "Account",
+    "AliasProvider",
+    "Application",
+    "AppOutcome",
+    "BitcoinNode",
+    "BitcoinPeer",
+    "CdnEdge",
+    "Certificate",
+    "CertificateAuthority",
+    "ChainTip",
+    "DkimApplication",
+    "Email",
+    "Firewall",
+    "HttpClient",
+    "HttpServer",
+    "IkeApplication",
+    "LoadBalancer",
+    "MiddleboxProfile",
+    "NtpClient",
+    "NtpServer",
+    "OcspClient",
+    "OcspResponder",
+    "OpenVpnClient",
+    "OpportunisticIpsecPeer",
+    "PasswordRecoveryService",
+    "Proxy",
+    "QUERY_CONFIG",
+    "QUERY_KNOWN",
+    "QUERY_TARGET",
+    "RadiusServer",
+    "ResolvingMiddlebox",
+    "RpkiApplication",
+    "SmtpServer",
+    "SpamPolicy",
+    "SpfApplication",
+    "TABLE2_PROFILES",
+    "Table1Row",
+    "TlsAuthority",
+    "USE_AUTHORISATION",
+    "USE_FEDERATION",
+    "USE_LOCATION",
+    "VpnGateway",
+    "XmppMailbox",
+    "XmppMessage",
+    "XmppServer",
+]

@@ -1,0 +1,110 @@
+"""Application framework: how victims consume (possibly poisoned) DNS.
+
+Every application in the paper's Table 1 taxonomy is modelled as an
+:class:`Application` with
+
+* a DNS *use case* — location, federation or authorisation (§4.1.2);
+* a *query model* — whether the attacker can choose, knows, or must
+  discover the queried name (§4.1.3);
+* a *trigger method* — how queries can be caused externally;
+* an *impact* — what a poisoned answer does to the application (§4.5).
+
+The attack planner and the Table 1 bench consume
+:meth:`Application.table1_row`; the end-to-end application attacks in
+the tests and examples drive the concrete subclasses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.attacks.planner import TargetProfile
+
+USE_LOCATION = "loc"
+USE_FEDERATION = "fed"
+USE_AUTHORISATION = "auth"
+
+QUERY_TARGET = "target"   # attacker chooses the queried name
+QUERY_KNOWN = "known"     # name is public/well-known
+QUERY_CONFIG = "config"   # name is private configuration
+
+
+@dataclass
+class AppOutcome:
+    """Result of one application-level operation under (or without) attack."""
+
+    app: str
+    action: str
+    ok: bool
+    security_degraded: bool = False
+    used_address: str | None = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line narrative for examples and traces."""
+        status = "ok" if self.ok else "FAILED"
+        downgrade = " [security downgraded]" if self.security_degraded else ""
+        return f"{self.app}.{self.action}: {status}{downgrade}" + (
+            f" via {self.used_address}" if self.used_address else ""
+        )
+
+
+@dataclass
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    category: str
+    protocol: str
+    use_case: str
+    query_name: str               # target | known | config
+    query_known: bool
+    trigger_method: str           # direct | bounce | authentication |
+    #                               connection | waiting | on-demand
+    record_types: list[str]
+    dns_use: str                  # loc | fed | auth
+    impact: str
+
+    def cells(self) -> list[str]:
+        """Row cells in Table 1 column order (before the method columns)."""
+        return [
+            self.category, self.protocol, self.use_case, self.query_name,
+            "yes" if self.query_known else "no", self.trigger_method,
+            ", ".join(self.record_types), self.dns_use, self.impact,
+        ]
+
+
+class Application(ABC):
+    """Base class for the attacked applications."""
+
+    #: Table 1 metadata; subclasses must fill this.
+    row: Table1Row
+
+    @abstractmethod
+    def target_profile(self, **infrastructure: bool) -> TargetProfile:
+        """Planner input describing this application as a target."""
+
+    def _base_profile(self, **infrastructure: bool) -> TargetProfile:
+        """Shared profile fields derived from the Table 1 row."""
+        defaults = dict(
+            ns_prefix_longer_than_24=True,
+            resolver_prefix_longer_than_24=True,
+            resolver_global_icmp_limit=True,
+            ns_rate_limited=True,
+            ns_honours_ptb=True,
+            response_can_exceed_frag_limit=True,
+            resolver_edns_at_least_response=True,
+            resolver_accepts_fragments=True,
+            dnssec_validated=False,
+        )
+        defaults.update(infrastructure)
+        return TargetProfile(
+            app_name=self.row.protocol,
+            query_name_known=self.row.query_name in (QUERY_TARGET,
+                                                     QUERY_KNOWN),
+            query_name_choosable=self.row.query_name == QUERY_TARGET,
+            trigger_style=self.row.trigger_method,
+            third_party_trigger=self.row.query_name == QUERY_CONFIG,
+            **defaults,
+        )

@@ -1,0 +1,213 @@
+"""PKI: domain validation, OCSP, and the RPKI relying party (Table 1).
+
+The paper's strongest claim is that DNS poisoning *bypasses
+cryptographic defences*:
+
+* **Domain validation (DV)** — a CA that resolves the target domain
+  through a poisoned cache performs its HTTP-01-style challenge against
+  the attacker's host and issues a fraudulent — but cryptographically
+  genuine — certificate ("Hijack: fraud. certificate").
+* **OCSP** — revocation checking soft-fails when the responder's name
+  does not resolve to a live responder ("Downgrade: no check").
+* **RPKI** — the relying party's repository synchronisation is reached
+  by DNS name; see :mod:`repro.bgp.rpki` for the downgrade-to-unknown
+  mechanics ("Downgrade: no ROV").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import (
+    Application,
+    AppOutcome,
+    QUERY_KNOWN,
+    QUERY_TARGET,
+    Table1Row,
+    USE_AUTHORISATION,
+    USE_LOCATION,
+)
+from repro.apps.tls import Certificate, TlsAuthority
+from repro.apps.web import HTTP_PORT
+from repro.attacks.planner import TargetProfile
+from repro.core.rng import DeterministicRNG
+from repro.dns.stub import StubResolver
+from repro.netsim.host import Host
+
+OCSP_PORT = 8888
+
+
+class CertificateAuthority(Application):
+    """A CA performing HTTP-01-style domain validation."""
+
+    row = Table1Row(
+        category="PKI", protocol="DV", use_case="Domain Validation",
+        query_name=QUERY_TARGET, query_known=True,
+        trigger_method="authentication", record_types=["A", "MX", "TXT"],
+        dns_use=USE_AUTHORISATION, impact="Hijack: fraud. certificate",
+    )
+
+    def __init__(self, host: Host, stub: StubResolver, tls: TlsAuthority,
+                 name: str = "Model CA",
+                 rng: DeterministicRNG | None = None):
+        self.host = host
+        self.stub = stub
+        self.tls = tls
+        self.name = name
+        self.rng = rng if rng is not None else DeterministicRNG("ca")
+        self.issued: list[Certificate] = []
+        self.challenges: dict[str, str] = {}
+
+    def target_profile(self, **infrastructure: bool) -> TargetProfile:
+        """Planner description of this application."""
+        return self._base_profile(**infrastructure)
+
+    def begin_order(self, domain: str) -> str:
+        """Start an order; returns the token the requester must publish."""
+        token = f"acme-{self.rng.randint(10**8, 10**9 - 1)}"
+        self.challenges[domain.lower()] = token
+        return token
+
+    def validate_and_issue(self, domain: str,
+                           requester_address: str) -> AppOutcome:
+        """Resolve the domain, fetch the challenge, issue on success.
+
+        The CA trusts its own resolver: if that cache is poisoned, the
+        "domain owner" it validates is the attacker, and the resulting
+        certificate is genuine in every cryptographic sense.
+        """
+        domain = domain.lower()
+        token = self.challenges.get(domain)
+        if token is None:
+            return AppOutcome(app="ca", action="issue", ok=False,
+                              detail={"error": "no order for domain"})
+        answer = self.stub.lookup(domain, "A")
+        address = answer.first_address()
+        if address is None:
+            return AppOutcome(app="ca", action="issue", ok=False,
+                              detail={"error": "domain did not resolve"})
+        network = self.host.network
+        assert network is not None
+        box: dict[str, bytes | None] = {}
+        network.stream_request(
+            self.host, address, HTTP_PORT,
+            f"/.well-known/acme-challenge/{token}".encode("ascii"),
+            lambda data: box.update(data=data),
+        )
+        deadline = network.now + 3.0
+        while "data" not in box and network.now < deadline:
+            if not network.scheduler.run_next():
+                break
+        data = box.get("data") or b""
+        if not data.startswith(b"200 ") or token.encode() not in data:
+            return AppOutcome(app="ca", action="issue", ok=False,
+                              used_address=address,
+                              detail={"error": "challenge mismatch"})
+        # Ground truth the CA itself cannot see: the issuance is
+        # fraudulent when the name already belonged to someone else —
+        # the CA was simply shown the attacker's host by its resolver.
+        previous = self.tls.certificate_for(domain)
+        fraudulent = (previous is not None
+                      and previous.holder_address != requester_address)
+        certificate = self.tls.issue(domain, requester_address,
+                                     issuer=self.name,
+                                     fraudulent=fraudulent)
+        self.issued.append(certificate)
+        del self.challenges[domain]
+        return AppOutcome(
+            app="ca", action="issue", ok=True, used_address=address,
+            security_degraded=fraudulent,
+            detail={"domain": domain, "holder": requester_address,
+                    "fraudulent": fraudulent},
+        )
+
+
+class OcspResponder:
+    """An OCSP responder knowing which serials are revoked."""
+
+    def __init__(self, host: Host, revoked: set[str] | None = None):
+        self.host = host
+        self.revoked = set(revoked or ())
+        host.stream_handlers[OCSP_PORT] = self._respond
+
+    def _respond(self, payload: bytes, src: str) -> bytes:
+        serial = payload.decode("ascii", "replace")
+        return b"revoked" if serial in self.revoked else b"good"
+
+
+class OcspClient(Application):
+    """A TLS client checking revocation before trusting a certificate."""
+
+    row = Table1Row(
+        category="PKI", protocol="OCSP", use_case="Revocation checking",
+        query_name=QUERY_TARGET, query_known=True, trigger_method="direct",
+        record_types=["A"], dns_use=USE_LOCATION,
+        impact="Downgrade: no check",
+    )
+
+    def __init__(self, host: Host, stub: StubResolver,
+                 responder_name: str, hard_fail: bool = False):
+        self.host = host
+        self.stub = stub
+        self.responder_name = responder_name
+        self.hard_fail = hard_fail
+
+    def target_profile(self, **infrastructure: bool) -> TargetProfile:
+        """Planner description of this application."""
+        return self._base_profile(**infrastructure)
+
+    def check(self, serial: str) -> AppOutcome:
+        """Query revocation status; soft-fail accepts when unreachable."""
+        answer = self.stub.lookup(self.responder_name, "A")
+        address = answer.first_address()
+        network = self.host.network
+        assert network is not None
+        data: bytes | None = None
+        if address is not None:
+            box: dict[str, bytes | None] = {}
+            network.stream_request(self.host, address, OCSP_PORT,
+                                   serial.encode("ascii"),
+                                   lambda d: box.update(data=d))
+            deadline = network.now + 2.0
+            while "data" not in box and network.now < deadline:
+                if not network.scheduler.run_next():
+                    break
+            data = box.get("data")
+        if data == b"revoked":
+            return AppOutcome(app="ocsp", action="check", ok=False,
+                              used_address=address,
+                              detail={"status": "revoked"})
+        if data == b"good":
+            return AppOutcome(app="ocsp", action="check", ok=True,
+                              used_address=address,
+                              detail={"status": "good"})
+        # Responder unreachable or nonsense: the infamous soft-fail.
+        if self.hard_fail:
+            return AppOutcome(app="ocsp", action="check", ok=False,
+                              used_address=address,
+                              detail={"status": "unreachable (hard-fail)"})
+        return AppOutcome(
+            app="ocsp", action="check", ok=True, security_degraded=True,
+            used_address=address,
+            detail={"status": "unreachable, accepted without check"},
+        )
+
+
+class RpkiApplication(Application):
+    """Table 1 row object for RPKI repository synchronisation.
+
+    The executable behaviour lives in
+    :class:`repro.bgp.rpki.RelyingParty`; this class contributes the
+    taxonomy row and planner profile.
+    """
+
+    row = Table1Row(
+        category="PKI", protocol="RPKI", use_case="Repository sync.",
+        query_name=QUERY_KNOWN, query_known=True, trigger_method="waiting",
+        record_types=["A"], dns_use=USE_LOCATION,
+        impact="Downgrade: no ROV",
+    )
+
+    def target_profile(self, **infrastructure: bool) -> TargetProfile:
+        """Planner description of this application."""
+        return self._base_profile(**infrastructure)

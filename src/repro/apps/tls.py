@@ -1,0 +1,65 @@
+"""Modelled TLS / third-party authentication.
+
+Paper Section 6.2 recommends third-party authentication (TLS) as the
+mitigation that survives a poisoned cache: the attacker can redirect a
+victim to its host, but it cannot present a certificate for the genuine
+name.  The model keeps exactly that property: a :class:`TlsAuthority`
+records which host legitimately holds the certificate for each name, and
+a handshake succeeds only when the connected address belongs to that
+host.  (As in :mod:`repro.dns.dnssec`, cryptography is assumed
+unbreakable; only the control flow is modelled.)
+
+The CA side — *issuing* certificates after domain validation — lives in
+:mod:`repro.apps.pki`, and that is where DNS poisoning still wins:
+subvert issuance and the attacker obtains a genuine certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Certificate:
+    """A certificate binding a DNS name to its legitimate holder."""
+
+    name: str
+    holder_address: str
+    issuer: str = "Model CA"
+    fraudulent: bool = False   # ground-truth marker set by PKI attacks
+
+
+class TlsAuthority:
+    """The set of honestly-issued certificates in the simulated world."""
+
+    def __init__(self) -> None:
+        self._certificates: dict[str, Certificate] = {}
+
+    def issue(self, name: str, holder_address: str,
+              issuer: str = "Model CA",
+              fraudulent: bool = False) -> Certificate:
+        """Record a certificate for ``name`` held at ``holder_address``.
+
+        A later issuance replaces the earlier one (re-issue / hijack via
+        fraudulent issuance both look like this).
+        """
+        certificate = Certificate(name=name.lower(),
+                                  holder_address=holder_address,
+                                  issuer=issuer, fraudulent=fraudulent)
+        self._certificates[name.lower()] = certificate
+        return certificate
+
+    def certificate_for(self, name: str) -> Certificate | None:
+        """The current certificate for ``name``, if any."""
+        return self._certificates.get(name.lower())
+
+    def handshake(self, name: str, address: str) -> bool:
+        """Would a TLS client connecting to ``address`` accept ``name``?
+
+        True only when a certificate for ``name`` exists and its holder
+        is ``address``.  A fraudulently-issued certificate passes — that
+        is the point of the domain-validation attack.
+        """
+        certificate = self._certificates.get(name.lower())
+        return certificate is not None \
+            and certificate.holder_address == address

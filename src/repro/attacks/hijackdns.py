@@ -1,0 +1,160 @@
+"""HijackDNS: cache poisoning via BGP prefix hijack (paper Section 3.1).
+
+The attacker announces (a sub-prefix of) the prefix holding the target
+domain's nameserver, diverting the victim resolver's query to itself.  It
+answers the query with malicious records — trivially valid, because it
+*saw* the challenge values — and relays all other diverted traffic to the
+genuine destination to stay stealthy.
+
+Effectiveness is what Table 6 reports: hitrate 100%, one triggered query,
+two packets (the announcement and the spoofed response).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.base import AttackResult, OffPathAttacker, cache_poisoned
+from repro.attacks.trigger import QueryTrigger
+from repro.bgp.hijack import HijackCampaign
+from repro.bgp.prefix import Prefix
+from repro.dns import names
+from repro.dns.records import ResourceRecord, rr_a
+from repro.dns.resolver import RecursiveResolver
+from repro.dns.wire import decode_message
+from repro.netsim.network import Network
+from repro.netsim.packet import Ipv4Packet, PROTO_UDP
+
+DNS_PORT = 53
+
+
+@dataclass
+class HijackDnsConfig:
+    """Tunables for the hijack attack."""
+
+    sub_prefix: bool = True       # sub-prefix vs same-prefix hijack
+    relay_other_traffic: bool = True
+    hijack_duration: float = 5.0  # keep the announcement short-lived
+    max_iterations: int = 3
+
+
+class HijackDnsAttack:
+    """Execute HijackDNS against one resolver/domain pair."""
+
+    method_name = "HijackDNS"
+
+    def __init__(self, attacker: OffPathAttacker, network: Network,
+                 resolver: RecursiveResolver, target_domain: str,
+                 nameserver_ip: str, malicious_records: list[ResourceRecord],
+                 config: HijackDnsConfig | None = None,
+                 capture_possible: bool = True):
+        self.attacker = attacker
+        self.network = network
+        self.resolver = resolver
+        self.target_domain = names.normalise(target_domain)
+        self.nameserver_ip = nameserver_ip
+        self.malicious_records = list(malicious_records)
+        self.config = config if config is not None else HijackDnsConfig()
+        # Whether the control-plane hijack actually captures the path
+        # between resolver and nameserver.  Sub-prefix hijacks of
+        # >/24-announced space capture everyone; same-prefix capture is
+        # topology-dependent and decided by the BGP simulation upstream.
+        self.capture_possible = capture_possible
+        self._campaign: HijackCampaign | None = None
+        self._answered = 0
+
+    # -- packet handling while the hijack is live --------------------------------
+
+    def _on_diverted(self, packet: Ipv4Packet) -> None:
+        if packet.dst != self.nameserver_ip:
+            return
+        handled = False
+        if packet.proto == PROTO_UDP and packet.udp is not None \
+                and packet.udp.dport == DNS_PORT:
+            handled = self._try_answer_query(packet)
+        if not handled and self.config.relay_other_traffic \
+                and self._campaign is not None:
+            # Stealth: everything that is not the raced DNS query flows on.
+            self._campaign.relay(packet)
+
+    def _try_answer_query(self, packet: Ipv4Packet) -> bool:
+        assert packet.udp is not None
+        try:
+            query = decode_message(packet.udp.payload)
+        except Exception:
+            return False
+        question = query.question
+        if query.is_response or question is None:
+            return False
+        if not names.is_subdomain(question.name, self.target_domain):
+            return False
+        # The intercepted query hands us every challenge value: TXID,
+        # source port, exact question case.  Forge and answer.
+        response = self.attacker.forge_response(
+            question.name, question.qtype, query.txid,
+            self._records_for(question.name),
+            edns_udp_size=query.edns_udp_size,
+        )
+        self.attacker.spoof_dns(
+            src=self.nameserver_ip, dst=packet.src,
+            dport=packet.udp.sport, message=response,
+        )
+        self._answered += 1
+        return True
+
+    def _records_for(self, qname: str) -> list[ResourceRecord]:
+        exact = [
+            r for r in self.malicious_records
+            if names.same_name(r.name, qname)
+        ]
+        if exact:
+            return exact
+        return [rr_a(qname, self.attacker.address, ttl=86400)]
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(self, trigger: QueryTrigger,
+                qname: str | None = None) -> AttackResult:
+        """Run the attack: hijack, trigger, answer, withdraw."""
+        qname = qname if qname is not None else self.target_domain
+        started = self.network.now
+        packets_before = self.attacker.packets_sent
+        result = AttackResult(method=self.method_name, success=False)
+        if not self.capture_possible:
+            result.detail["reason"] = (
+                "control-plane hijack does not capture the resolver-to-"
+                "nameserver path (prefix filtered or topology unfavourable)"
+            )
+            return result
+        prefix = Prefix.parse(f"{self.nameserver_ip}/24")
+        self._campaign = HijackCampaign(
+            self.network, self.attacker.host, prefix,
+        )
+        self.attacker.host.packet_tap = self._on_diverted
+        # The malicious announcement itself is one control-plane packet.
+        announcement_packets = 1
+        try:
+            with self._campaign:
+                for iteration in range(self.config.max_iterations):
+                    result.iterations = iteration + 1
+                    trigger.fire(qname, "A")
+                    result.queries_triggered += 1
+                    self.network.run(self.config.hijack_duration)
+                    if cache_poisoned(self.resolver, qname,
+                                      self.attacker.address):
+                        result.success = True
+                        break
+        finally:
+            self.attacker.host.packet_tap = None
+        result.packets_sent = (
+            self.attacker.packets_sent - packets_before + announcement_packets
+        )
+        result.duration = self.network.now - started
+        result.detail.update({
+            "diverted": self._campaign.diverted,
+            "relayed": self._campaign.relayed,
+            "answered_queries": self._answered,
+            "hijack_kind": "sub-prefix" if self.config.sub_prefix
+            else "same-prefix",
+        })
+        return result

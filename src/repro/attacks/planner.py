@@ -1,0 +1,192 @@
+"""Applicability planner: which methodology fits which target (Table 1).
+
+The paper's Table 1 is an expert matrix of which poisoning methodology
+applies to which application, given how queries are triggered and what
+the infrastructure looks like.  :class:`AttackPlanner` reproduces that
+reasoning as executable rules over a structured description of the
+target, so the Table 1 bench can *derive* the matrix rather than quote
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TargetProfile:
+    """Everything the attacker knows about one resolver/domain/app combo."""
+
+    app_name: str
+    query_name_known: bool           # can the attacker learn the qname?
+    query_name_choosable: bool       # "target" rows of Table 1
+    trigger_style: str               # direct | bounce | authentication |
+    #                                  connection | waiting | on-demand
+    third_party_trigger: bool = False  # Section 4.3.3 forwarder trick
+    # Triggering practical only through an unrelated third-party
+    # application sharing the cache (Section 4.3.2/4.3.3).
+    third_party_only: bool = False
+    ns_prefix_longer_than_24: bool = False  # announcement size > /24?
+    resolver_prefix_longer_than_24: bool = False
+    resolver_global_icmp_limit: bool = True
+    ns_rate_limited: bool = True
+    ns_honours_ptb: bool = True
+    response_can_exceed_frag_limit: bool = True
+    resolver_edns_at_least_response: bool = True
+    resolver_accepts_fragments: bool = True
+    dnssec_validated: bool = False
+
+
+@dataclass
+class MethodChoice:
+    """One methodology's applicability verdict for a target."""
+
+    method: str
+    applicable: bool
+    reasons: list[str] = field(default_factory=list)
+    needs_third_party: bool = False
+
+    @property
+    def symbol(self) -> str:
+        """Table 1 cell notation."""
+        if not self.applicable:
+            return "x"
+        return "v2" if self.needs_third_party else "v"
+
+
+@dataclass
+class ApplicabilityVerdict:
+    """Full planner output for one target."""
+
+    target: TargetProfile
+    choices: dict[str, MethodChoice] = field(default_factory=dict)
+
+    def best(self) -> MethodChoice | None:
+        """The preferred applicable method (hijack > frag > saddns).
+
+        Ordering follows the paper's effectiveness analysis: HijackDNS
+        needs two packets, FragDNS hundreds, SadDNS about a million.
+        """
+        for method in ("HijackDNS", "FragDNS", "SadDNS"):
+            choice = self.choices.get(method)
+            if choice is not None and choice.applicable:
+                return choice
+        return None
+
+
+class AttackPlanner:
+    """Rule engine reproducing the Table 1 applicability reasoning."""
+
+    def assess(self, target: TargetProfile) -> ApplicabilityVerdict:
+        """Evaluate all three methodologies against one target."""
+        verdict = ApplicabilityVerdict(target=target)
+        verdict.choices["HijackDNS"] = self._assess_hijack(target)
+        verdict.choices["SadDNS"] = self._assess_saddns(target)
+        verdict.choices["FragDNS"] = self._assess_fragdns(target)
+        return verdict
+
+    @staticmethod
+    def _style(target: TargetProfile) -> str:
+        """Normalised trigger style ('connection DoS' -> 'connection')."""
+        return target.trigger_style.split()[0].split("/")[0]
+
+    def _can_trigger(self, target: TargetProfile) -> tuple[bool, bool, str]:
+        """(can trigger at all, needs third party, reason)."""
+        style = self._style(target)
+        if target.third_party_only:
+            return True, True, \
+                "triggering requires a third-party application"
+        if target.query_name_choosable:
+            return True, False, "query name attacker-controlled"
+        if target.query_name_known:
+            if style in ("direct", "bounce", "authentication", "on-demand"):
+                return True, False, "known name, externally triggerable"
+            if style in ("waiting", "connection"):
+                return True, True, \
+                    "only the device's own timer issues the query; " \
+                    "repeatable triggering needs a third-party application"
+        if target.third_party_trigger:
+            return True, True, "trigger via third-party application"
+        return False, False, "no way to trigger or predict the query"
+
+    def _assess_hijack(self, target: TargetProfile) -> MethodChoice:
+        choice = MethodChoice(method="HijackDNS", applicable=True)
+        can, _needs_3p, reason = self._can_trigger(target)
+        choice.reasons.append(reason)
+        if not can and not target.query_name_known:
+            # Even then, the hijack can simply persist until a natural
+            # query occurs — the name is configuration that the paper
+            # says must be "fetched out of band".
+            choice.reasons.append(
+                "hijack persists until a natural query occurs "
+                "(domain name fetched out of band)")
+        # Interception needs no attacker-timed triggering at all, so the
+        # third-party footnote never applies to HijackDNS in Table 1.
+        choice.needs_third_party = False
+        if not (target.ns_prefix_longer_than_24
+                or target.resolver_prefix_longer_than_24):
+            choice.reasons.append(
+                "both prefixes announced at /24: sub-prefix filtered, "
+                "same-prefix hijack still possible (topology dependent)")
+        if target.dnssec_validated:
+            choice.applicable = False
+            choice.reasons.append("DNSSEC-validated domain: forgery rejected")
+        return choice
+
+    def _assess_saddns(self, target: TargetProfile) -> MethodChoice:
+        choice = MethodChoice(method="SadDNS", applicable=True)
+        can, needs_3p, reason = self._can_trigger(target)
+        choice.reasons.append(reason)
+        style = self._style(target)
+        timer_only = style in ("waiting", "connection") \
+            and not target.query_name_choosable \
+            and not target.third_party_trigger \
+            and not target.third_party_only
+        if not can or timer_only:
+            # SadDNS needs *many* attacker-timed queries; passively
+            # waiting for timers does not give enough attempts.
+            choice.applicable = False
+            choice.reasons.append(
+                "needs a large volume of attacker-timed queries")
+            return choice
+        choice.needs_third_party = needs_3p
+        if not target.resolver_global_icmp_limit:
+            choice.applicable = False
+            choice.reasons.append("resolver has no global ICMP limit")
+        if not target.ns_rate_limited:
+            choice.applicable = False
+            choice.reasons.append(
+                "nameserver not rate-limited: cannot mute the race")
+        if target.dnssec_validated:
+            choice.applicable = False
+            choice.reasons.append("DNSSEC-validated domain: forgery rejected")
+        return choice
+
+    def _assess_fragdns(self, target: TargetProfile) -> MethodChoice:
+        choice = MethodChoice(method="FragDNS", applicable=True)
+        can, needs_3p, reason = self._can_trigger(target)
+        choice.reasons.append(reason)
+        if not can:
+            choice.applicable = False
+            return choice
+        # Fragments can be planted ahead of a *predicted* timer query,
+        # but repeated attempts still need a third-party trigger.
+        choice.needs_third_party = needs_3p
+        if not target.ns_honours_ptb:
+            choice.applicable = False
+            choice.reasons.append("nameserver ignores ICMP frag-needed")
+        if not target.response_can_exceed_frag_limit:
+            choice.applicable = False
+            choice.reasons.append(
+                "responses smaller than the minimum fragment size")
+        if not target.resolver_edns_at_least_response:
+            choice.applicable = False
+            choice.reasons.append(
+                "resolver EDNS buffer below response size: truncation")
+        if not target.resolver_accepts_fragments:
+            choice.applicable = False
+            choice.reasons.append("resolver firewall drops fragments")
+        if target.dnssec_validated:
+            choice.applicable = False
+            choice.reasons.append("DNSSEC-validated domain: forgery rejected")
+        return choice

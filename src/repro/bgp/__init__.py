@@ -1,0 +1,52 @@
+"""Interdomain routing substrate: topology, Gao-Rexford routing, hijacks, RPKI."""
+
+from repro.bgp.hijack import (
+    HijackCampaign,
+    HijackOutcome,
+    sameprefix_hijack,
+    subprefix_hijack,
+)
+from repro.bgp.prefix import MAX_ACCEPTED_PREFIX_LEN, Prefix, PrefixTable
+from repro.bgp.routing import Announcement, BgpSimulation, Route, propagate
+from repro.bgp.rpki import (
+    INVALID,
+    RelyingParty,
+    Roa,
+    RpkiRepository,
+    UNKNOWN,
+    VALID,
+    validate_origin,
+)
+from repro.bgp.topology import (
+    AsTier,
+    AsTopology,
+    AutonomousSystem,
+    Relationship,
+    generate_topology,
+)
+
+__all__ = [
+    "Announcement",
+    "AsTier",
+    "AsTopology",
+    "AutonomousSystem",
+    "BgpSimulation",
+    "HijackCampaign",
+    "HijackOutcome",
+    "INVALID",
+    "MAX_ACCEPTED_PREFIX_LEN",
+    "Prefix",
+    "PrefixTable",
+    "RelyingParty",
+    "Relationship",
+    "Roa",
+    "Route",
+    "RpkiRepository",
+    "UNKNOWN",
+    "VALID",
+    "generate_topology",
+    "propagate",
+    "sameprefix_hijack",
+    "subprefix_hijack",
+    "validate_origin",
+]

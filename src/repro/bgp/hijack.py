@@ -1,0 +1,159 @@
+"""BGP prefix hijack primitives: control plane and data plane.
+
+Two flavours from paper Section 4.4.1:
+
+* **sub-prefix** — announce a more-specific prefix; longest-prefix match
+  redirects *everyone* who accepts it (filtered past /24);
+* **same-prefix** — announce the victim's exact prefix; only ASes that
+  prefer the attacker's route (Gao-Rexford) are captured.
+
+:class:`HijackCampaign` ties a control-plane hijack to the packet-level
+:class:`~repro.netsim.network.Network` by installing an interceptor that
+diverts in-flight packets for captured sources — that is what lets the
+HijackDNS attack grab a single DNS query and answer it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.prefix import MAX_ACCEPTED_PREFIX_LEN, Prefix
+from repro.bgp.routing import BgpSimulation
+from repro.netsim.host import Host
+from repro.netsim.network import Network
+from repro.netsim.packet import Ipv4Packet
+
+
+@dataclass
+class HijackOutcome:
+    """Which sources were captured by a hijack announcement."""
+
+    attacker_asn: int
+    victim_asn: int
+    prefix: Prefix
+    kind: str                      # "sub-prefix" | "same-prefix"
+    captured_sources: set[int] = field(default_factory=set)
+    evaluated_sources: int = 0
+
+    @property
+    def capture_rate(self) -> float:
+        """Fraction of evaluated source ASes routed to the attacker."""
+        if not self.evaluated_sources:
+            return 0.0
+        return len(self.captured_sources) / self.evaluated_sources
+
+
+def subprefix_hijack(simulation: BgpSimulation, attacker_asn: int,
+                     victim_asn: int, victim_prefix: Prefix | str,
+                     sources: list[int]) -> HijackOutcome:
+    """Announce a more-specific prefix and evaluate capture per source."""
+    if isinstance(victim_prefix, str):
+        victim_prefix = Prefix.parse(victim_prefix)
+    outcome = HijackOutcome(
+        attacker_asn=attacker_asn, victim_asn=victim_asn,
+        prefix=victim_prefix, kind="sub-prefix",
+        evaluated_sources=len(sources),
+    )
+    if not victim_prefix.hijackable_by_subprefix:
+        return outcome  # a /24 (or longer) cannot be deaggregated further
+    more_specific = victim_prefix.subprefix(extra_bits=1)
+    simulation.announce(more_specific, attacker_asn)
+    try:
+        probe = more_specific  # any address inside the sub-prefix
+        from repro.netsim.addresses import int_to_ip
+
+        address = int_to_ip(probe.network + 1)
+        for source in sources:
+            if simulation.forwarding_origin(source, address) == attacker_asn:
+                outcome.captured_sources.add(source)
+    finally:
+        simulation.withdraw(more_specific, attacker_asn)
+    return outcome
+
+
+def sameprefix_hijack(simulation: BgpSimulation, attacker_asn: int,
+                      victim_asn: int, victim_prefix: Prefix | str,
+                      sources: list[int]) -> HijackOutcome:
+    """Announce the victim's exact prefix and evaluate capture per source."""
+    if isinstance(victim_prefix, str):
+        victim_prefix = Prefix.parse(victim_prefix)
+    outcome = HijackOutcome(
+        attacker_asn=attacker_asn, victim_asn=victim_asn,
+        prefix=victim_prefix, kind="same-prefix",
+        evaluated_sources=len(sources),
+    )
+    simulation.announce(victim_prefix, attacker_asn)
+    try:
+        for source in sources:
+            if simulation.best_origin(source, victim_prefix) == attacker_asn:
+                outcome.captured_sources.add(source)
+    finally:
+        simulation.withdraw(victim_prefix, attacker_asn)
+    return outcome
+
+
+class HijackCampaign:
+    """A live hijack on the packet network: divert, inspect, relay.
+
+    While active, packets whose destination falls inside ``prefix`` are
+    delivered to the attacker's host instead of the owner.  The attacker
+    decides per packet whether to consume it or relay it onward (the
+    paper's stealth requirement: relay everything except the DNS query
+    being raced).
+    """
+
+    def __init__(self, network: Network, attacker_host: Host,
+                 prefix: Prefix | str,
+                 capture_filter=None):
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        self.network = network
+        self.attacker_host = attacker_host
+        self.prefix = prefix
+        self.capture_filter = capture_filter
+        self.active = False
+        self.diverted = 0
+        self.relayed = 0
+
+    def _intercept(self, packet: Ipv4Packet, origin: Host | None):
+        if origin is self.attacker_host:
+            return None  # never divert the attacker's own (relay) traffic
+        if not self.prefix.contains_ip(packet.dst):
+            return None
+        if self.capture_filter is not None \
+                and not self.capture_filter(packet):
+            return None
+        self.diverted += 1
+        return self.attacker_host
+
+    def start(self) -> None:
+        """Begin diverting (announce the hijack)."""
+        if self.active:
+            return
+        self.network.add_interceptor(self._intercept)
+        self.active = True
+
+    def stop(self) -> None:
+        """Withdraw the hijack."""
+        if not self.active:
+            return
+        self.network.remove_interceptor(self._intercept)
+        self.active = False
+
+    def relay(self, packet: Ipv4Packet) -> None:
+        """Forward a diverted packet to its real owner (stealth relay)."""
+        owner = self.network.host_for(packet.dst)
+        if owner is None:
+            return
+        self.relayed += 1
+        latency = self.network.latency_between(packet.src, packet.dst)
+        self.network.scheduler.call_later(
+            latency, lambda: owner.receive(packet)
+        )
+
+    def __enter__(self) -> "HijackCampaign":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,117 @@
+"""IP prefixes and longest-prefix-match tables.
+
+HijackDNS is decided by longest-prefix match: a /24 sub-prefix
+announcement beats the victim's /22 everywhere it propagates, while
+announcements more specific than /24 are filtered by convention — the
+fact that drives the paper's "advertised size larger than /24 means
+hijackable" measurement (Section 5.1.2, Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.addresses import int_to_ip, ip_to_int, prefix_mask
+
+MAX_ACCEPTED_PREFIX_LEN = 24
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 prefix as (network int, length)."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"bad prefix length: {self.length}")
+        if self.network & ~prefix_mask(self.length) & 0xFFFFFFFF:
+            raise ValueError("host bits set in prefix network")
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"``; host bits are masked off."""
+        network, _, length_text = text.partition("/")
+        length = int(length_text)
+        base = ip_to_int(network) & prefix_mask(length)
+        return cls(network=base, length=length)
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"
+
+    def contains_ip(self, address: str) -> bool:
+        """True if ``address`` falls inside this prefix."""
+        return (ip_to_int(address) & prefix_mask(self.length)) == self.network
+
+    def contains(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than us."""
+        if other.length < self.length:
+            return False
+        return (other.network & prefix_mask(self.length)) == self.network
+
+    def subprefix(self, extra_bits: int = 1, index: int = 0) -> "Prefix":
+        """A more-specific prefix inside this one (hijack helper)."""
+        new_length = self.length + extra_bits
+        if new_length > 32:
+            raise ValueError("cannot deaggregate past /32")
+        shift = 32 - new_length
+        base = self.network | (index << shift)
+        return Prefix(network=base & prefix_mask(new_length),
+                      length=new_length)
+
+    @property
+    def hijackable_by_subprefix(self) -> bool:
+        """Whether a sub-prefix would still pass the /24 filter."""
+        return self.length < MAX_ACCEPTED_PREFIX_LEN
+
+
+class PrefixTable:
+    """Longest-prefix-match table mapping prefixes to arbitrary values."""
+
+    def __init__(self) -> None:
+        self._by_length: dict[int, dict[int, object]] = {}
+
+    def insert(self, prefix: Prefix, value: object) -> None:
+        """Insert/replace the entry for ``prefix``."""
+        self._by_length.setdefault(prefix.length, {})[prefix.network] = value
+
+    def remove(self, prefix: Prefix) -> None:
+        """Remove the entry for ``prefix`` if present."""
+        bucket = self._by_length.get(prefix.length)
+        if bucket is not None:
+            bucket.pop(prefix.network, None)
+            if not bucket:
+                del self._by_length[prefix.length]
+
+    def lookup(self, address: str) -> tuple[Prefix, object] | None:
+        """Longest-prefix match for an address."""
+        value = ip_to_int(address)
+        for length in sorted(self._by_length, reverse=True):
+            masked = value & prefix_mask(length)
+            bucket = self._by_length[length]
+            if masked in bucket:
+                return (Prefix(network=masked, length=length),
+                        bucket[masked])
+        return None
+
+    def covering(self, address: str) -> list[tuple[Prefix, object]]:
+        """All table entries containing the address, most specific first."""
+        value = ip_to_int(address)
+        found = []
+        for length in sorted(self._by_length, reverse=True):
+            masked = value & prefix_mask(length)
+            bucket = self._by_length[length]
+            if masked in bucket:
+                found.append((Prefix(network=masked, length=length),
+                              bucket[masked]))
+        return found
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_length.values())
+
+    def items(self):
+        """Iterate (prefix, value) pairs."""
+        for length, bucket in self._by_length.items():
+            for network, value in bucket.items():
+                yield Prefix(network=network, length=length), value

@@ -1,0 +1,170 @@
+"""RPKI: ROAs, the relying-party validator, and route origin validation.
+
+The paper's headline cross-layer result (Section 4 intro and Table 1,
+"RPKI / Repository sync."): the relying party (RPKI validator / "RPKI
+cache", RFC 6810) locates its repositories *by DNS name*.  Poison that
+name and the validator cannot fetch ROAs; the affected announcements then
+validate to ``unknown`` rather than ``invalid`` — and ROV deployments do
+not drop unknowns, because most of the Internet's routes are unknown.
+The attacker may then launch the very BGP hijack that RPKI existed to
+prevent.
+
+Validation states follow RFC 6811: ``valid``, ``invalid``, ``unknown``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.bgp.prefix import Prefix
+from repro.dns.stub import StubResolver
+from repro.netsim.host import Host
+
+RPKI_REPO_PORT = 873  # rsync, as in classic RPKI repositories
+
+VALID = "valid"
+INVALID = "invalid"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Roa:
+    """A Route Origin Authorization: prefix, max length, authorised AS."""
+
+    prefix: Prefix
+    max_length: int
+    origin: int
+
+    def covers(self, prefix: Prefix) -> bool:
+        """True if ``prefix`` falls under this ROA's prefix and maxLength."""
+        return self.prefix.contains(prefix) \
+            and prefix.length <= self.max_length
+
+
+def validate_origin(roas: list[Roa], prefix: Prefix, origin: int) -> str:
+    """RFC 6811 origin validation against a ROA set."""
+    matched = False
+    for roa in roas:
+        if roa.prefix.contains(prefix):
+            matched = True
+            if roa.covers(prefix) and roa.origin == origin:
+                return VALID
+    return INVALID if matched else UNKNOWN
+
+
+class RpkiRepository:
+    """A publication point serving ROA objects over a reliable stream.
+
+    The repository host must be reachable at the address its DNS name
+    resolves to — that resolution is the attack surface.
+    """
+
+    def __init__(self, host: Host, hostname: str):
+        self.host = host
+        self.hostname = hostname
+        self._roas: list[Roa] = []
+        host.stream_handlers[RPKI_REPO_PORT] = self._serve
+
+    def publish(self, roa: Roa) -> None:
+        """Add a ROA to the publication point."""
+        self._roas.append(roa)
+
+    @property
+    def roas(self) -> list[Roa]:
+        """Currently published ROAs."""
+        return list(self._roas)
+
+    def _serve(self, payload: bytes, src: str) -> bytes:
+        listing = [
+            {"prefix": str(roa.prefix), "max_length": roa.max_length,
+             "origin": roa.origin}
+            for roa in self._roas
+        ]
+        return json.dumps(listing).encode("utf-8")
+
+
+@dataclass
+class FetchLog:
+    """Relying-party synchronisation outcomes, for assertions."""
+
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    last_error: str = ""
+    last_address: str = ""
+
+
+class RelyingParty:
+    """The RPKI validator ("RPKI cache") that routers consult.
+
+    ``synchronise`` resolves the repository hostname through the local
+    DNS resolver, fetches the ROA listing from whatever address came
+    back, and replaces its validated cache with the result.  A failed or
+    hijacked fetch leaves the cache *empty* — all announcements then
+    validate to ``unknown``, which is precisely the downgrade.
+    """
+
+    def __init__(self, host: Host, stub: StubResolver,
+                 repository_hostname: str):
+        self.host = host
+        self.stub = stub
+        self.repository_hostname = repository_hostname
+        self.validated: list[Roa] = []
+        self.log = FetchLog()
+
+    def synchronise(self) -> bool:
+        """Fetch ROAs from the repository; returns success."""
+        self.log.attempts += 1
+        answer = self.stub.lookup(self.repository_hostname, "A")
+        address = answer.first_address()
+        if address is None:
+            self.log.failures += 1
+            self.log.last_error = "repository hostname did not resolve"
+            self.validated = []
+            return False
+        self.log.last_address = address
+        network = self.host.network
+        assert network is not None
+        box: dict[str, bytes | None] = {}
+
+        def on_bytes(data: bytes | None) -> None:
+            box["data"] = data
+
+        network.stream_request(self.host, address, RPKI_REPO_PORT,
+                               b"LIST", on_bytes)
+        deadline = network.now + 5.0
+        while "data" not in box and network.now < deadline:
+            if not network.scheduler.run_next():
+                break
+        data = box.get("data")
+        if not data:
+            self.log.failures += 1
+            self.log.last_error = f"repository at {address} unreachable"
+            self.validated = []
+            return False
+        try:
+            listing = json.loads(data.decode("utf-8"))
+            self.validated = [
+                Roa(prefix=Prefix.parse(item["prefix"]),
+                    max_length=int(item["max_length"]),
+                    origin=int(item["origin"]))
+                for item in listing
+            ]
+        except (ValueError, KeyError, TypeError) as exc:
+            self.log.failures += 1
+            self.log.last_error = f"malformed repository data: {exc}"
+            self.validated = []
+            return False
+        self.log.successes += 1
+        return True
+
+    def validate(self, prefix: Prefix | str, origin: int) -> str:
+        """Origin-validate an announcement against the validated cache."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        return validate_origin(self.validated, prefix, origin)
+
+    def as_rov_filter(self):
+        """A callable suitable for :meth:`BgpSimulation.set_rov_filter`."""
+        return lambda prefix, origin: self.validate(prefix, origin)

@@ -1,0 +1,196 @@
+"""AS-level Internet topology with business relationships.
+
+The paper simulates same-prefix hijacks over the CAIDA AS-relationship
+graph with Gao-Rexford policies ([39] in the paper, Section 5.1.2).  The
+CAIDA dataset is not available offline, so :func:`generate_topology`
+builds a synthetic graph with the same structural ingredients: a clique
+of tier-1 providers, a middle layer of transit ASes attached by
+preferential attachment (yielding a heavy-tailed customer degree), stub
+ASes at the edge, and a sprinkling of peering links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.rng import DeterministicRNG
+
+
+class Relationship(Enum):
+    """Business relationship of a neighbour, from the local AS's view."""
+
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+
+
+class AsTier(Enum):
+    """Coarse AS size classes used by the paper's simulator."""
+
+    TIER1 = "tier1"
+    MEDIUM = "medium"
+    SMALL = "small"
+    STUB = "stub"
+
+
+@dataclass
+class AutonomousSystem:
+    """One AS: number, tier, and its relationship-labelled neighbours."""
+
+    asn: int
+    tier: AsTier = AsTier.STUB
+    customers: set[int] = field(default_factory=set)
+    peers: set[int] = field(default_factory=set)
+    providers: set[int] = field(default_factory=set)
+
+    @property
+    def degree(self) -> int:
+        """Total neighbour count."""
+        return len(self.customers) + len(self.peers) + len(self.providers)
+
+
+class AsTopology:
+    """A mutable AS graph with provider/customer/peer edges."""
+
+    def __init__(self) -> None:
+        self._ases: dict[int, AutonomousSystem] = {}
+
+    def add_as(self, asn: int, tier: AsTier = AsTier.STUB) -> AutonomousSystem:
+        """Create an AS (idempotent; tier upgraded if already present)."""
+        if asn not in self._ases:
+            self._ases[asn] = AutonomousSystem(asn=asn, tier=tier)
+        return self._ases[asn]
+
+    def get(self, asn: int) -> AutonomousSystem:
+        """AS by number (KeyError if unknown)."""
+        return self._ases[asn]
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._ases
+
+    def __len__(self) -> int:
+        return len(self._ases)
+
+    @property
+    def asns(self) -> list[int]:
+        """All AS numbers."""
+        return list(self._ases)
+
+    def add_provider_customer(self, provider: int, customer: int) -> None:
+        """Create a provider→customer edge."""
+        if provider == customer:
+            raise ValueError("an AS cannot be its own provider")
+        self.add_as(provider)
+        self.add_as(customer)
+        self._ases[provider].customers.add(customer)
+        self._ases[customer].providers.add(provider)
+
+    def add_peering(self, left: int, right: int) -> None:
+        """Create a settlement-free peering edge."""
+        if left == right:
+            raise ValueError("an AS cannot peer with itself")
+        self.add_as(left)
+        self.add_as(right)
+        self._ases[left].peers.add(right)
+        self._ases[right].peers.add(left)
+
+    def relationship(self, local: int, neighbor: int) -> Relationship | None:
+        """How ``local`` sees ``neighbor``, or None if not adjacent."""
+        as_obj = self._ases[local]
+        if neighbor in as_obj.customers:
+            return Relationship.CUSTOMER
+        if neighbor in as_obj.peers:
+            return Relationship.PEER
+        if neighbor in as_obj.providers:
+            return Relationship.PROVIDER
+        return None
+
+    def tier_members(self, tier: AsTier) -> list[int]:
+        """All ASes of the given tier."""
+        return [asn for asn, a in self._ases.items() if a.tier == tier]
+
+
+def generate_topology(rng: DeterministicRNG,
+                      n_tier1: int = 8,
+                      n_medium: int = 60,
+                      n_small: int = 200,
+                      n_stub: int = 800,
+                      peering_fraction: float = 0.15) -> AsTopology:
+    """Build a synthetic CAIDA-like topology.
+
+    Structure: tier-1 clique of peers; medium ASes multi-home to 2 tier-1
+    (or medium) providers chosen by preferential attachment; small ASes
+    multi-home to 1-2 medium/small providers; stubs single- or dual-home
+    to small/medium providers.  ``peering_fraction`` of medium/small
+    pairs get lateral peering links.
+    """
+    topology = AsTopology()
+    next_asn = 1
+    tier1: list[int] = []
+    for _ in range(n_tier1):
+        topology.add_as(next_asn, AsTier.TIER1)
+        tier1.append(next_asn)
+        next_asn += 1
+    for i, left in enumerate(tier1):
+        for right in tier1[i + 1:]:
+            topology.add_peering(left, right)
+
+    def weighted_pick(candidates: list[int]) -> int:
+        weights = [topology.get(c).degree + 1 for c in candidates]
+        total = sum(weights)
+        point = rng.random() * total
+        acc = 0.0
+        for candidate, weight in zip(candidates, weights):
+            acc += weight
+            if point <= acc:
+                return candidate
+        return candidates[-1]
+
+    medium: list[int] = []
+    for _ in range(n_medium):
+        asn = next_asn
+        next_asn += 1
+        topology.add_as(asn, AsTier.MEDIUM)
+        provider_pool = tier1 + medium
+        for _ in range(2):
+            provider = weighted_pick(provider_pool)
+            if provider != asn and provider not in topology.get(asn).providers:
+                topology.add_provider_customer(provider, asn)
+        medium.append(asn)
+
+    small: list[int] = []
+    for _ in range(n_small):
+        asn = next_asn
+        next_asn += 1
+        topology.add_as(asn, AsTier.SMALL)
+        provider_pool = medium + small if small else medium
+        count = 1 + (1 if rng.chance(0.5) else 0)
+        for _ in range(count):
+            provider = weighted_pick(provider_pool)
+            if provider != asn and provider not in topology.get(asn).providers:
+                topology.add_provider_customer(provider, asn)
+        small.append(asn)
+
+    for _ in range(n_stub):
+        asn = next_asn
+        next_asn += 1
+        topology.add_as(asn, AsTier.STUB)
+        provider_pool = small + medium
+        count = 1 + (1 if rng.chance(0.3) else 0)
+        for _ in range(count):
+            provider = weighted_pick(provider_pool)
+            if provider != asn and provider not in topology.get(asn).providers:
+                topology.add_provider_customer(provider, asn)
+
+    lateral_pool = medium + small
+    n_peerings = int(len(lateral_pool) * peering_fraction)
+    for _ in range(n_peerings):
+        left = rng.choice(lateral_pool)
+        right = rng.choice(lateral_pool)
+        if left == right:
+            continue
+        if topology.relationship(left, right) is not None:
+            continue
+        topology.add_peering(left, right)
+    return topology

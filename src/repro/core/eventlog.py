@@ -1,0 +1,129 @@
+"""Structured event logging for attack traces and measurements.
+
+The experiments in the paper are narrated as message sequence charts
+(Figures 1 and 2).  To regenerate those, every component records
+:class:`Event` entries into a shared :class:`EventLog`; the figure benches
+then render the log as an ASCII sequence diagram and the tests assert on
+the event structure instead of scraping stdout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence inside the simulation.
+
+    Attributes:
+        time: virtual time in seconds.
+        actor: the component that recorded the event (e.g. ``"attacker"``).
+        kind: machine-readable event type (e.g. ``"icmp.rate_limited"``).
+        detail: human-readable one-liner for rendered traces.
+        data: structured payload for assertions in tests.
+    """
+
+    time: float
+    actor: str
+    kind: str
+    detail: str = ""
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only list of :class:`Event` with query helpers."""
+
+    def __init__(self, capacity: int | None = None):
+        self._events: list[Event] = []
+        self._capacity = capacity
+        self._subscribers: list[Callable[[Event], None]] = []
+
+    def record(
+        self,
+        time: float,
+        actor: str,
+        kind: str,
+        detail: str = "",
+        **data: Any,
+    ) -> Event:
+        """Append an event and notify subscribers; returns the event."""
+        event = Event(time=time, actor=actor, kind=kind, detail=detail, data=data)
+        if self._capacity is None or len(self._events) < self._capacity:
+            self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Invoke ``callback`` for every subsequently recorded event."""
+        self._subscribers.append(callback)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """All events whose kind equals or starts with ``kind``."""
+        return [
+            e for e in self._events
+            if e.kind == kind or e.kind.startswith(kind + ".")
+        ]
+
+    def by_actor(self, actor: str) -> list[Event]:
+        """All events recorded by ``actor``."""
+        return [e for e in self._events if e.actor == actor]
+
+    def count(self, kind: str) -> int:
+        """Number of events matching :meth:`of_kind`."""
+        return len(self.of_kind(kind))
+
+    def clear(self) -> None:
+        """Drop all stored events (subscribers stay registered)."""
+        self._events.clear()
+
+    def render_sequence(self, actors: list[str] | None = None) -> str:
+        """Render the log as an ASCII message-sequence chart.
+
+        Only events carrying ``src``/``dst`` data become arrows; other
+        events render as annotations on their actor's lifeline.
+        """
+        if actors is None:
+            seen: list[str] = []
+            for event in self._events:
+                for name in (event.data.get("src_actor"), event.actor,
+                             event.data.get("dst_actor")):
+                    if name and name not in seen:
+                        seen.append(name)
+            actors = seen
+        width = 24
+        header = "".join(a.center(width) for a in actors)
+        lines = [header, "".join("|".center(width) for _ in actors)]
+        for event in self._events:
+            src = event.data.get("src_actor")
+            dst = event.data.get("dst_actor")
+            label = f"[{event.time:9.3f}s] {event.detail or event.kind}"
+            if src in actors and dst in actors and src != dst:
+                i, j = actors.index(src), actors.index(dst)
+                lo, hi = min(i, j), max(i, j)
+                row = []
+                for k, _ in enumerate(actors):
+                    if lo <= k < hi:
+                        row.append("-" * width)
+                    else:
+                        row.append("|".center(width))
+                arrow = "".join(row)
+                point = ">" if j > i else "<"
+                pos = (hi * width) - 1 if j > i else lo * width
+                arrow = arrow[:pos] + point + arrow[pos + 1:]
+                lines.append(arrow)
+                lines.append(f"    {label}")
+            else:
+                lines.append(f"    {label}  ({event.actor})")
+        return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Deterministic randomness for reproducible experiments.
+
+All stochastic behaviour in the library flows through
+:class:`DeterministicRNG`, a thin wrapper over :class:`random.Random` that
+adds namespaced derivation.  Components never share one RNG stream
+directly; instead each derives its own child stream from a label, so the
+order in which components consume randomness cannot perturb each other.
+This is what makes the Internet-scale measurement benchmarks bit-stable
+across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class DeterministicRNG(random.Random):
+    """A seeded RNG that can spawn independent child streams.
+
+    >>> rng = DeterministicRNG(42)
+    >>> child = rng.derive("resolver-ports")
+    >>> isinstance(child, DeterministicRNG)
+    True
+
+    Two children derived with the same label from the same parent produce
+    identical streams; children with different labels are statistically
+    independent.
+    """
+
+    def __init__(self, seed: int | str | bytes = 0):
+        self._seed_material = _seed_bytes(seed)
+        super().__init__(int.from_bytes(self._seed_material, "big"))
+
+    def derive(self, label: str) -> "DeterministicRNG":
+        """Return a child RNG whose stream depends on ``label`` and our seed."""
+        mixed = hashlib.sha256(self._seed_material + label.encode("utf-8"))
+        return DeterministicRNG(mixed.digest())
+
+    def pick_port(self, low: int = 1024, high: int = 65535) -> int:
+        """Draw a UDP source port uniformly from ``[low, high]``."""
+        return self.randint(low, high)
+
+    def pick_txid(self) -> int:
+        """Draw a 16-bit DNS transaction identifier."""
+        return self.randint(0, 0xFFFF)
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability (clamped to [0, 1])."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self.random() < probability
+
+
+def _seed_bytes(seed: int | str | bytes) -> bytes:
+    if isinstance(seed, bytes):
+        return hashlib.sha256(seed).digest()
+    if isinstance(seed, str):
+        return hashlib.sha256(seed.encode("utf-8")).digest()
+    return hashlib.sha256(seed.to_bytes(32, "big", signed=True)).digest()
+
+
+def derive_rng(seed: int | str | bytes, label: str) -> DeterministicRNG:
+    """Convenience: build a root RNG from ``seed`` and derive ``label``."""
+    return DeterministicRNG(seed).derive(label)

@@ -1,0 +1,35 @@
+"""Section 6 countermeasures and their evaluation."""
+
+from repro.countermeasures.policies import (
+    ALL_MITIGATIONS,
+    Mitigation,
+    MITIGATION_0X20,
+    MITIGATION_BLOCK_FRAGMENTS,
+    MITIGATION_DNSSEC,
+    MITIGATION_NO_ICMP,
+    MITIGATION_PMTU_CLAMP,
+    MITIGATION_RANDOMIZED_ICMP_LIMIT,
+    MITIGATION_RANDOMIZE_RECORDS,
+    MITIGATION_ROV,
+)
+from repro.countermeasures.evaluation import (
+    AblationCell,
+    evaluate_mitigation_matrix,
+    run_attack_under_mitigation,
+)
+
+__all__ = [
+    "ALL_MITIGATIONS",
+    "AblationCell",
+    "MITIGATION_0X20",
+    "MITIGATION_BLOCK_FRAGMENTS",
+    "MITIGATION_DNSSEC",
+    "MITIGATION_NO_ICMP",
+    "MITIGATION_PMTU_CLAMP",
+    "MITIGATION_RANDOMIZED_ICMP_LIMIT",
+    "MITIGATION_RANDOMIZE_RECORDS",
+    "MITIGATION_ROV",
+    "Mitigation",
+    "evaluate_mitigation_matrix",
+    "run_attack_under_mitigation",
+]

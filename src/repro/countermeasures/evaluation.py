@@ -1,0 +1,171 @@
+"""Run the attacks with and without each mitigation (the §6 ablation).
+
+The paper recommends countermeasures without a quantitative table; this
+module turns the recommendations into an executable ablation: every
+(attack, mitigation) pair is run on a fresh standard testbed and the
+outcome compared against the mitigation's stated expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks import (
+    FragDnsAttack,
+    FragDnsConfig,
+    HijackDnsAttack,
+    OffPathAttacker,
+    SadDnsAttack,
+    SadDnsConfig,
+    SpoofedClientTrigger,
+)
+from repro.countermeasures.policies import ALL_MITIGATIONS, Mitigation
+from repro.dns.nameserver import NameserverConfig
+from repro.netsim.host import HostConfig
+from repro.testbed import (
+    FRAG_TARGET_NAME,
+    RESOLVER_IP,
+    SERVICE_IP,
+    TARGET_DOMAIN,
+    TARGET_NS_IP,
+    standard_testbed,
+)
+
+ATTACK_NAMES = ("HijackDNS", "SadDNS", "FragDNS")
+
+
+@dataclass
+class AblationCell:
+    """Outcome of one (attack, mitigation) pair."""
+
+    attack: str
+    mitigation: str
+    attack_succeeded: bool
+    expected_defeated: bool
+
+    @property
+    def matches_expectation(self) -> bool:
+        """True when reality agrees with the Section 6 claim."""
+        return self.attack_succeeded != self.expected_defeated
+
+
+def _attack_friendly_bases(attack: str) -> dict:
+    """Base configs that make the given attack succeed un-mitigated.
+
+    The resolver's ephemeral port range is narrowed so the probabilistic
+    attacks converge in seconds: the mitigations under test are
+    categorical (they reduce the success probability to zero), so the
+    smaller search space does not change any verdict.
+    """
+    resolver_host = HostConfig(ephemeral_low=20000, ephemeral_high=24095)
+    if attack == "SadDNS":
+        return {"base_ns": NameserverConfig(rrl_enabled=True),
+                "base_resolver_host": resolver_host}
+    if attack == "FragDNS":
+        return {"base_ns_host": HostConfig(ipid_policy="global",
+                                           min_accepted_mtu=68),
+                "base_resolver_host": resolver_host}
+    return {"base_resolver_host": resolver_host}
+
+
+def run_attack_under_mitigation(attack: str,
+                                mitigation: Mitigation | None,
+                                seed: str = "ablation",
+                                saddns_iterations: int = 400,
+                                frag_attempts: int = 120) -> bool:
+    """Execute one attack on a testbed with the mitigation applied.
+
+    Returns whether the attack succeeded.  SadDNS/FragDNS budgets are
+    large enough that an un-mitigated attack succeeds with high
+    probability while a defeated one cannot succeed at all (the
+    mitigations are categorical, not probabilistic).
+    """
+    bases = _attack_friendly_bases(attack)
+    label = mitigation.key if mitigation is not None else "none"
+    if mitigation is not None:
+        kwargs = mitigation.testbed_kwargs(
+            base_ns=bases.get("base_ns"),
+            base_ns_host=bases.get("base_ns_host"),
+            base_resolver_host=bases.get("base_resolver_host"),
+        )
+        world = standard_testbed(
+            seed=f"{seed}-{attack}-{label}",
+            resolver_config=kwargs["resolver_config"],
+            ns_config=kwargs["ns_config"],
+            ns_host_config=kwargs["ns_host_config"],
+            resolver_host_config=kwargs["host_config"],
+            signed_target=kwargs["signed_target"],
+        )
+    else:
+        world = standard_testbed(
+            seed=f"{seed}-{attack}-{label}",
+            ns_config=bases.get("base_ns"),
+            ns_host_config=bases.get("base_ns_host"),
+            resolver_host_config=bases.get("base_resolver_host"),
+        )
+    attacker = OffPathAttacker(world["attacker"])
+    trigger = SpoofedClientTrigger(
+        world["attacker"], RESOLVER_IP, SERVICE_IP,
+        rng=attacker.rng.derive("trigger"),
+    )
+    network = world["testbed"].network
+    resolver = world["resolver"]
+    if attack == "HijackDNS":
+        capture_possible = mitigation is None or "HijackDNS" not in (
+            mitigation.defeats if mitigation.key == "rpki-rov" else ()
+        )
+        instance = HijackDnsAttack(
+            attacker, network, resolver, TARGET_DOMAIN, TARGET_NS_IP,
+            malicious_records=[], capture_possible=capture_possible,
+        )
+        return instance.execute(trigger).success
+    if attack == "SadDNS":
+        instance = SadDnsAttack(
+            attacker, network, resolver, world["target"].server,
+            TARGET_DOMAIN,
+            config=SadDnsConfig(max_iterations=saddns_iterations),
+        )
+        return instance.execute(trigger).success
+    if attack == "FragDNS":
+        # A multi-address answer (a multi-homed service) gives the
+        # record-order randomisation countermeasure something to
+        # shuffle: with six records there are 720 possible second
+        # fragments, taking the per-attempt checksum-match probability
+        # far below the attempt budget.
+        from repro.dns.records import rr_a
+
+        for index in range(5):
+            world["target"].zone.add(
+                rr_a(FRAG_TARGET_NAME, f"123.0.0.{81 + index}", ttl=300)
+            )
+        instance = FragDnsAttack(
+            attacker, network, resolver, world["target"].server,
+            TARGET_DOMAIN,
+            config=FragDnsConfig(max_attempts=frag_attempts,
+                                 attempt_spacing=0.2),
+        )
+        return instance.execute(trigger, qname=FRAG_TARGET_NAME).success
+    raise ValueError(f"unknown attack {attack!r}")
+
+
+def evaluate_mitigation_matrix(mitigations: list[Mitigation] | None = None,
+                               seed: str = "ablation",
+                               saddns_iterations: int = 400,
+                               frag_attempts: int = 120
+                               ) -> list[AblationCell]:
+    """The full (attack x mitigation) ablation grid."""
+    cells: list[AblationCell] = []
+    chosen = mitigations if mitigations is not None else ALL_MITIGATIONS
+    for attack in ATTACK_NAMES:
+        for mitigation in chosen:
+            succeeded = run_attack_under_mitigation(
+                attack, mitigation, seed=seed,
+                saddns_iterations=saddns_iterations,
+                frag_attempts=frag_attempts,
+            )
+            cells.append(AblationCell(
+                attack=attack, mitigation=mitigation.key,
+                attack_succeeded=succeeded,
+                expected_defeated=attack in mitigation.defeats,
+            ))
+    return cells

@@ -1,0 +1,136 @@
+"""The Section 6 mitigations as testbed configuration bundles.
+
+Each :class:`Mitigation` knows how to reconfigure the standard testbed:
+which resolver/nameserver/host switches it flips, and which methodology
+it is expected to stop.  The ablation bench then verifies the
+expectation by actually running the attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dns.nameserver import NameserverConfig
+from repro.dns.resolver import ResolverConfig
+from repro.netsim.host import LINUX_MIN_PMTU, HostConfig
+
+
+@dataclass(frozen=True)
+class Mitigation:
+    """One deployable countermeasure from Section 6."""
+
+    key: str
+    description: str
+    paper_section: str
+    resolver_overrides: dict[str, Any] = field(default_factory=dict)
+    ns_config_overrides: dict[str, Any] = field(default_factory=dict)
+    resolver_host_overrides: dict[str, Any] = field(default_factory=dict)
+    ns_host_overrides: dict[str, Any] = field(default_factory=dict)
+    signed_target: bool = False
+    # Which attacks this is expected to defeat ("HijackDNS", "SadDNS",
+    # "FragDNS") — the ablation bench asserts these expectations.
+    defeats: tuple[str, ...] = ()
+
+    def testbed_kwargs(self, base_resolver: ResolverConfig | None = None,
+                       base_ns: NameserverConfig | None = None,
+                       base_resolver_host: HostConfig | None = None,
+                       base_ns_host: HostConfig | None = None) -> dict:
+        """Keyword arguments for :func:`repro.testbed.standard_testbed`."""
+        resolver_config = base_resolver if base_resolver is not None \
+            else ResolverConfig(allowed_clients=["30.0.0.0/24"])
+        for key, value in self.resolver_overrides.items():
+            setattr(resolver_config, key, value)
+        ns_config = base_ns if base_ns is not None else NameserverConfig()
+        for key, value in self.ns_config_overrides.items():
+            setattr(ns_config, key, value)
+        resolver_host = base_resolver_host if base_resolver_host is not None \
+            else HostConfig()
+        for key, value in self.resolver_host_overrides.items():
+            setattr(resolver_host, key, value)
+        ns_host = base_ns_host if base_ns_host is not None else HostConfig()
+        for key, value in self.ns_host_overrides.items():
+            setattr(ns_host, key, value)
+        return {
+            "resolver_config": resolver_config,
+            "ns_config": ns_config,
+            "host_config": resolver_host,
+            "ns_host_config": ns_host,
+            "signed_target": self.signed_target,
+        }
+
+
+MITIGATION_0X20 = Mitigation(
+    key="0x20-encoding",
+    description="Randomise query-name case; responses must echo it",
+    paper_section="6.1",
+    resolver_overrides={"use_0x20": True},
+    defeats=("SadDNS",),
+)
+
+MITIGATION_RANDOMIZE_RECORDS = Mitigation(
+    key="randomize-records",
+    description="Nameserver shuffles records so checksums are unpredictable",
+    paper_section="6.1",
+    ns_config_overrides={"randomize_record_order": True},
+    defeats=("FragDNS",),
+)
+
+MITIGATION_BLOCK_FRAGMENTS = Mitigation(
+    key="block-fragments",
+    description="Resolver-side firewall drops all IP fragments",
+    paper_section="6.1",
+    resolver_host_overrides={"accept_fragments": False},
+    defeats=("FragDNS",),
+)
+
+MITIGATION_PMTU_CLAMP = Mitigation(
+    key="pmtu-clamp",
+    description="Nameserver refuses PTB-advertised MTUs below 552",
+    paper_section="6.1",
+    ns_host_overrides={"min_accepted_mtu": LINUX_MIN_PMTU},
+    defeats=("FragDNS",),
+)
+
+MITIGATION_NO_ICMP = Mitigation(
+    key="no-icmp-errors",
+    description="Resolver never sends ICMP port-unreachable",
+    paper_section="6.1",
+    resolver_host_overrides={"respond_port_unreachable": False},
+    defeats=("SadDNS",),
+)
+
+MITIGATION_RANDOMIZED_ICMP_LIMIT = Mitigation(
+    key="randomized-icmp-limit",
+    description="Kernel randomises the global ICMP budget (CVE-2020-25705 fix)",
+    paper_section="6.1",
+    resolver_host_overrides={"icmp_limit_randomized": True},
+    defeats=("SadDNS",),
+)
+
+MITIGATION_DNSSEC = Mitigation(
+    key="dnssec",
+    description="Target zone signed and resolver validates",
+    paper_section="2.1/6",
+    resolver_overrides={"validates_dnssec": True},
+    signed_target=True,
+    defeats=("HijackDNS", "SadDNS", "FragDNS"),
+)
+
+MITIGATION_ROV = Mitigation(
+    key="rpki-rov",
+    description="RPKI route-origin validation filters the hijack",
+    paper_section="6.1 (Securing BGP)",
+    defeats=("HijackDNS",),
+)
+
+ALL_MITIGATIONS = [
+    MITIGATION_0X20,
+    MITIGATION_RANDOMIZE_RECORDS,
+    MITIGATION_BLOCK_FRAGMENTS,
+    MITIGATION_PMTU_CLAMP,
+    MITIGATION_NO_ICMP,
+    MITIGATION_RANDOMIZED_ICMP_LIMIT,
+    MITIGATION_DNSSEC,
+    MITIGATION_ROV,
+]

@@ -1,0 +1,113 @@
+"""The DNS substrate: wire format, zones, servers, resolvers, caches.
+
+Everything the paper's attack surface consists of lives here: the
+recursive resolver with its RFC 5452 defences, the authoritative
+nameserver with rate-limiting and fragmentation-relevant behaviour,
+forwarders, stub clients, the TTL/bailiwick cache, and the behaviour
+presets for the implementations the paper tested (Table 5).
+"""
+
+from repro.dns.cache import CacheEntry, DnsCache
+from repro.dns.dnssec import DnssecRegistry, validate_rrsets
+from repro.dns.forwarder import Forwarder
+from repro.dns.impls import (
+    ALL_IMPLEMENTATIONS,
+    BIND_9_14,
+    DNSMASQ_2_79,
+    ImplementationProfile,
+    POWERDNS_4_3,
+    SYSTEMD_RESOLVED_245,
+    UNBOUND_1_9,
+)
+from repro.dns.message import (
+    DnsMessage,
+    Question,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    RCODE_REFUSED,
+    RCODE_SERVFAIL,
+    make_query,
+)
+from repro.dns.nameserver import (
+    AuthoritativeServer,
+    DNS_PORT,
+    NameserverConfig,
+)
+from repro.dns.records import (
+    QTYPE_ANY,
+    ResourceRecord,
+    TYPE_A,
+    TYPE_CNAME,
+    TYPE_MX,
+    TYPE_NAPTR,
+    TYPE_NS,
+    TYPE_SRV,
+    TYPE_TXT,
+    rr_a,
+    rr_cname,
+    rr_mx,
+    rr_naptr,
+    rr_ns,
+    rr_soa,
+    rr_srv,
+    rr_txt,
+)
+from repro.dns.resolver import (
+    RecursiveResolver,
+    ResolutionResult,
+    ResolverConfig,
+)
+from repro.dns.stub import LookupAnswer, StubResolver
+from repro.dns.wire import decode_message, encode_message
+from repro.dns.zones import Zone, ZoneSet
+
+__all__ = [
+    "ALL_IMPLEMENTATIONS",
+    "AuthoritativeServer",
+    "BIND_9_14",
+    "CacheEntry",
+    "DNSMASQ_2_79",
+    "DNS_PORT",
+    "DnsCache",
+    "DnsMessage",
+    "DnssecRegistry",
+    "Forwarder",
+    "ImplementationProfile",
+    "LookupAnswer",
+    "NameserverConfig",
+    "POWERDNS_4_3",
+    "QTYPE_ANY",
+    "Question",
+    "RCODE_NOERROR",
+    "RCODE_NXDOMAIN",
+    "RCODE_REFUSED",
+    "RCODE_SERVFAIL",
+    "RecursiveResolver",
+    "ResolutionResult",
+    "ResolverConfig",
+    "ResourceRecord",
+    "SYSTEMD_RESOLVED_245",
+    "StubResolver",
+    "TYPE_A",
+    "TYPE_CNAME",
+    "TYPE_MX",
+    "TYPE_NAPTR",
+    "TYPE_NS",
+    "TYPE_SRV",
+    "TYPE_TXT",
+    "UNBOUND_1_9",
+    "Zone",
+    "ZoneSet",
+    "decode_message",
+    "encode_message",
+    "make_query",
+    "rr_a",
+    "rr_cname",
+    "rr_mx",
+    "rr_naptr",
+    "rr_ns",
+    "rr_soa",
+    "rr_srv",
+    "rr_txt",
+    "validate_rrsets",
+]

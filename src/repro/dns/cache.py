@@ -1,0 +1,135 @@
+"""The resolver cache — the asset every attack in the paper targets.
+
+Entries are RRSets keyed by (lowercased name, type), each with an absolute
+expiry on the virtual clock.  Insertion enforces the *bailiwick* rule: a
+record may only enter the cache if its owner name falls inside the zone
+the responding server is authoritative for, which is why the paper's
+attackers inject records for the victim domain itself rather than
+arbitrary names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns import names
+from repro.dns.records import QTYPE_ANY, ResourceRecord, TYPE_CNAME
+
+
+@dataclass
+class CacheEntry:
+    """A cached RRSet plus bookkeeping."""
+
+    records: list[ResourceRecord]
+    expires_at: float
+    inserted_at: float
+    source: str = ""          # responding server address, for forensics
+    poisoned: bool = False    # ground-truth flag set by attack harnesses
+
+    def alive(self, now: float) -> bool:
+        """True while the entry has remaining TTL."""
+        return now < self.expires_at
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    bailiwick_rejects: int = 0
+    expirations: int = 0
+
+
+class DnsCache:
+    """TTL- and bailiwick-respecting record cache."""
+
+    def __init__(self, max_entries: int = 100_000):
+        self.max_entries = max_entries
+        self._entries: dict[tuple[str, int], CacheEntry] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, name: str, rtype: int) -> tuple[str, int]:
+        return (names.normalise(name), rtype)
+
+    def get(self, name: str, rtype: int, now: float) -> list[ResourceRecord] | None:
+        """Cached records for (name, type), following same-name CNAMEs."""
+        entry = self._entries.get(self._key(name, rtype))
+        if entry is not None:
+            if entry.alive(now):
+                self.stats.hits += 1
+                return list(entry.records)
+            del self._entries[self._key(name, rtype)]
+            self.stats.expirations += 1
+        if rtype != TYPE_CNAME and rtype != QTYPE_ANY:
+            alias = self._entries.get(self._key(name, TYPE_CNAME))
+            if alias is not None and alias.alive(now):
+                self.stats.hits += 1
+                return list(alias.records)
+        self.stats.misses += 1
+        return None
+
+    def get_any(self, name: str, now: float) -> list[ResourceRecord]:
+        """All live records cached under ``name`` regardless of type."""
+        found: list[ResourceRecord] = []
+        wanted = names.normalise(name)
+        for (cached_name, _rtype), entry in list(self._entries.items()):
+            if cached_name == wanted and entry.alive(now):
+                found.extend(entry.records)
+        return found
+
+    def put(self, records: list[ResourceRecord], now: float,
+            bailiwick: str | None = None, source: str = "",
+            poisoned: bool = False) -> int:
+        """Insert records grouped into RRSets; returns sets accepted.
+
+        Records outside ``bailiwick`` are rejected (and counted), exactly
+        as RFC 2181 trust rules demand.
+        """
+        from repro.dns.records import group_rrsets
+
+        accepted = 0
+        for rrset in group_rrsets(records):
+            if bailiwick is not None and not names.is_subdomain(
+                    rrset.name, bailiwick):
+                self.stats.bailiwick_rejects += 1
+                continue
+            if len(self._entries) >= self.max_entries:
+                self._evict_oldest()
+            key = self._key(rrset.name, rrset.rtype)
+            self._entries[key] = CacheEntry(
+                records=list(rrset.records),
+                expires_at=now + rrset.ttl,
+                inserted_at=now,
+                source=source,
+                poisoned=poisoned,
+            )
+            self.stats.insertions += 1
+            accepted += 1
+        return accepted
+
+    def _evict_oldest(self) -> None:
+        oldest = min(self._entries, key=lambda k: self._entries[k].inserted_at)
+        del self._entries[oldest]
+
+    def entry(self, name: str, rtype: int) -> CacheEntry | None:
+        """Raw entry access for tests and forensics (ignores TTL)."""
+        return self._entries.get(self._key(name, rtype))
+
+    def contains_poison(self) -> bool:
+        """True if any live entry was inserted by an attack harness."""
+        return any(e.poisoned for e in self._entries.values())
+
+    def poisoned_names(self) -> set[str]:
+        """Owner names of poisoned entries (for measurement harnesses)."""
+        return {
+            key[0] for key, entry in self._entries.items() if entry.poisoned
+        }
+
+    def flush(self) -> None:
+        """Drop everything (operator remediation)."""
+        self._entries.clear()

@@ -1,0 +1,178 @@
+"""Authoritative zone data and the delegation hierarchy.
+
+A :class:`Zone` is a bag of records under one origin plus delegation
+(child NS) records; :class:`ZoneSet` is what one authoritative server
+carries.  The full simulated namespace — root, TLDs, second-level
+domains — is assembled by :class:`repro.testbed.Testbed` from these
+pieces so resolvers perform genuine iterative resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns import names
+from repro.dns.records import (
+    QTYPE_ANY,
+    ResourceRecord,
+    TYPE_NS,
+    TYPE_RRSIG,
+    TYPE_SOA,
+    rr_rrsig,
+    rr_soa,
+)
+
+
+@dataclass
+class Zone:
+    """One zone: origin, its records, and child delegations.
+
+    ``signed`` marks the zone as DNSSEC-signed; on lookup, signed zones
+    attach modelled RRSIGs so validating resolvers can check them.
+    """
+
+    origin: str
+    records: list[ResourceRecord] = field(default_factory=list)
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        self.origin = names.normalise(self.origin)
+        if not any(r.rtype == TYPE_SOA for r in self.records):
+            self.records.insert(0, rr_soa(
+                self.origin or ".",
+                f"ns1.{self.origin}" if self.origin else "a.root",
+                f"hostmaster.{self.origin}" if self.origin else "nstld",
+            ))
+
+    def add(self, record: ResourceRecord) -> "Zone":
+        """Add a record (chainable)."""
+        if self.origin and not names.is_subdomain(record.name, self.origin):
+            raise ValueError(
+                f"record {record.name!r} outside zone {self.origin!r}"
+            )
+        self.records.append(record)
+        return self
+
+    def add_all(self, records: list[ResourceRecord]) -> "Zone":
+        """Add several records (chainable)."""
+        for record in records:
+            self.add(record)
+        return self
+
+    def lookup(self, qname: str, qtype: int,
+               _depth: int = 0) -> list[ResourceRecord]:
+        """Records matching (qname, qtype); ANY returns every type.
+
+        When the name owns a CNAME and the query asks for another type,
+        the CNAME is returned and, if the target lives in this zone, the
+        chain is chased server-side (RFC 1034 §3.6.2).
+        """
+        from repro.dns.records import TYPE_CNAME, rrset_digest
+
+        wanted = names.normalise(qname)
+        matched = [
+            r for r in self.records
+            if names.normalise(r.name) == wanted
+            and (qtype == QTYPE_ANY or r.rtype == qtype)
+            and r.rtype != TYPE_RRSIG
+        ]
+        if not matched and qtype not in (QTYPE_ANY, TYPE_CNAME) \
+                and _depth < 8:
+            aliases = [
+                r for r in self.records
+                if names.normalise(r.name) == wanted
+                and r.rtype == TYPE_CNAME
+            ]
+            if aliases:
+                target = str(aliases[0].data)
+                chain = list(aliases)
+                if self.signed:
+                    chain.append(rr_rrsig(
+                        qname, TYPE_CNAME, self.origin or ".",
+                        digest=rrset_digest(aliases),
+                    ))
+                if names.is_subdomain(target, self.origin):
+                    chain.extend(self.lookup(target, qtype,
+                                             _depth=_depth + 1))
+                return chain
+        if self.signed and matched:
+            from repro.dns.records import rrset_digest
+
+            covered_types = {r.rtype for r in matched}
+            matched = matched + [
+                rr_rrsig(
+                    qname, rtype, self.origin or ".",
+                    digest=rrset_digest(
+                        [r for r in matched if r.rtype == rtype]),
+                )
+                for rtype in sorted(covered_types)
+            ]
+        return matched
+
+    def delegation_for(self, qname: str) -> tuple[str, list[ResourceRecord]] | None:
+        """Child-zone NS records covering ``qname``, if delegated away.
+
+        Returns (child origin, NS records) for the deepest delegation
+        point between our origin and ``qname``, or None if ``qname`` is
+        answered authoritatively here.
+        """
+        wanted = names.normalise(qname)
+        if not names.is_subdomain(wanted, self.origin):
+            return None
+        best: tuple[str, list[ResourceRecord]] | None = None
+        for record in self.records:
+            if record.rtype != TYPE_NS:
+                continue
+            owner = names.normalise(record.name)
+            if owner == self.origin:
+                continue  # apex NS, not a delegation
+            if names.is_subdomain(wanted, owner):
+                if best is None or len(owner) > len(best[0]):
+                    best = (owner, [])
+        if best is None:
+            return None
+        child = best[0]
+        ns_records = [
+            r for r in self.records
+            if r.rtype == TYPE_NS and names.normalise(r.name) == child
+        ]
+        return (child, ns_records)
+
+    def has_name(self, qname: str) -> bool:
+        """True if any record (of any type) exists at ``qname``."""
+        wanted = names.normalise(qname)
+        return any(names.normalise(r.name) == wanted for r in self.records)
+
+
+class ZoneSet:
+    """The zones one authoritative server carries, deepest-match lookup."""
+
+    def __init__(self) -> None:
+        self._zones: dict[str, Zone] = {}
+
+    def add(self, zone: Zone) -> Zone:
+        """Register a zone (origin must be unique on this server)."""
+        if zone.origin in self._zones:
+            raise ValueError(f"duplicate zone {zone.origin!r}")
+        self._zones[zone.origin] = zone
+        return zone
+
+    def __iter__(self):
+        return iter(self._zones.values())
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def zone_for(self, qname: str) -> Zone | None:
+        """The most specific zone whose origin contains ``qname``."""
+        wanted = names.normalise(qname)
+        best: Zone | None = None
+        for origin, zone in self._zones.items():
+            if names.is_subdomain(wanted, origin):
+                if best is None or len(origin) > len(best.origin):
+                    best = zone
+        return best
+
+    def get(self, origin: str) -> Zone | None:
+        """Zone by exact origin."""
+        return self._zones.get(names.normalise(origin))

@@ -1,0 +1,42 @@
+"""Experiment registry: one module per paper table/figure.
+
+Every module exposes ``run(seed=..., ...) -> ExperimentResult``; the
+benches in ``benchmarks/`` call these and print the rendered output.
+"""
+
+from repro.experiments import (
+    ablation,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    section4,
+    section5,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.base import ExperimentResult
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "section4": section4,
+    "section5": section5,
+    "ablation": ablation,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult"] + sorted(ALL_EXPERIMENTS)

@@ -1,0 +1,33 @@
+"""Uniform experiment API: every table/figure is an `Experiment`.
+
+``run()`` returns an :class:`ExperimentResult` holding structured rows
+(for assertions in tests/benches) plus rendered text (what the paper's
+table/figure shows) and the paper's reference values for side-by-side
+comparison in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one reproduced table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[list[Any]] = field(default_factory=list)
+    rendered: str = ""
+    paper_reference: dict[str, Any] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def row_by_key(self, key: str, column: int = 0) -> list[Any] | None:
+        """First row whose ``column`` cell equals ``key``."""
+        for row in self.rows:
+            if str(row[column]) == key:
+                return row
+        return None

@@ -1,0 +1,104 @@
+"""Table 6: comparison of the cache poisoning methods.
+
+The quantitative rows (hitrate, queries needed, total packets) come from
+end-to-end attack trials; the applicability rows come from the Table 3/4
+surveys (ad-net resolvers, Alexa-1M domains); stealth is qualitative.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table3, table4
+from repro.experiments.base import ExperimentResult
+from repro.measurements.comparative import Table6Data, collect_table6
+from repro.measurements.report import render_table
+
+PAPER_REFERENCE = {
+    "hitrate": {"hijack": 1.0, "saddns": 0.002, "frag_random": 0.001,
+                "frag_global": 0.20},
+    "queries": {"hijack": 1, "saddns": 497, "frag_random": 1024,
+                "frag_global": 5},
+    "packets": {"hijack": 2, "saddns": 987_000, "frag_random": 65_000,
+                "frag_global": 325},
+    "vuln_resolvers": {"hijack": 70.0, "saddns": 11.0, "frag": 91.0},
+    "vuln_domains": {"hijack": 53.0, "saddns": 12.0, "frag_any": 4.0,
+                     "frag_global": 1.0},
+}
+
+
+def run(seed: int = 0, saddns_runs: int = 2, frag_runs: int = 6,
+        frag_random_runs: int = 2, scale: float = 0.01,
+        data: Table6Data | None = None) -> ExperimentResult:
+    """Assemble the full Table 6 from live trials and survey numbers."""
+    if data is None:
+        data = collect_table6(seed=seed, saddns_runs=saddns_runs,
+                              frag_runs=frag_runs,
+                              frag_random_runs=frag_random_runs)
+    survey3 = table3.run(seed=seed, scale=scale)
+    survey4 = table4.run(seed=seed, scale=scale)
+    adnet = survey3.data["summaries"]["ad-net"]
+    alexa = survey4.data["summaries"]["alexa"]
+    data.vuln_resolvers = {
+        "hijack": adnet.pct("hijack"),
+        "saddns": adnet.pct("saddns"),
+        "frag": adnet.pct("frag"),
+    }
+    data.vuln_domains = {
+        "hijack": alexa.pct("hijack"),
+        "saddns": alexa.pct("saddns"),
+        "frag_any": alexa.pct("frag_any"),
+        "frag_global": alexa.pct("frag_global"),
+    }
+    headers = ["Metric", "BGP hijack", "SadDNS", "Frag (any IPID)",
+               "Frag (global IPID)"]
+    rows = [
+        ["Vuln. resolvers",
+         f"{data.vuln_resolvers['hijack']:.0f}%",
+         f"{data.vuln_resolvers['saddns']:.0f}%",
+         f"{data.vuln_resolvers['frag']:.0f}%",
+         f"{data.vuln_resolvers['frag']:.0f}%"],
+        ["Vuln. domains",
+         f"{data.vuln_domains['hijack']:.0f}%",
+         f"{data.vuln_domains['saddns']:.0f}%",
+         f"{data.vuln_domains['frag_any']:.0f}%",
+         f"{data.vuln_domains['frag_global']:.0f}%"],
+        ["Hitrate",
+         f"{data.hijack.hitrate * 100:.0f}%",
+         f"{data.saddns.hitrate * 100:.2f}%",
+         f"{data.frag_random.hitrate * 100:.2f}%",
+         f"{data.frag_global.hitrate * 100:.0f}%"],
+        ["Queries needed",
+         f"{data.hijack.mean_queries:.0f}",
+         f"{data.saddns.mean_queries:.0f}",
+         f"{data.frag_random.mean_queries:.0f}",
+         f"{data.frag_global.mean_queries:.0f}"],
+        ["Total traffic (pkts)",
+         f"{data.hijack.mean_packets:.0f}",
+         f"{data.saddns.mean_packets:,.0f}",
+         f"{data.frag_random.mean_packets:,.0f}",
+         f"{data.frag_global.mean_packets:.0f}"],
+        ["Attack duration (s)",
+         f"{data.hijack.mean_duration:.1f}",
+         f"{data.saddns.mean_duration:.0f}",
+         f"{data.frag_random.mean_duration:.0f}",
+         f"{data.frag_global.mean_duration:.1f}"],
+        ["Stealthiness",
+         "very visible (control plane)",
+         "stealthy, locally detectable",
+         "stealthy, locally detectable",
+         "very stealthy"],
+    ]
+    result = ExperimentResult(
+        experiment_id="table6",
+        title="Table 6: comparison of the cache poisoning methods",
+        headers=headers,
+        rows=rows,
+        paper_reference=PAPER_REFERENCE,
+        data={"stats": data},
+    )
+    result.rendered = render_table(headers, rows, title=result.title)
+    result.notes.append(
+        f"trials: hijack={data.hijack.runs}, saddns={data.saddns.runs},"
+        f" frag-global={data.frag_global.runs},"
+        f" frag-random={data.frag_random.runs}"
+    )
+    return result

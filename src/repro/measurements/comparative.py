@@ -1,0 +1,184 @@
+"""Comparative effectiveness of the three methodologies (Table 6).
+
+Runs each attack end-to-end on calibrated testbeds and aggregates the
+quantities the paper compares: hitrate (per triggered query), queries
+needed, total packets, plus the qualitative applicability and stealth
+rows.  Absolute values emerge from the attack mechanics, not from
+constants — the testbeds only pin the environmental parameters the paper
+states (global ICMP limits, 64-slot defrag caches, IP-ID policies).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.attacks import (
+    FragDnsAttack,
+    FragDnsConfig,
+    HijackDnsAttack,
+    OffPathAttacker,
+    SadDnsAttack,
+    SadDnsConfig,
+    SpoofedClientTrigger,
+)
+from repro.dns.nameserver import NameserverConfig
+from repro.netsim.host import HostConfig
+from repro.testbed import (
+    FRAG_TARGET_NAME,
+    RESOLVER_IP,
+    SERVICE_IP,
+    TARGET_DOMAIN,
+    TARGET_NS_IP,
+    standard_testbed,
+)
+
+
+@dataclass
+class MethodStats:
+    """Aggregates for one methodology column of Table 6."""
+
+    method: str
+    runs: int = 0
+    successes: int = 0
+    iterations: list[int] = field(default_factory=list)
+    queries: list[int] = field(default_factory=list)
+    packets: list[int] = field(default_factory=list)
+    durations: list[float] = field(default_factory=list)
+
+    @property
+    def hitrate(self) -> float:
+        """Mean per-query success probability across runs."""
+        total_queries = sum(self.queries)
+        if total_queries == 0:
+            return 0.0
+        return self.successes / total_queries
+
+    @property
+    def mean_queries(self) -> float:
+        """Average triggered queries per successful attack."""
+        return statistics.mean(self.queries) if self.queries else 0.0
+
+    @property
+    def mean_packets(self) -> float:
+        """Average attacker packets per run."""
+        return statistics.mean(self.packets) if self.packets else 0.0
+
+    @property
+    def mean_duration(self) -> float:
+        """Average (virtual) seconds per run."""
+        return statistics.mean(self.durations) if self.durations else 0.0
+
+    def note(self, result) -> None:
+        """Record one attack run."""
+        self.runs += 1
+        self.successes += 1 if result.success else 0
+        self.iterations.append(result.iterations)
+        self.queries.append(result.queries_triggered)
+        self.packets.append(result.packets_sent)
+        self.durations.append(result.duration)
+
+
+def run_hijackdns_trials(runs: int = 3, seed: int = 0) -> MethodStats:
+    """HijackDNS trials on fresh testbeds."""
+    stats = MethodStats(method="HijackDNS")
+    for index in range(runs):
+        world = standard_testbed(seed=f"hijack-{seed}-{index}")
+        attacker = OffPathAttacker(world["attacker"])
+        trigger = SpoofedClientTrigger(
+            world["attacker"], RESOLVER_IP, SERVICE_IP,
+            rng=attacker.rng.derive("trigger"),
+        )
+        attack = HijackDnsAttack(
+            attacker, world["testbed"].network, world["resolver"],
+            TARGET_DOMAIN, TARGET_NS_IP, malicious_records=[],
+        )
+        stats.note(attack.execute(trigger))
+    return stats
+
+
+def run_saddns_trials(runs: int = 3, seed: int = 0,
+                      max_iterations: int = 3000) -> MethodStats:
+    """SadDNS trials against rate-limited nameservers."""
+    stats = MethodStats(method="SadDNS")
+    for index in range(runs):
+        world = standard_testbed(
+            seed=f"saddns-{seed}-{index}",
+            ns_config=NameserverConfig(rrl_enabled=True),
+        )
+        attacker = OffPathAttacker(world["attacker"])
+        trigger = SpoofedClientTrigger(
+            world["attacker"], RESOLVER_IP, SERVICE_IP,
+            rng=attacker.rng.derive("trigger"),
+        )
+        attack = SadDnsAttack(
+            attacker, world["testbed"].network, world["resolver"],
+            world["target"].server, TARGET_DOMAIN,
+            config=SadDnsConfig(max_iterations=max_iterations),
+        )
+        stats.note(attack.execute(trigger))
+    return stats
+
+
+def run_fragdns_trials(runs: int = 5, seed: int = 0,
+                       ipid_policy: str = "global",
+                       max_attempts: int = 4000) -> MethodStats:
+    """FragDNS trials; ``ipid_policy`` selects the Table 6 sub-column."""
+    label = "global IPID" if ipid_policy == "global" else "random IPID"
+    stats = MethodStats(method=f"FragDNS ({label})")
+    for index in range(runs):
+        world = standard_testbed(
+            seed=f"frag-{seed}-{ipid_policy}-{index}",
+            ns_host_config=HostConfig(ipid_policy=ipid_policy,
+                                      min_accepted_mtu=68),
+        )
+        attacker = OffPathAttacker(world["attacker"])
+        trigger = SpoofedClientTrigger(
+            world["attacker"], RESOLVER_IP, SERVICE_IP,
+            rng=attacker.rng.derive("trigger"),
+        )
+        attack = FragDnsAttack(
+            attacker, world["testbed"].network, world["resolver"],
+            world["target"].server, TARGET_DOMAIN,
+            config=FragDnsConfig(max_attempts=max_attempts,
+                                 attempt_spacing=0.2),
+        )
+        stats.note(attack.execute(trigger, qname=FRAG_TARGET_NAME))
+    return stats
+
+
+@dataclass
+class Table6Data:
+    """Everything needed to print the paper's Table 6."""
+
+    hijack: MethodStats
+    saddns: MethodStats
+    frag_global: MethodStats
+    frag_random: MethodStats
+    # Applicability percentages come from the Table 3/4 surveys
+    # (ad-net resolvers row and Alexa-1M domains row).
+    vuln_resolvers: dict[str, float] = field(default_factory=dict)
+    vuln_domains: dict[str, float] = field(default_factory=dict)
+
+    STEALTH = {
+        "HijackDNS sub-prefix": "very visible",
+        "HijackDNS same-prefix": "visible",
+        "SadDNS": "stealthy, but locally detectable (packet flood)",
+        "FragDNS random IPID": "stealthy, but locally detectable",
+        "FragDNS global IPID": "very stealthy",
+    }
+
+
+def collect_table6(seed: int = 0, saddns_runs: int = 2,
+                   frag_runs: int = 6,
+                   frag_random_runs: int = 2) -> Table6Data:
+    """Run all trials (the slow part of the Table 6 bench)."""
+    return Table6Data(
+        hijack=run_hijackdns_trials(runs=3, seed=seed),
+        saddns=run_saddns_trials(runs=saddns_runs, seed=seed),
+        frag_global=run_fragdns_trials(runs=frag_runs, seed=seed,
+                                       ipid_policy="global"),
+        frag_random=run_fragdns_trials(runs=frag_random_runs, seed=seed,
+                                       ipid_policy="random",
+                                       max_attempts=6000),
+    )

@@ -1,0 +1,162 @@
+"""In-text measurements of Sections 4.3 and 5.2.2.
+
+* shared cross-application caches — 69% of open resolvers cache records
+  for two or more of the studied applications;
+* forwarder coverage — 79% of the recursive resolvers used by web
+  clients are reachable through some open forwarder;
+* SMTP-based triggering — 11.3% of resolvers have an SMTP server in
+  their /24 that triggers queries; 2.3% are open resolvers themselves;
+* record-type fragmentation rates — 19.50% of Alexa domains fragment
+  for ANY, 0.29% for A, 0.44% for MX, >10% with bloated qnames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rng import DeterministicRNG
+from repro.dns.names import MAX_NAME_LENGTH
+from repro.measurements.population import DomainProfile, FrontEnd
+
+WELL_KNOWN_APP_DOMAINS = {
+    "ntp": "pool.ntp.org",
+    "bitcoin": "seed.bitcoin.sipa.be",
+    "smtp": "aspmx.l.google.example",
+    "web": "www.popular.example",
+    "rpki": "rpki.ripe.example",
+    "xmpp": "_xmpp-server._tcp.jabber.example",
+}
+
+
+def assign_cached_apps(front_ends: list[FrontEnd],
+                       seed: int | str = 0,
+                       share_rate: float = 0.69) -> None:
+    """Populate ground-truth cached-application sets for open resolvers.
+
+    ``share_rate`` of resolvers serve two or more applications; the
+    rest serve exactly one.  The subsequent cache-probe measurement
+    recovers the rate by inspecting cache contents, as the paper did
+    with its open-resolver cache study.
+    """
+    rng = DeterministicRNG(seed).derive("shared-caches")
+    app_names = sorted(WELL_KNOWN_APP_DOMAINS)
+    for front_end in front_ends:
+        for resolver in front_end.resolvers:
+            if rng.chance(share_rate):
+                count = rng.randint(2, len(app_names))
+            else:
+                count = 1
+            resolver.cached_apps = set(rng.sample(app_names, count))
+
+
+def probe_shared_caches(front_ends: list[FrontEnd]) -> float:
+    """Fraction of resolvers whose cache shows >= 2 applications.
+
+    The probe checks, per application, whether the application's
+    well-known domain is cached (a non-recursive cache snoop).
+    """
+    shared = 0
+    total = 0
+    for front_end in front_ends:
+        for resolver in front_end.resolvers:
+            if not resolver.reachable:
+                continue
+            total += 1
+            cached = sum(
+                1 for app in WELL_KNOWN_APP_DOMAINS
+                if app in resolver.cached_apps
+            )
+            if cached >= 2:
+                shared += 1
+    return shared / total if total else 0.0
+
+
+def assign_forwarders(open_front_ends: list[FrontEnd],
+                      client_front_ends: list[FrontEnd],
+                      seed: int | str = 0,
+                      coverage: float = 0.79) -> None:
+    """Wire open forwarders to the recursive resolvers clients use.
+
+    ``coverage`` of the client-side recursive resolvers also appear as
+    the upstream of some open forwarder — the §4.3.3 result that makes
+    "closed" resolvers attackable.
+    """
+    rng = DeterministicRNG(seed).derive("forwarders")
+    client_resolvers = [
+        resolver for front_end in client_front_ends
+        for resolver in front_end.resolvers
+    ]
+    covered = {
+        resolver.address for resolver in client_resolvers
+        if rng.chance(coverage)
+    }
+    open_resolvers = [
+        resolver for front_end in open_front_ends
+        for resolver in front_end.resolvers
+    ]
+    covered_list = sorted(covered)
+    if not covered_list:
+        return
+    for index, resolver in enumerate(open_resolvers):
+        resolver.forwarder_upstreams = [
+            covered_list[index % len(covered_list)]
+        ]
+
+
+def measure_forwarder_coverage(open_front_ends: list[FrontEnd],
+                               client_front_ends: list[FrontEnd]) -> float:
+    """The two-step §4.3.3 measurement.
+
+    Step 1: query every open resolver for a custom subdomain and record
+    the outbound (upstream) address seen at the authoritative server.
+    Step 2: trigger queries through clients and record their recursive
+    resolvers.  Coverage = fraction of client resolvers that appeared
+    as some forwarder's upstream.
+    """
+    upstreams = {
+        upstream
+        for front_end in open_front_ends
+        for resolver in front_end.resolvers
+        for upstream in resolver.forwarder_upstreams
+    }
+    client_resolvers = [
+        resolver.address
+        for front_end in client_front_ends
+        for resolver in front_end.resolvers
+    ]
+    if not client_resolvers:
+        return 0.0
+    matched = sum(1 for address in client_resolvers if address in upstreams)
+    return matched / len(client_resolvers)
+
+
+@dataclass
+class RecordTypeFragRates:
+    """Fragmentation feasibility by query type over a domain set."""
+
+    any_rate: float
+    a_rate: float
+    mx_rate: float
+    bloated_rate: float
+
+
+def measure_record_type_rates(domains: list[DomainProfile]
+                              ) -> RecordTypeFragRates:
+    """§5.2.2: which query types push responses over the fragment floor."""
+    if not domains:
+        return RecordTypeFragRates(0.0, 0.0, 0.0, 0.0)
+
+    def rate(qtype: str, qname_length: int = 20) -> float:
+        hits = sum(
+            1 for domain in domains
+            if any(ns.fragments_response(qtype, qname_length)
+                   for ns in domain.nameservers)
+        )
+        return hits / len(domains)
+
+    return RecordTypeFragRates(
+        any_rate=rate("ANY"),
+        a_rate=rate("A"),
+        mx_rate=rate("MX"),
+        bloated_rate=rate("A", qname_length=MAX_NAME_LENGTH - 1),
+    )

@@ -1,0 +1,420 @@
+"""Synthetic Internet populations for the measurement study.
+
+The paper measures real populations (Censys open resolvers, Alexa Top-1M
+domains, an ad-network's clients, eduroam institution lists, RIR whois
+data ...).  Offline, those populations are *generated*: each entity gets
+ground-truth properties drawn from distributions calibrated to the
+paper's per-dataset numbers (Tables 3 and 4), and the scanners in
+:mod:`repro.measurements.scanner` then measure the entities through the
+same probe logic the paper used — without ever reading the ground truth
+directly.
+
+Scaling: the real datasets reach 1.58M resolvers.  ``scale`` samples the
+population while ``full_size`` is preserved for reporting, so benches
+print the paper's dataset sizes next to measured percentages from the
+sampled population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rng import DeterministicRNG
+from repro.netsim.ratelimit import TokenBucket
+
+# Announced-prefix-length mixes (Figure 3): fraction of hosts whose
+# covering BGP announcement has each length.  The /24 mass equals
+# 1 - (sub-prefix-hijackable fraction) for the population.
+PREFIX_LENGTHS = list(range(11, 25))
+
+
+def _prefix_length_distribution(slash24_mass: float,
+                                peak: int = 20) -> dict[int, float]:
+    """A plausible hump-shaped length mix with fixed /24 mass."""
+    weights = {}
+    for length in PREFIX_LENGTHS[:-1]:
+        distance = abs(length - peak)
+        weights[length] = max(0.2, 6.0 - distance * 1.1)
+    total = sum(weights.values())
+    remaining = 1.0 - slash24_mass
+    mix = {length: remaining * weight / total
+           for length, weight in weights.items()}
+    mix[24] = slash24_mass
+    return mix
+
+
+def _draw_from_mix(rng: DeterministicRNG, mix: dict[int, float]) -> int:
+    point = rng.random()
+    acc = 0.0
+    for value, mass in mix.items():
+        acc += mass
+        if point <= acc:
+            return value
+    return max(mix)
+
+
+@dataclass
+class IcmpBehaviour:
+    """The ICMP error behaviour of one resolver's operating system.
+
+    Wraps the same :class:`TokenBucket` the full host model uses, so the
+    scanner's burst probe exercises genuinely identical logic.
+    """
+
+    rate_limited: bool
+    randomized: bool
+    rng: DeterministicRNG
+    rate: float = 1000.0
+    burst: float = 50.0
+
+    def errors_for_burst(self, n_probes: int) -> int:
+        """How many ICMP errors a same-instant burst of probes elicits."""
+        if not self.rate_limited:
+            return n_probes
+        bucket = TokenBucket(rate=self.rate, burst=self.burst)
+        errors = 0
+        for _ in range(n_probes):
+            if self.randomized:
+                cost = 1 + self.rng.randint(0, 5)
+                if bucket.allow(0.0, cost=cost):
+                    errors += 1
+            else:
+                if bucket.allow(0.0):
+                    errors += 1
+        return errors
+
+
+@dataclass
+class ResolverProfile:
+    """Ground truth for one resolver back-end address."""
+
+    address: str
+    asn: int
+    prefix_length: int              # covering BGP announcement
+    reachable: bool
+    icmp: IcmpBehaviour
+    accepts_fragments: bool
+    edns_size: int | None           # advertised EDNS UDP payload size
+    open_resolver: bool = False
+    forwarder_upstreams: list[str] = field(default_factory=list)
+    cached_apps: set[str] = field(default_factory=set)
+
+    @property
+    def subprefix_hijackable(self) -> bool:
+        """Ground truth the prefix-length scan should recover."""
+        return self.prefix_length < 24
+
+
+@dataclass
+class FrontEnd:
+    """A front-end system (SMTP server, web client, CA...) and its resolvers."""
+
+    identifier: str
+    resolvers: list[ResolverProfile]
+
+
+@dataclass
+class NameserverProfile:
+    """Ground truth for one authoritative nameserver."""
+
+    address: str
+    asn: int
+    prefix_length: int
+    honours_ptb: bool               # PMTUD via ICMP frag-needed
+    min_frag_size: int              # smallest fragment it will emit
+    rrl_enabled: bool
+    ipid_global: bool               # predictable global IP-ID counter
+    supports_any: bool
+    base_response_size: int         # A-response size before amplification
+
+    def response_size(self, qtype: str, qname_length: int = 20) -> int:
+        """Modelled response size per query type and qname bloat.
+
+        A bloated qname is amplified 1.5x: it is echoed once in the
+        question section and, on roughly half of deployments, appears
+        again uncompressed in answer/authority owner names.
+        """
+        size = self.base_response_size + 3 * max(0, qname_length - 20) // 2
+        if qtype == "ANY" and self.supports_any:
+            return size * 6 + 120
+        if qtype == "MX":
+            return size + 30
+        return size
+
+    def fragments_response(self, qtype: str, qname_length: int = 20) -> bool:
+        """Would a response of this type fragment at the server's floor?"""
+        return self.honours_ptb and \
+            self.response_size(qtype, qname_length) > self.min_frag_size
+
+
+@dataclass
+class DomainProfile:
+    """Ground truth for one domain under test."""
+
+    name: str
+    nameservers: list[NameserverProfile]
+    signed: bool
+
+
+@dataclass
+class ResolverDatasetSpec:
+    """Calibration for one Table 3 row."""
+
+    key: str
+    label: str
+    protocols: str
+    full_size: int
+    expected_hijack: float          # paper's percentages, for comparison
+    expected_saddns: float
+    expected_frag: float
+    # Ground-truth rates the generator draws from.  These are set from
+    # the paper's measured values; the scanner re-measures them.
+    rate_unreachable: float = 0.05
+    edns_mix: tuple[float, float, float] = (0.4, 0.1, 0.5)  # 512/mid/4096+
+    resolvers_per_frontend: int = 1
+
+
+@dataclass
+class DomainDatasetSpec:
+    """Calibration for one Table 4 row."""
+
+    key: str
+    label: str
+    protocols: str
+    full_size: int
+    expected_hijack: float
+    expected_saddns: float
+    expected_frag_any: float
+    expected_frag_global: float
+    expected_dnssec: float
+    ns_per_domain: int = 2
+
+
+# Table 3 rows: (key, label, protocols, size, %hijack, %saddns, %frag).
+RESOLVER_DATASETS: list[ResolverDatasetSpec] = [
+    ResolverDatasetSpec("eduroam", "Local university", "Radius", 1,
+                        100.0, 0.0, 100.0, rate_unreachable=0.0,
+                        edns_mix=(0.0, 0.0, 1.0)),
+    ResolverDatasetSpec("pw-recovery", "Popular services", "PW-recovery",
+                        29, 93.0, 16.0, 90.0, rate_unreachable=0.0,
+                        edns_mix=(0.04, 0.04, 0.92)),
+    ResolverDatasetSpec("cas", "Popular CAs", "DV", 5, 75.0, 0.0, 0.0,
+                        rate_unreachable=0.0),
+    ResolverDatasetSpec("cdns", "Popular CDNs", "CDN", 4, 100.0, 0.0, 25.0,
+                        rate_unreachable=0.0, edns_mix=(0.25, 0.0, 0.75)),
+    ResolverDatasetSpec("alexa-srv", "Alexa 1M SRV", "XMPP", 476,
+                        73.0, 1.0, 57.0, edns_mix=(0.3, 0.1, 0.6)),
+    ResolverDatasetSpec("alexa-mx", "Alexa 1M MX",
+                        "SMTP SPF DMARC DKIM", 61_036, 79.0, 9.0, 56.0,
+                        edns_mix=(0.3, 0.1, 0.6)),
+    ResolverDatasetSpec("ad-net", "Ad-net study", "HTTP DANE OCSP",
+                        5_847, 70.0, 11.0, 91.0,
+                        edns_mix=(0.03, 0.04, 0.93)),
+    ResolverDatasetSpec("open", "Open resolvers", "All", 1_583_045,
+                        74.0, 12.0, 31.0, rate_unreachable=0.15),
+    ResolverDatasetSpec("ntp-cache", "Cache test", "NTP", 448_521,
+                        79.0, 9.0, 32.0, rate_unreachable=0.1),
+]
+
+# Table 4 rows.
+DOMAIN_DATASETS: list[DomainDatasetSpec] = [
+    DomainDatasetSpec("eduroam-domains", "Eduroam list", "Radius", 1_152,
+                      96.0, 11.0, 44.0, 18.0, 10.0),
+    DomainDatasetSpec("alexa", "Alexa 1M", "HTTP DANE DV", 877_071,
+                      53.0, 12.0, 4.0, 1.0, 2.0),
+    DomainDatasetSpec("alexa-mx-domains", "Alexa 1M MX",
+                      "SMTP SPF DKIM DMARC", 63_726,
+                      44.0, 6.0, 7.0, 1.0, 3.0),
+    DomainDatasetSpec("alexa-srv-domains", "Alexa 1M SRV", "XMPP", 2_025,
+                      44.0, 4.0, 29.0, 5.0, 7.0),
+    DomainDatasetSpec("rir-whois", "RIR whois", "PW-recovery", 58_742,
+                      59.0, 9.0, 14.0, 4.0, 4.0),
+    DomainDatasetSpec("registrar-whois", "Registrar whois", "PW-recovery",
+                      4_628, 51.0, 10.0, 23.0, 5.0, 6.0),
+    DomainDatasetSpec("ntp-domains", "Well-known", "NTP", 9,
+                      25.0, 0.0, 25.0, 25.0, 25.0),
+    DomainDatasetSpec("crypto-domains", "Well-known", "Crypto-currency",
+                      32, 28.0, 17.0, 21.0, 3.0, 21.0),
+    DomainDatasetSpec("rpki-domains", "Well-known", "RPKI", 8,
+                      14.0, 0.0, 0.0, 0.0, 67.0),
+    DomainDatasetSpec("vpn-domains", "Cert. Scan", "IKE OpenVPN", 307,
+                      51.0, 11.0, 5.0, 1.0, 7.0),
+]
+
+MIN_SAMPLE = 40
+
+
+class PopulationGenerator:
+    """Draws calibrated resolver/domain populations (seeded)."""
+
+    def __init__(self, seed: int | str = 0, scale: float = 0.01):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.rng = DeterministicRNG(seed)
+        self.scale = scale
+        self._next_ip = 0x0B000000  # 11.0.0.0 onwards
+
+    def sample_size(self, full_size: int) -> int:
+        """How many entities to actually instantiate for a dataset."""
+        return max(min(MIN_SAMPLE, full_size),
+                   min(full_size, int(full_size * self.scale)))
+
+    def _address(self) -> str:
+        from repro.netsim.addresses import int_to_ip
+
+        self._next_ip += 7
+        return int_to_ip(self._next_ip & 0xDFFFFFFF | 0x0B000000)
+
+    def _edns_size(self, rng: DeterministicRNG,
+                   mix: tuple[float, float, float]) -> int:
+        point = rng.random()
+        if point < mix[0]:
+            return 512
+        if point < mix[0] + mix[1]:
+            return rng.choice([1232, 1400, 2048])
+        return rng.choice([4000, 4096, 8192])
+
+    def resolver_population(self, spec: ResolverDatasetSpec,
+                            size: int | None = None) -> list[FrontEnd]:
+        """Generate the front-end systems (with resolvers) for a dataset."""
+        rng = self.rng.derive(f"resolvers-{spec.key}")
+        count = size if size is not None else self.sample_size(spec.full_size)
+        prefix_mix = _prefix_length_distribution(
+            1.0 - spec.expected_hijack / 100.0
+        )
+        front_ends: list[FrontEnd] = []
+        for index in range(count):
+            resolvers = []
+            for _sub in range(spec.resolvers_per_frontend):
+                # SadDNS ground truth: the paper's measured rate already
+                # reflects reachability losses, so the generator draws
+                # the *conditional* rate among reachable hosts.
+                reachable = not rng.chance(spec.rate_unreachable)
+                reachable_mass = 1.0 - spec.rate_unreachable
+                saddns_target = spec.expected_saddns / 100.0
+                conditional = min(1.0, saddns_target / reachable_mass) \
+                    if reachable_mass > 0 else 0.0
+                icmp = IcmpBehaviour(
+                    rate_limited=True,
+                    randomized=not rng.chance(conditional),
+                    rng=rng.derive(f"icmp-{index}-{_sub}"),
+                )
+                # Unreachable hosts fail the scan too, so the
+                # ground-truth rate among reachable hosts is scaled up.
+                frag_target = min(1.0, (spec.expected_frag / 100.0)
+                                  / max(reachable_mass, 1e-9))
+                edns = self._edns_size(rng, spec.edns_mix)
+                # The fragmentation scan needs both fragment acceptance
+                # and an EDNS buffer larger than the padded test
+                # response; draw acceptance conditioned on buffer size
+                # so the joint rate matches the paper.
+                big_mass = spec.edns_mix[1] + spec.edns_mix[2]
+                big_edns = edns >= 1232
+                accepts = rng.chance(
+                    min(1.0, frag_target / big_mass) if big_mass else 0.0
+                ) if big_edns else False
+                resolvers.append(ResolverProfile(
+                    address=self._address(),
+                    asn=rng.randint(1, 60_000),
+                    prefix_length=_draw_from_mix(rng, prefix_mix),
+                    reachable=reachable,
+                    icmp=icmp,
+                    accepts_fragments=accepts,
+                    edns_size=edns,
+                    open_resolver=spec.key == "open",
+                ))
+            front_ends.append(FrontEnd(
+                identifier=f"{spec.key}-{index}", resolvers=resolvers,
+            ))
+        return front_ends
+
+    def domain_population(self, spec: DomainDatasetSpec,
+                          size: int | None = None) -> list[DomainProfile]:
+        """Generate the domains (with nameservers) for a dataset."""
+        rng = self.rng.derive(f"domains-{spec.key}")
+        count = size if size is not None else self.sample_size(spec.full_size)
+        # Per-domain vulnerability means "any nameserver hijackable", so
+        # the per-nameserver announcement mix is derated accordingly.
+        per_ns_hijack = _per_item_rate(spec.expected_hijack / 100.0,
+                                       spec.ns_per_domain)
+        prefix_mix = _prefix_length_distribution(1.0 - per_ns_hijack)
+        domains: list[DomainProfile] = []
+        for index in range(count):
+            nameservers = []
+            # Per-domain verdicts are "any nameserver vulnerable"; draw
+            # the per-NS rate as 1-(1-p)^(1/n) so the per-domain rate
+            # matches the paper's numbers.
+            n_ns = spec.ns_per_domain
+            p_rrl = _per_item_rate(spec.expected_saddns / 100.0, n_ns)
+            p_frag_any = _per_item_rate(spec.expected_frag_any / 100.0, n_ns)
+            p_global = _per_item_rate(
+                min(1.0, spec.expected_frag_global
+                    / max(spec.expected_frag_any, 0.01)), n_ns,
+            )
+            for ns_index in range(n_ns):
+                frag_capable = rng.chance(p_frag_any)
+                nameservers.append(NameserverProfile(
+                    address=self._address(),
+                    asn=rng.randint(1, 60_000),
+                    prefix_length=_draw_from_mix(rng, prefix_mix),
+                    honours_ptb=frag_capable,
+                    min_frag_size=(
+                        rng.choice([292] * 7 + [548] * 83 + [1280] * 10)
+                        if frag_capable else 1500
+                    ),
+                    rrl_enabled=rng.chance(p_rrl),
+                    ipid_global=frag_capable and rng.chance(p_global),
+                    supports_any=rng.chance(0.85),
+                    base_response_size=int(rng.gauss(140, 40)),
+                ))
+            domains.append(DomainProfile(
+                name=f"{spec.key}-{index}.example",
+                nameservers=nameservers,
+                signed=rng.chance(spec.expected_dnssec / 100.0),
+            ))
+        return domains
+
+
+    def alexa_nameserver_population(self, count: int = 4000
+                                    ) -> list[DomainProfile]:
+        """The §5.2.2 record-type study population (Alexa-1M nameservers).
+
+        Calibration: 20.5% of nameservers honour PMTUD; minimum fragment
+        sizes split 7% / 83% / 10% across 292 / 548 / 1280 bytes
+        (Figure 4); base A-response sizes are drawn wide enough that ANY
+        responses almost always exceed the floor while plain A responses
+        almost never do — reproducing the 19.5% / 0.29% / 0.44% / >10%
+        pattern for ANY / A / MX / bloated queries.
+        """
+        rng = self.rng.derive("alexa-ns")
+        domains = []
+        for index in range(count):
+            honours = rng.chance(0.205)
+            nameservers = [NameserverProfile(
+                address=self._address(),
+                asn=rng.randint(1, 60_000),
+                prefix_length=_draw_from_mix(
+                    rng, _prefix_length_distribution(0.47)),
+                honours_ptb=honours,
+                min_frag_size=(
+                    rng.choice([292] * 7 + [548] * 83 + [1280] * 10)
+                    if honours else 1500
+                ),
+                rrl_enabled=rng.chance(0.18),
+                ipid_global=honours and rng.chance(0.25),
+                supports_any=rng.chance(0.95),
+                base_response_size=max(60, int(rng.gauss(230, 75))),
+            )]
+            domains.append(DomainProfile(
+                name=f"alexa-{index}.example", nameservers=nameservers,
+                signed=rng.chance(0.02),
+            ))
+        return domains
+
+
+def _per_item_rate(aggregate: float, n: int) -> float:
+    """Per-nameserver rate so that P(any of n) equals ``aggregate``."""
+    aggregate = min(max(aggregate, 0.0), 1.0)
+    if n <= 1:
+        return aggregate
+    return 1.0 - (1.0 - aggregate) ** (1.0 / n)

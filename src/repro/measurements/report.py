@@ -1,0 +1,138 @@
+"""Rendering helpers: ASCII tables, CDF series, Venn counts.
+
+The experiment modules produce structured rows; these helpers turn them
+into the text the benches print, and compute the derived series the
+figures need (CDFs for Figure 3/4, three-set Venn regions for Figure 5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+
+def render_table(headers: list[str], rows: list[list[str]],
+                 title: str = "") -> str:
+    """A fixed-width ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rows:
+        lines.append(" | ".join(
+            str(cell).ljust(width) for cell, width in zip(row, widths)
+        ))
+    return "\n".join(lines)
+
+
+def cdf_series(values: list[int | float],
+               points: list[int | float] | None = None
+               ) -> list[tuple[float, float]]:
+    """Empirical CDF evaluated at ``points`` (or at each distinct value)."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    if points is None:
+        points = sorted(set(ordered))
+    series = []
+    total = len(ordered)
+    index = 0
+    for point in points:
+        while index < total and ordered[index] <= point:
+            index += 1
+        series.append((float(point), index / total))
+    return series
+
+
+def render_cdf(series: list[tuple[float, float]], label: str,
+               width: int = 50) -> str:
+    """A crude ASCII plot of one CDF."""
+    lines = [f"CDF: {label}"]
+    for x, y in series:
+        bar = "#" * int(y * width)
+        lines.append(f"  {x:>8.0f} | {bar} {y * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+def histogram(values: list[int]) -> dict[int, float]:
+    """Relative frequency of each distinct value."""
+    counts = Counter(values)
+    total = sum(counts.values())
+    return {value: count / total for value, count in sorted(counts.items())}
+
+
+@dataclass
+class VennCounts:
+    """Region sizes of a three-set Venn diagram (Figure 5)."""
+
+    only_a: int
+    only_b: int
+    only_c: int
+    ab: int
+    ac: int
+    bc: int
+    abc: int
+    labels: tuple[str, str, str] = ("HijackDNS", "SadDNS", "FragDNS")
+
+    @property
+    def total(self) -> int:
+        """Entities vulnerable to at least one method."""
+        return (self.only_a + self.only_b + self.only_c
+                + self.ab + self.ac + self.bc + self.abc)
+
+    def set_total(self, label: str) -> int:
+        """Total size of one named set (all regions containing it)."""
+        index = self.labels.index(label)
+        if index == 0:
+            return self.only_a + self.ab + self.ac + self.abc
+        if index == 1:
+            return self.only_b + self.ab + self.bc + self.abc
+        return self.only_c + self.ac + self.bc + self.abc
+
+    def render(self, title: str) -> str:
+        """Textual Venn region listing."""
+        a, b, c = self.labels
+        rows = [
+            [f"{a} only", str(self.only_a)],
+            [f"{b} only", str(self.only_b)],
+            [f"{c} only", str(self.only_c)],
+            [f"{a} & {b}", str(self.ab)],
+            [f"{a} & {c}", str(self.ac)],
+            [f"{b} & {c}", str(self.bc)],
+            [f"{a} & {b} & {c}", str(self.abc)],
+            ["total vulnerable", str(self.total)],
+        ]
+        return render_table(["region", "count"], rows, title=title)
+
+
+def venn_from_flags(flags: list[tuple[bool, bool, bool]],
+                    labels: tuple[str, str, str] = ("HijackDNS", "SadDNS",
+                                                    "FragDNS")) -> VennCounts:
+    """Region counts from per-entity (A, B, C) vulnerability flags."""
+    regions = Counter()
+    for a, b, c in flags:
+        regions[(a, b, c)] += 1
+    return VennCounts(
+        only_a=regions[(True, False, False)],
+        only_b=regions[(False, True, False)],
+        only_c=regions[(False, False, True)],
+        ab=regions[(True, True, False)],
+        ac=regions[(True, False, True)],
+        bc=regions[(False, True, True)],
+        abc=regions[(True, True, True)],
+        labels=labels,
+    )
+
+
+def scale_count(sampled_count: int, sampled_size: int,
+                full_size: int) -> int:
+    """Extrapolate a sampled count to the full population size."""
+    if sampled_size == 0:
+        return 0
+    return round(sampled_count * full_size / sampled_size)

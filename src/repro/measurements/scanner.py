@@ -1,0 +1,216 @@
+"""Measurement scanners: the probe logic of paper Section 5.
+
+Each scanner mirrors a probe the paper ran against the real Internet:
+
+* **prefix-length mapping** (§5.1.2) — an address is sub-prefix
+  hijackable when its covering BGP announcement is shorter than /24;
+* **SadDNS scan** — ping, then a same-instant burst at closed UDP ports:
+  exactly ``burst`` ICMP errors back means a deterministic global limit;
+* **fragmentation scan** — a test nameserver emits a padded, fragmented
+  CNAME response; the resolver is vulnerable when it accepts it (which
+  requires fragment acceptance *and* an EDNS buffer above the padded
+  size, otherwise the response is truncated and retried over TCP);
+* **RRL burst scan** (§5.2.2) — 4000 queries in one second; a drop in
+  responses marks the nameserver mutable;
+* **PMTUD / record-type scan** — minimum fragment size per query type;
+* **EDNS harvest** — the advertised UDP payload size (Figure 4).
+
+Scanners work on the lightweight population profiles; the identical
+kernel behaviours (token buckets and friends) back the full host model
+used in the end-to-end attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.measurements.population import (
+    DomainProfile,
+    FrontEnd,
+    NameserverProfile,
+    ResolverProfile,
+)
+
+FRAG_TEST_RESPONSE_SIZE = 600   # the padded CNAME test response
+SADDNS_PROBE_BURST = 51         # 50 spoofed + 1 verification
+RRL_BURST = 4000                # queries in the muting test
+
+
+@dataclass
+class ResolverScanResult:
+    """Measured vulnerability flags for one front-end system."""
+
+    identifier: str
+    hijack: bool = False
+    saddns: bool = False
+    frag: bool = False
+
+
+@dataclass
+class DomainScanResult:
+    """Measured vulnerability flags for one domain."""
+
+    name: str
+    hijack: bool = False
+    saddns: bool = False
+    frag_any: bool = False
+    frag_global: bool = False
+    dnssec: bool = False
+
+
+def scan_subprefix_hijackable(prefix_length: int) -> bool:
+    """The Figure 3 criterion: announcements shorter than /24."""
+    return prefix_length < 24
+
+
+def scan_saddns(resolver: ResolverProfile) -> bool:
+    """The global-ICMP-limit side-channel test.
+
+    Ping first (dead resolvers are skipped), then burst-probe closed
+    ports.  A resolver with the vulnerable behaviour returns *exactly*
+    the burst size of errors — a deterministic, observable global limit.
+    Randomised limits (the CVE-2020-25705 fix) return a jittered count.
+    """
+    if not resolver.reachable:
+        return False
+    errors = resolver.icmp.errors_for_burst(SADDNS_PROBE_BURST)
+    return errors == int(resolver.icmp.burst)
+
+
+def scan_fragmentation(resolver: ResolverProfile) -> bool:
+    """The fragmented-CNAME-re-query test against one resolver."""
+    if not resolver.reachable:
+        return False
+    if resolver.edns_size is None \
+            or resolver.edns_size < FRAG_TEST_RESPONSE_SIZE:
+        # The test response does not fit the advertised buffer: the
+        # nameserver truncates instead of fragmenting, TCP follows, and
+        # no fragment ever reaches the resolver.
+        return False
+    return resolver.accepts_fragments
+
+
+def scan_front_end(front_end: FrontEnd) -> ResolverScanResult:
+    """Scan all of a front-end's resolvers; any vulnerable counts."""
+    result = ResolverScanResult(identifier=front_end.identifier)
+    for resolver in front_end.resolvers:
+        result.hijack = result.hijack or scan_subprefix_hijackable(
+            resolver.prefix_length)
+        result.saddns = result.saddns or scan_saddns(resolver)
+        result.frag = result.frag or scan_fragmentation(resolver)
+    return result
+
+
+def scan_nameserver_rrl(nameserver: NameserverProfile) -> bool:
+    """The 4000-query burst test: do responses drop afterwards?"""
+    if not nameserver.rrl_enabled:
+        return False
+    # A rate-limited server answers the early part of the burst and
+    # mutes for the rest: the response count visibly drops.
+    from repro.netsim.ratelimit import TokenBucket
+
+    bucket = TokenBucket(rate=10.0, burst=20.0)
+    answered = sum(
+        1 for i in range(RRL_BURST) if bucket.allow(i / RRL_BURST)
+    )
+    return answered < RRL_BURST * 0.9
+
+
+def scan_nameserver_fragmentation(nameserver: NameserverProfile,
+                                  qtype: str = "ANY",
+                                  qname_length: int = 20) -> bool:
+    """PMTUD + response size test for one query type."""
+    return nameserver.fragments_response(qtype, qname_length)
+
+
+def scan_domain(domain: DomainProfile) -> DomainScanResult:
+    """Scan all nameservers of a domain; any vulnerable counts."""
+    result = DomainScanResult(name=domain.name, dnssec=domain.signed)
+    for nameserver in domain.nameservers:
+        result.hijack = result.hijack or scan_subprefix_hijackable(
+            nameserver.prefix_length)
+        result.saddns = result.saddns or scan_nameserver_rrl(nameserver)
+        frag = scan_nameserver_fragmentation(nameserver, "ANY")
+        result.frag_any = result.frag_any or frag
+        result.frag_global = result.frag_global or (
+            frag and nameserver.ipid_global
+        )
+    return result
+
+
+@dataclass
+class SurveySummary:
+    """Aggregated percentages over one dataset."""
+
+    dataset: str
+    size: int
+    full_size: int
+    percentages: dict[str, float] = field(default_factory=dict)
+
+    def pct(self, key: str) -> float:
+        """Percentage for one measured property."""
+        return self.percentages.get(key, 0.0)
+
+
+def summarise_resolver_scan(dataset: str, full_size: int,
+                            results: list[ResolverScanResult]
+                            ) -> SurveySummary:
+    """Percentages over a resolver dataset scan."""
+    count = max(len(results), 1)
+    return SurveySummary(
+        dataset=dataset, size=len(results), full_size=full_size,
+        percentages={
+            "hijack": 100.0 * sum(r.hijack for r in results) / count,
+            "saddns": 100.0 * sum(r.saddns for r in results) / count,
+            "frag": 100.0 * sum(r.frag for r in results) / count,
+        },
+    )
+
+
+def summarise_domain_scan(dataset: str, full_size: int,
+                          results: list[DomainScanResult]) -> SurveySummary:
+    """Percentages over a domain dataset scan."""
+    count = max(len(results), 1)
+    return SurveySummary(
+        dataset=dataset, size=len(results), full_size=full_size,
+        percentages={
+            "hijack": 100.0 * sum(r.hijack for r in results) / count,
+            "saddns": 100.0 * sum(r.saddns for r in results) / count,
+            "frag_any": 100.0 * sum(r.frag_any for r in results) / count,
+            "frag_global": 100.0 * sum(r.frag_global for r in results)
+            / count,
+            "dnssec": 100.0 * sum(r.dnssec for r in results) / count,
+        },
+    )
+
+
+def harvest_edns_sizes(front_ends: list[FrontEnd]) -> list[int]:
+    """EDNS UDP sizes advertised by (reachable) resolvers (Figure 4)."""
+    sizes = []
+    for front_end in front_ends:
+        for resolver in front_end.resolvers:
+            if resolver.reachable and resolver.edns_size is not None:
+                sizes.append(resolver.edns_size)
+    return sizes
+
+
+def harvest_min_fragment_sizes(domains: list[DomainProfile]) -> list[int]:
+    """Minimum emitted fragment size of fragmenting nameservers (Fig. 4)."""
+    sizes = []
+    for domain in domains:
+        for nameserver in domain.nameservers:
+            if nameserver.honours_ptb:
+                sizes.append(nameserver.min_frag_size)
+    return sizes
+
+
+def harvest_prefix_lengths(items: list[FrontEnd] | list[DomainProfile]
+                           ) -> list[int]:
+    """Covering-announcement lengths of a population (Figure 3)."""
+    lengths: list[int] = []
+    for item in items:
+        if isinstance(item, FrontEnd):
+            lengths.extend(r.prefix_length for r in item.resolvers)
+        else:
+            lengths.extend(n.prefix_length for n in item.nameservers)
+    return lengths

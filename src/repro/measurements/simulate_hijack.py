@@ -1,0 +1,132 @@
+"""Same-prefix hijack simulation over the AS topology (§5.1.2).
+
+The paper simulates same-prefix hijacks with randomly selected
+(attacker, victim) pairs over the CAIDA topology with Gao-Rexford
+policies and reports that "the attacking AS was capable of hijacking the
+traffic in 80% of the evaluations".  The evaluation counts a trial as a
+success when the attacker attracts the traffic of at least one of the
+communication sources relevant to the victim (the resolvers/nameservers
+talking to it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.hijack import sameprefix_hijack, subprefix_hijack
+from repro.bgp.prefix import Prefix
+from repro.bgp.routing import BgpSimulation
+from repro.bgp.topology import AsTopology, generate_topology
+from repro.core.rng import DeterministicRNG
+
+VICTIM_PREFIX = Prefix.parse("30.0.0.0/22")
+
+
+@dataclass
+class HijackSimulationResult:
+    """Aggregate outcome of many (attacker, victim) trials."""
+
+    trials: int
+    successes: int
+    mean_capture_rate: float
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of trials where the attacker captured any source."""
+        if self.trials == 0:
+            return 0.0
+        return self.successes / self.trials
+
+
+def simulate_sameprefix_hijacks(trials: int = 150,
+                                sources_per_trial: int = 5,
+                                seed: int | str = 0,
+                                topology: AsTopology | None = None
+                                ) -> HijackSimulationResult:
+    """Run the paper's same-prefix hijack simulation."""
+    rng = DeterministicRNG(seed).derive("same-prefix")
+    if topology is None:
+        topology = generate_topology(rng.derive("topology"))
+    asns = topology.asns
+    successes = 0
+    capture_rates = []
+    completed = 0
+    for _ in range(trials):
+        victim = rng.choice(asns)
+        attacker = rng.choice(asns)
+        if victim == attacker:
+            continue
+        sources = [
+            asn for asn in rng.sample(asns,
+                                      min(sources_per_trial + 2, len(asns)))
+            if asn not in (victim, attacker)
+        ][:sources_per_trial]
+        if not sources:
+            continue
+        simulation = BgpSimulation(topology)
+        simulation.announce(VICTIM_PREFIX, victim)
+        outcome = sameprefix_hijack(simulation, attacker, victim,
+                                    VICTIM_PREFIX, sources)
+        completed += 1
+        capture_rates.append(outcome.capture_rate)
+        if outcome.captured_sources:
+            successes += 1
+    mean_rate = (sum(capture_rates) / len(capture_rates)
+                 if capture_rates else 0.0)
+    return HijackSimulationResult(
+        trials=completed, successes=successes, mean_capture_rate=mean_rate,
+    )
+
+
+def simulate_subprefix_hijacks(trials: int = 60,
+                               sources_per_trial: int = 5,
+                               seed: int | str = 0,
+                               topology: AsTopology | None = None
+                               ) -> HijackSimulationResult:
+    """Control experiment: sub-prefix hijacks capture (almost) everyone."""
+    rng = DeterministicRNG(seed).derive("sub-prefix")
+    if topology is None:
+        topology = generate_topology(rng.derive("topology"))
+    asns = topology.asns
+    successes = 0
+    capture_rates = []
+    completed = 0
+    for _ in range(trials):
+        victim = rng.choice(asns)
+        attacker = rng.choice(asns)
+        if victim == attacker:
+            continue
+        sources = [
+            asn for asn in rng.sample(asns,
+                                      min(sources_per_trial + 2, len(asns)))
+            if asn not in (victim, attacker)
+        ][:sources_per_trial]
+        if not sources:
+            continue
+        simulation = BgpSimulation(topology)
+        simulation.announce(VICTIM_PREFIX, victim)
+        outcome = subprefix_hijack(simulation, attacker, victim,
+                                   VICTIM_PREFIX, sources)
+        completed += 1
+        capture_rates.append(outcome.capture_rate)
+        if outcome.captured_sources:
+            successes += 1
+    mean_rate = (sum(capture_rates) / len(capture_rates)
+                 if capture_rates else 0.0)
+    return HijackSimulationResult(
+        trials=completed, successes=successes, mean_capture_rate=mean_rate,
+    )
+
+
+def nameserver_concentration(domains_per_as: dict[int, int]) -> float:
+    """Fraction of nameservers hosted by the top-20% of ASes (§5.2.2).
+
+    The paper observes that 80% of ASes host fewer than 10% of the
+    nameservers; this helper computes the complementary concentration
+    statistic over a hosting census.
+    """
+    if not domains_per_as:
+        return 0.0
+    counts = sorted(domains_per_as.values(), reverse=True)
+    top = counts[: max(1, len(counts) // 5)]
+    return sum(top) / sum(counts)

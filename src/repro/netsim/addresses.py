@@ -1,0 +1,73 @@
+"""IPv4 address helpers.
+
+Addresses travel through the library as dotted-quad strings (readable in
+traces) and convert to 32-bit integers where arithmetic is needed.  These
+helpers are deliberately tiny and allocation-free on the hot paths used by
+population-scale measurements.
+"""
+
+from __future__ import annotations
+
+
+def ip_to_int(address: str) -> int:
+    """Convert ``"a.b.c.d"`` to its 32-bit integer value.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad form.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"value out of IPv4 range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_mask(length: int) -> int:
+    """Netmask for a prefix of the given length as a 32-bit integer."""
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {length}")
+    if length == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+
+
+def ip_in_prefix(address: str, prefix: str) -> bool:
+    """True if ``address`` falls inside ``prefix`` (``"net/len"`` form).
+
+    >>> ip_in_prefix("192.0.2.7", "192.0.2.0/24")
+    True
+    >>> ip_in_prefix("192.0.3.7", "192.0.2.0/24")
+    False
+    """
+    network, _, length_text = prefix.partition("/")
+    length = int(length_text)
+    mask = prefix_mask(length)
+    return (ip_to_int(address) & mask) == (ip_to_int(network) & mask)
+
+
+def normalise_prefix(prefix: str) -> str:
+    """Canonicalise ``"net/len"`` so the network bits outside the mask are 0.
+
+    >>> normalise_prefix("192.0.2.77/24")
+    '192.0.2.0/24'
+    """
+    network, _, length_text = prefix.partition("/")
+    length = int(length_text)
+    base = ip_to_int(network) & prefix_mask(length)
+    return f"{int_to_ip(base)}/{length}"

@@ -1,0 +1,92 @@
+"""Internet checksums (RFC 1071) and the UDP pseudo-header checksum.
+
+FragDNS succeeds only when the attacker's spoofed second fragment leaves
+the UDP checksum of the reassembled datagram intact, so the checksum code
+here is the real 16-bit one's-complement algorithm, not a stand-in.  The
+helpers for *partial* sums are exported because the attacker code uses
+them exactly the way the paper describes: predicting the checksum
+contribution of the fragment it replaces.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.addresses import ip_to_int
+
+
+def ones_complement_sum(data: bytes, initial: int = 0) -> int:
+    """16-bit one's-complement sum of ``data`` (padded to even length)."""
+    total = initial
+    if len(data) % 2:
+        data = data + b"\x00"
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 checksum: complement of the one's-complement sum."""
+    return (~ones_complement_sum(data)) & 0xFFFF
+
+
+def pseudo_header(src: str, dst: str, protocol: int, length: int) -> bytes:
+    """IPv4 pseudo-header used by the UDP checksum."""
+    src_int = ip_to_int(src)
+    dst_int = ip_to_int(dst)
+    return bytes(
+        [
+            (src_int >> 24) & 0xFF, (src_int >> 16) & 0xFF,
+            (src_int >> 8) & 0xFF, src_int & 0xFF,
+            (dst_int >> 24) & 0xFF, (dst_int >> 16) & 0xFF,
+            (dst_int >> 8) & 0xFF, dst_int & 0xFF,
+            0, protocol & 0xFF,
+            (length >> 8) & 0xFF, length & 0xFF,
+        ]
+    )
+
+
+def udp_checksum(src: str, dst: str, udp_segment: bytes) -> int:
+    """Checksum over pseudo-header + UDP header + payload.
+
+    ``udp_segment`` must already contain the UDP header with its checksum
+    field zeroed.  Per RFC 768 a computed checksum of 0 is transmitted as
+    0xFFFF (0 means "no checksum").
+    """
+    total = ones_complement_sum(
+        pseudo_header(src, dst, 17, len(udp_segment))
+    )
+    total = ones_complement_sum(udp_segment, total)
+    checksum = (~total) & 0xFFFF
+    return 0xFFFF if checksum == 0 else checksum
+
+
+def partial_sum(data: bytes) -> int:
+    """One's-complement sum of a byte span, for incremental prediction.
+
+    The FragDNS attacker calls this on the bytes of the genuine second
+    fragment it wants to displace, and again on its malicious replacement,
+    and pads the replacement until the two sums agree — at which point the
+    reassembled datagram's UDP checksum still verifies.
+
+    Note: one's-complement addition is commutative and associative, so the
+    sum of a datagram equals the wrap-around sum of its fragments' sums
+    only when fragments are even-length (fragment offsets are multiples of
+    8 bytes, so this always holds for non-final fragments).
+    """
+    return ones_complement_sum(data)
+
+
+def checksum_compensation(original: bytes, replacement: bytes) -> int:
+    """16-bit value to append to ``replacement`` to match ``original``'s sum.
+
+    Returns the two-byte compensation word ``c`` such that
+    ``partial_sum(replacement + c_bytes) == partial_sum(original)``.
+    """
+    want = ones_complement_sum(original)
+    have = ones_complement_sum(replacement)
+    # one's complement subtraction: want - have
+    diff = (want + ((~have) & 0xFFFF)) & 0x1FFFF
+    diff = (diff & 0xFFFF) + (diff >> 16)
+    return diff & 0xFFFF

@@ -1,0 +1,162 @@
+"""IP fragmentation and the defragmentation cache.
+
+FragDNS (paper Section 3.3) injects a spoofed fragment into the victim's
+reassembly cache *before* the genuine fragment arrives, so the cache here
+reproduces the behaviours that matter:
+
+* keyed by (src, dst, proto, IP-ID) per RFC 791;
+* bounded capacity — Linux keeps roughly 64 datagrams per peer under the
+  default ``ipfrag_high_thresh``; the paper's worst case "64 packets to
+  fill the resolver IP-defragmentation buffer" comes from this;
+* first-arrival-wins on overlap, which is what lets a pre-planted spoofed
+  fragment displace the genuine one;
+* a reassembly timeout (Linux default 30 s).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.netsim.packet import Ipv4Packet
+
+LINUX_FRAG_TIMEOUT = 30.0
+LINUX_FRAG_CAPACITY = 64
+
+
+@dataclass
+class _PartialDatagram:
+    """Fragments collected so far for one (src, dst, proto, ident) key."""
+
+    first_seen: float
+    total_length: int | None = None  # payload bytes, known once MF=0 seen
+    # byte ranges received: offset -> bytes; first arrival wins
+    spans: dict[int, bytes] = field(default_factory=dict)
+    template: Ipv4Packet | None = None  # first fragment, for header fields
+
+    def add(self, fragment: Ipv4Packet) -> None:
+        offset = fragment.frag_offset * 8
+        if offset not in self.spans:
+            self.spans[offset] = fragment.payload
+        if fragment.frag_offset == 0 and self.template is None:
+            self.template = fragment
+        if not fragment.mf:
+            end = offset + len(fragment.payload)
+            if self.total_length is None or end < self.total_length:
+                self.total_length = end
+
+    def try_reassemble(self) -> bytes | None:
+        """Return the full payload if every byte span is covered."""
+        if self.total_length is None or self.template is None:
+            return None
+        assembled = bytearray(self.total_length)
+        covered = 0
+        for offset in sorted(self.spans):
+            chunk = self.spans[offset]
+            end = min(offset + len(chunk), self.total_length)
+            if offset > covered:
+                return None  # hole
+            if end > covered:
+                assembled[offset:end] = chunk[: end - offset]
+                covered = end
+        if covered < self.total_length:
+            return None
+        return bytes(assembled)
+
+
+class ReassemblyCache:
+    """A bounded, timing-out IP defragmentation cache.
+
+    Feed fragments in with :meth:`add`; a completed datagram is returned
+    as a fresh unfragmented :class:`Ipv4Packet` (transport not yet parsed
+    — UDP checksum verification happens after reassembly, in the host).
+    """
+
+    def __init__(self, capacity: int = LINUX_FRAG_CAPACITY,
+                 timeout: float = LINUX_FRAG_TIMEOUT):
+        self.capacity = capacity
+        self.timeout = timeout
+        self._partials: dict[tuple[str, str, int, int], _PartialDatagram] = {}
+        self.evictions = 0
+        self.timeouts = 0
+        self.reassembled = 0
+
+    def __len__(self) -> int:
+        return len(self._partials)
+
+    def expire(self, now: float) -> None:
+        """Drop partial datagrams older than the reassembly timeout."""
+        stale = [
+            key for key, partial in self._partials.items()
+            if now - partial.first_seen > self.timeout
+        ]
+        for key in stale:
+            del self._partials[key]
+            self.timeouts += 1
+
+    def add(self, fragment: Ipv4Packet, now: float) -> Ipv4Packet | None:
+        """Insert a fragment; return the reassembled packet if complete."""
+        if not fragment.is_fragment:
+            raise ValueError("add() expects a fragment")
+        self.expire(now)
+        key = fragment.fragment_key
+        partial = self._partials.get(key)
+        if partial is None:
+            if len(self._partials) >= self.capacity:
+                # Evict the oldest entry, as Linux does under memory
+                # pressure.  The attacker's cache-filling trick exploits
+                # exactly this bound.
+                oldest = min(self._partials,
+                             key=lambda k: self._partials[k].first_seen)
+                del self._partials[oldest]
+                self.evictions += 1
+            partial = _PartialDatagram(first_seen=now)
+            self._partials[key] = partial
+        partial.add(fragment)
+        payload = partial.try_reassemble()
+        if payload is None:
+            return None
+        template = partial.template
+        assert template is not None
+        del self._partials[key]
+        self.reassembled += 1
+        return dataclasses.replace(
+            template, payload=payload, mf=False, frag_offset=0,
+            udp=None, icmp=None,
+        )
+
+
+def fragment_packet(packet: Ipv4Packet, mtu: int) -> list[Ipv4Packet]:
+    """Split a packet into fragments that fit ``mtu`` bytes on the wire.
+
+    Fragment payload sizes are multiples of 8 except for the last
+    fragment, matching RFC 791.  A packet that already fits is returned
+    unchanged (as a single-element list).  DF packets that do not fit
+    raise ``ValueError`` — senders must check DF and emit ICMP instead.
+    """
+    from repro.netsim.packet import IPV4_HEADER_LEN, MIN_IPV4_MTU
+
+    if mtu < MIN_IPV4_MTU:
+        raise ValueError(f"MTU below IPv4 minimum: {mtu}")
+    max_payload = mtu - IPV4_HEADER_LEN
+    if len(packet.payload) <= max_payload:
+        return [packet]
+    if packet.df:
+        raise ValueError("cannot fragment: DF bit set")
+    chunk = (max_payload // 8) * 8
+    fragments: list[Ipv4Packet] = []
+    offset = 0
+    total = len(packet.payload)
+    while offset < total:
+        piece = packet.payload[offset:offset + chunk]
+        last = offset + len(piece) >= total
+        fragments.append(dataclasses.replace(
+            packet,
+            payload=piece,
+            mf=not last or packet.mf,
+            frag_offset=packet.frag_offset + offset // 8,
+            udp=packet.udp if offset == 0 else None,
+            icmp=packet.icmp if offset == 0 else None,
+        ))
+        offset += len(piece)
+    return fragments

@@ -1,0 +1,186 @@
+"""The network fabric: delivery, latency, interception and accounting.
+
+The :class:`Network` is a routed cloud connecting every attached
+:class:`~repro.netsim.host.Host`.  Delivery normally follows destination
+ownership, but *interceptors* can claim packets first — that hook is how
+the BGP layer diverts traffic during a prefix hijack, and how middleboxes
+tap flows.  All delivery is scheduled on virtual time, so races (spoofed
+response vs. genuine response) resolve deterministically by latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.clock import Scheduler
+from repro.core.eventlog import EventLog
+from repro.netsim.host import Host
+from repro.netsim.packet import Ipv4Packet
+
+# An interceptor looks at an in-flight packet and may claim it by
+# returning the host that should receive it instead of the owner.
+Interceptor = Callable[[Ipv4Packet, Host | None], "Host | None"]
+
+
+@dataclass
+class NetworkStats:
+    """Fabric-wide packet accounting."""
+
+    transmitted: int = 0
+    delivered: int = 0
+    dropped_no_route: int = 0
+    intercepted: int = 0
+    per_destination: dict[str, int] = field(default_factory=dict)
+
+    def note_delivery(self, dst: str) -> None:
+        self.delivered += 1
+        self.per_destination[dst] = self.per_destination.get(dst, 0) + 1
+
+
+class Network:
+    """A virtual internet: hosts, latency model, interception hooks."""
+
+    def __init__(self, scheduler: Scheduler | None = None,
+                 default_latency: float = 0.01,
+                 log: EventLog | None = None):
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.default_latency = default_latency
+        self.log = log if log is not None else EventLog()
+        self.stats = NetworkStats()
+        self._hosts: list[Host] = []
+        self._by_address: dict[str, Host] = {}
+        self._interceptors: list[Interceptor] = []
+        self._latency_overrides: dict[tuple[str, str], float] = {}
+        self._loss: Callable[[Ipv4Packet], bool] | None = None
+        self.trace_packets = False
+
+    # -- topology --------------------------------------------------------
+
+    def attach(self, host: Host) -> Host:
+        """Register a host; all its addresses become routable."""
+        if host.network is not None and host.network is not self:
+            raise ValueError(f"{host.name} is attached to another network")
+        host.network = self
+        self._hosts.append(host)
+        for address in host.addresses:
+            if address in self._by_address:
+                raise ValueError(f"duplicate address {address}")
+            self._by_address[address] = host
+        return host
+
+    def add_address(self, host: Host, address: str) -> None:
+        """Give an attached host an additional address."""
+        if address in self._by_address:
+            raise ValueError(f"duplicate address {address}")
+        host.addresses.append(address)
+        self._by_address[address] = host
+
+    def host_for(self, address: str) -> Host | None:
+        """The host owning ``address``, if any."""
+        return self._by_address.get(address)
+
+    @property
+    def hosts(self) -> list[Host]:
+        """All attached hosts."""
+        return list(self._hosts)
+
+    # -- behaviour knobs ---------------------------------------------------
+
+    def set_latency(self, src: str, dst: str, latency: float) -> None:
+        """Fix the one-way latency for a (src address, dst address) pair."""
+        self._latency_overrides[(src, dst)] = latency
+
+    def latency_between(self, src: str, dst: str) -> float:
+        """One-way latency used for a packet from ``src`` to ``dst``."""
+        return self._latency_overrides.get((src, dst), self.default_latency)
+
+    def set_loss_model(self,
+                       predicate: Callable[[Ipv4Packet], bool] | None) -> None:
+        """Install a loss model; ``predicate(pkt) == True`` drops the packet."""
+        self._loss = predicate
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Register a routing interceptor (first non-None claim wins)."""
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        """Remove a previously registered interceptor."""
+        self._interceptors.remove(interceptor)
+
+    # -- data plane --------------------------------------------------------
+
+    def transmit(self, packet: Ipv4Packet, origin: Host | None = None) -> None:
+        """Accept a packet from ``origin`` and schedule its delivery."""
+        self.stats.transmitted += 1
+        if self.trace_packets:
+            self.log.record(
+                self.scheduler.clock.now,
+                origin.name if origin is not None else "?",
+                "net.tx", packet.describe(),
+                src_actor=origin.name if origin is not None else None,
+                dst_actor=self._destination_name(packet),
+            )
+        if self._loss is not None and self._loss(packet):
+            return
+        target = self._route(packet, origin)
+        if target is None:
+            self.stats.dropped_no_route += 1
+            return
+        latency = self.latency_between(packet.src, packet.dst)
+        self.scheduler.call_later(
+            latency, lambda: self._deliver(packet, target)
+        )
+
+    def _route(self, packet: Ipv4Packet, origin: Host | None) -> Host | None:
+        for interceptor in self._interceptors:
+            claimed = interceptor(packet, origin)
+            if claimed is not None:
+                self.stats.intercepted += 1
+                return claimed
+        return self._by_address.get(packet.dst)
+
+    def _deliver(self, packet: Ipv4Packet, target: Host) -> None:
+        self.stats.note_delivery(packet.dst)
+        target.receive(packet)
+
+    def _destination_name(self, packet: Ipv4Packet) -> str | None:
+        host = self._by_address.get(packet.dst)
+        return host.name if host is not None else None
+
+    # -- reliable streams (TCP model) ----------------------------------------
+
+    def stream_request(self, src_host: Host, dst: str, port: int,
+                       payload: bytes,
+                       callback: Callable[[bytes | None], None]) -> None:
+        """A TCP-like request/response exchange.
+
+        Reliable, source-authenticated (no spoofing possible) and charged
+        one round-trip of latency each way.  ``callback(None)`` signals
+        connection refused (no listener).
+        """
+        target = self._by_address.get(dst)
+        latency = self.latency_between(src_host.address, dst)
+
+        def serve() -> None:
+            if target is None or port not in target.stream_handlers:
+                self.scheduler.call_later(latency, lambda: callback(None))
+                return
+            response = target.stream_handlers[port](payload, src_host.address)
+            self.scheduler.call_later(latency, lambda: callback(response))
+
+        self.scheduler.call_later(latency, serve)
+
+    # -- simulation control -------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.scheduler.clock.now
+
+    def run(self, duration: float | None = None) -> None:
+        """Run queued deliveries; bounded by ``duration`` when given."""
+        if duration is None:
+            self.scheduler.run_until_idle()
+        else:
+            self.scheduler.run_until(self.now + duration)

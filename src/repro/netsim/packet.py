@@ -1,0 +1,144 @@
+"""Packet object model: IPv4, UDP and ICMP.
+
+These dataclasses are the in-simulation representation; the byte encodings
+live in :mod:`repro.netsim.wire`.  Packets are treated as immutable once
+sent — mutation happens by building new packets (``dataclasses.replace``),
+which keeps traces trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+PROTO_ICMP = 1
+PROTO_UDP = 17
+
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACHABLE = 3
+ICMP_ECHO_REQUEST = 8
+
+# Destination-unreachable codes.
+ICMP_PORT_UNREACHABLE = 3
+ICMP_FRAG_NEEDED = 4
+
+IPV4_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+MIN_IPV4_MTU = 68
+DEFAULT_MTU = 1500
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP segment: ports plus application payload bytes."""
+
+    sport: int
+    dport: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        for name, port in (("sport", self.sport), ("dport", self.dport)):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"UDP {name} out of range: {port}")
+
+    @property
+    def length(self) -> int:
+        """UDP length field value (header + payload)."""
+        return UDP_HEADER_LEN + len(self.payload)
+
+
+@dataclass(frozen=True)
+class IcmpMessage:
+    """An ICMP message.
+
+    For destination-unreachable messages, ``embedded`` carries the leading
+    bytes of the offending packet (IP header + first 8 payload bytes, as
+    real kernels do) so receivers can demultiplex errors back to sockets.
+    ``mtu`` is the next-hop MTU for Fragmentation-Needed (type 3 code 4).
+    """
+
+    icmp_type: int
+    code: int = 0
+    mtu: int = 0
+    ident: int = 0
+    seq: int = 0
+    embedded: bytes = b""
+
+    @property
+    def is_port_unreachable(self) -> bool:
+        """True for destination-unreachable / port-unreachable."""
+        return (
+            self.icmp_type == ICMP_DEST_UNREACHABLE
+            and self.code == ICMP_PORT_UNREACHABLE
+        )
+
+    @property
+    def is_frag_needed(self) -> bool:
+        """True for destination-unreachable / fragmentation-needed (PTB)."""
+        return (
+            self.icmp_type == ICMP_DEST_UNREACHABLE
+            and self.code == ICMP_FRAG_NEEDED
+        )
+
+
+@dataclass(frozen=True)
+class Ipv4Packet:
+    """An IPv4 packet carrying either UDP bytes or an ICMP message.
+
+    ``payload`` is always the raw transport-layer bytes; for convenience
+    the parsed transport object can ride along in ``udp``/``icmp`` (kept
+    consistent by the constructors in :mod:`repro.netsim.wire`).  Fragments
+    carry only ``payload`` slices and have ``udp``/``icmp`` unset except in
+    the first fragment.
+    """
+
+    src: str
+    dst: str
+    proto: int
+    payload: bytes = b""
+    ident: int = 0
+    ttl: int = 64
+    df: bool = False
+    mf: bool = False
+    frag_offset: int = 0  # in 8-byte units, as on the wire
+    udp: UdpDatagram | None = field(default=None, compare=False)
+    icmp: IcmpMessage | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ident <= 0xFFFF:
+            raise ValueError(f"IP ident out of range: {self.ident}")
+        if not 0 <= self.frag_offset <= 0x1FFF:
+            raise ValueError(f"fragment offset out of range: {self.frag_offset}")
+
+    @property
+    def total_length(self) -> int:
+        """IP total length: header plus payload bytes."""
+        return IPV4_HEADER_LEN + len(self.payload)
+
+    @property
+    def is_fragment(self) -> bool:
+        """True if this packet is part of a fragmented datagram."""
+        return self.mf or self.frag_offset > 0
+
+    @property
+    def fragment_key(self) -> tuple[str, str, int, int]:
+        """Reassembly cache key per RFC 791: (src, dst, proto, ident)."""
+        return (self.src, self.dst, self.proto, self.ident)
+
+    def with_payload(self, payload: bytes) -> "Ipv4Packet":
+        """Copy of this packet with different payload bytes."""
+        return replace(self, payload=payload, udp=None, icmp=None)
+
+    def describe(self) -> str:
+        """Short human-readable summary for event logs."""
+        base = f"{self.src}->{self.dst}"
+        if self.is_fragment:
+            base += f" frag(id={self.ident}, off={self.frag_offset * 8}," \
+                    f" mf={int(self.mf)})"
+        if self.udp is not None:
+            base += f" udp {self.udp.sport}->{self.udp.dport}" \
+                    f" len={len(self.udp.payload)}"
+        elif self.icmp is not None:
+            base += f" icmp type={self.icmp.icmp_type} code={self.icmp.code}"
+        else:
+            base += f" proto={self.proto} len={len(self.payload)}"
+        return base

@@ -1,0 +1,69 @@
+"""Token-bucket rate limiting.
+
+Two limiters in the paper are attack surface:
+
+* the kernel's *global* ICMP error rate limit — SadDNS turns it into a
+  side channel (Section 3.2): 50 tokens refilled per second, shared over
+  all peers, so an attacker can burn the budget with spoofed probes and
+  then test whether one of its own probes still earns an error;
+* authoritative nameserver response-rate-limiting (RRL) — SadDNS uses it
+  to mute the genuine nameserver and stretch the race window.
+
+Both are instances of :class:`TokenBucket` running on virtual time.
+"""
+
+from __future__ import annotations
+
+# Linux: net.ipv4.icmp_msgs_per_sec = 1000 with a burst of 50 — the
+# paper's "50" is the burst an attacker can observe per probe round.
+LINUX_ICMP_BURST = 50
+LINUX_ICMP_RATE = 1000.0
+
+
+class TokenBucket:
+    """Classic token bucket on virtual time.
+
+    ``allow(now)`` consumes a token if available.  Refill is continuous at
+    ``rate`` tokens/second up to ``burst``.
+    """
+
+    def __init__(self, rate: float, burst: float):
+        if rate < 0 or burst <= 0:
+            raise ValueError(f"invalid token bucket: rate={rate} burst={burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = 0.0
+        self.allowed = 0
+        self.denied = 0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def allow(self, now: float, cost: float = 1.0) -> bool:
+        """Try to consume ``cost`` tokens at virtual time ``now``."""
+        self._refill(now)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            self.allowed += 1
+            return True
+        self.denied = self.denied + 1
+        return False
+
+    def peek(self, now: float) -> float:
+        """Tokens that would be available at ``now`` (no consumption)."""
+        self._refill(now)
+        return self._tokens
+
+    def drain(self, now: float) -> None:
+        """Consume every available token (used by flooding attackers)."""
+        self._refill(now)
+        self._tokens = 0.0
+
+
+def linux_global_icmp_bucket() -> TokenBucket:
+    """The vulnerable pre-CVE-2020-25705 global ICMP error limiter."""
+    return TokenBucket(rate=LINUX_ICMP_RATE, burst=LINUX_ICMP_BURST)

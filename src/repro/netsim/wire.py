@@ -1,0 +1,209 @@
+"""Byte encodings for IPv4, UDP and ICMP.
+
+Encoding is exact enough for the attacks to work the way they do on real
+networks: header checksums are computed and verified, the UDP checksum
+covers the pseudo-header, and fragments are byte slices of the encoded
+transport segment.  Options and IPv4 extensions are not modelled (header
+length is fixed at 20 bytes), which none of the paper's attacks rely on.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.errors import WireFormatError
+from repro.netsim.addresses import int_to_ip, ip_to_int
+from repro.netsim.checksum import internet_checksum, udp_checksum
+from repro.netsim.packet import (
+    IPV4_HEADER_LEN,
+    PROTO_ICMP,
+    PROTO_UDP,
+    UDP_HEADER_LEN,
+    IcmpMessage,
+    Ipv4Packet,
+    UdpDatagram,
+)
+
+_IPV4_FMT = "!BBHHHBBHII"
+_UDP_FMT = "!HHHH"
+
+
+def encode_udp(src: str, dst: str, datagram: UdpDatagram) -> bytes:
+    """Encode a UDP segment (header + payload) with a valid checksum."""
+    header_no_csum = struct.pack(
+        _UDP_FMT, datagram.sport, datagram.dport, datagram.length, 0
+    )
+    checksum = udp_checksum(src, dst, header_no_csum + datagram.payload)
+    header = struct.pack(
+        _UDP_FMT, datagram.sport, datagram.dport, datagram.length, checksum
+    )
+    return header + datagram.payload
+
+
+def decode_udp_payload(src: str, dst: str, segment: bytes,
+                       verify: bool = True) -> UdpDatagram:
+    """Parse a UDP segment, verifying the checksum unless ``verify=False``.
+
+    Raises :class:`WireFormatError` on truncation or checksum mismatch —
+    this is the check that defeats naive fragment spoofing.
+    """
+    if len(segment) < UDP_HEADER_LEN:
+        raise WireFormatError(f"UDP segment truncated: {len(segment)} bytes")
+    sport, dport, length, checksum = struct.unpack(
+        _UDP_FMT, segment[:UDP_HEADER_LEN]
+    )
+    if length != len(segment):
+        raise WireFormatError(
+            f"UDP length field {length} != segment length {len(segment)}"
+        )
+    if verify and checksum != 0:
+        zeroed = segment[:6] + b"\x00\x00" + segment[8:]
+        expected = udp_checksum(src, dst, zeroed)
+        if expected != checksum:
+            raise WireFormatError(
+                f"UDP checksum mismatch: header={checksum:#06x}"
+                f" computed={expected:#06x}"
+            )
+    return UdpDatagram(sport=sport, dport=dport,
+                       payload=segment[UDP_HEADER_LEN:])
+
+
+def udp_header_checksum(segment: bytes) -> int:
+    """Extract the checksum field from an encoded UDP segment."""
+    if len(segment) < UDP_HEADER_LEN:
+        raise WireFormatError("UDP segment too short for header")
+    return struct.unpack("!H", segment[6:8])[0]
+
+
+def encode_icmp(message: IcmpMessage) -> bytes:
+    """Encode an ICMP message with checksum.
+
+    Destination-unreachable encodes the next-hop MTU in the low 16 bits of
+    the 'unused' word (RFC 1191); echo messages carry ident/seq.
+    """
+    if message.icmp_type in (8, 0):
+        rest = struct.pack("!HH", message.ident, message.seq)
+    else:
+        rest = struct.pack("!HH", 0, message.mtu)
+    body = rest + message.embedded
+    header_no_csum = struct.pack("!BBH", message.icmp_type, message.code, 0)
+    checksum = internet_checksum(header_no_csum + body)
+    return struct.pack("!BBH", message.icmp_type, message.code, checksum) + body
+
+
+def decode_icmp(segment: bytes, verify: bool = True) -> IcmpMessage:
+    """Parse an ICMP message, verifying its checksum."""
+    if len(segment) < 8:
+        raise WireFormatError(f"ICMP message truncated: {len(segment)} bytes")
+    icmp_type, code, checksum = struct.unpack("!BBH", segment[:4])
+    if verify:
+        zeroed = segment[:2] + b"\x00\x00" + segment[4:]
+        if internet_checksum(zeroed) != checksum:
+            raise WireFormatError("ICMP checksum mismatch")
+    word1, word2 = struct.unpack("!HH", segment[4:8])
+    embedded = segment[8:]
+    if icmp_type in (8, 0):
+        return IcmpMessage(icmp_type=icmp_type, code=code,
+                           ident=word1, seq=word2, embedded=embedded)
+    return IcmpMessage(icmp_type=icmp_type, code=code, mtu=word2,
+                       embedded=embedded)
+
+
+def encode_ipv4(packet: Ipv4Packet) -> bytes:
+    """Encode an IPv4 packet (20-byte header, checksum filled in)."""
+    flags_frag = (0x4000 if packet.df else 0) \
+        | (0x2000 if packet.mf else 0) \
+        | (packet.frag_offset & 0x1FFF)
+    header_no_csum = struct.pack(
+        _IPV4_FMT,
+        0x45,                      # version 4, IHL 5
+        0,                         # DSCP/ECN
+        packet.total_length,
+        packet.ident,
+        flags_frag,
+        packet.ttl,
+        packet.proto,
+        0,                         # checksum placeholder
+        ip_to_int(packet.src),
+        ip_to_int(packet.dst),
+    )
+    checksum = internet_checksum(header_no_csum)
+    header = header_no_csum[:10] + struct.pack("!H", checksum) \
+        + header_no_csum[12:]
+    return header + packet.payload
+
+
+def decode_ipv4(data: bytes, verify: bool = True,
+                parse_transport: bool = True) -> Ipv4Packet:
+    """Parse bytes into an :class:`Ipv4Packet`.
+
+    For unfragmented packets (and first fragments when
+    ``parse_transport``), the transport object is attached; UDP checksums
+    are only verified for complete (unfragmented) datagrams, matching
+    kernel behaviour where verification happens after reassembly.
+    """
+    if len(data) < IPV4_HEADER_LEN:
+        raise WireFormatError(f"IPv4 packet truncated: {len(data)} bytes")
+    (ver_ihl, _tos, total_length, ident, flags_frag, ttl, proto,
+     checksum, src_int, dst_int) = struct.unpack(
+        _IPV4_FMT, data[:IPV4_HEADER_LEN]
+    )
+    if ver_ihl != 0x45:
+        raise WireFormatError(f"unsupported version/IHL byte: {ver_ihl:#04x}")
+    if total_length != len(data):
+        raise WireFormatError(
+            f"IP total length {total_length} != data length {len(data)}"
+        )
+    if verify:
+        zeroed = data[:10] + b"\x00\x00" + data[12:IPV4_HEADER_LEN]
+        if internet_checksum(zeroed) != checksum:
+            raise WireFormatError("IPv4 header checksum mismatch")
+    src = int_to_ip(src_int)
+    dst = int_to_ip(dst_int)
+    df = bool(flags_frag & 0x4000)
+    mf = bool(flags_frag & 0x2000)
+    frag_offset = flags_frag & 0x1FFF
+    payload = data[IPV4_HEADER_LEN:]
+    packet = Ipv4Packet(
+        src=src, dst=dst, proto=proto, payload=payload, ident=ident,
+        ttl=ttl, df=df, mf=mf, frag_offset=frag_offset,
+    )
+    if parse_transport and not packet.is_fragment:
+        packet = attach_transport(packet)
+    return packet
+
+
+def attach_transport(packet: Ipv4Packet) -> Ipv4Packet:
+    """Return a copy of ``packet`` with its transport object parsed.
+
+    Call this after reassembly.  UDP checksum failures raise
+    :class:`WireFormatError` (the kernel would silently drop; callers in
+    :mod:`repro.netsim.host` catch and account the drop).
+    """
+    import dataclasses
+
+    if packet.proto == PROTO_UDP:
+        udp = decode_udp_payload(packet.src, packet.dst, packet.payload)
+        return dataclasses.replace(packet, udp=udp, icmp=None)
+    if packet.proto == PROTO_ICMP:
+        icmp = decode_icmp(packet.payload)
+        return dataclasses.replace(packet, icmp=icmp, udp=None)
+    return packet
+
+
+def make_udp_packet(src: str, dst: str, sport: int, dport: int,
+                    payload: bytes, ident: int = 0, ttl: int = 64,
+                    df: bool = False) -> Ipv4Packet:
+    """Build a ready-to-send UDP/IPv4 packet with encoded payload bytes."""
+    datagram = UdpDatagram(sport=sport, dport=dport, payload=payload)
+    segment = encode_udp(src, dst, datagram)
+    return Ipv4Packet(src=src, dst=dst, proto=PROTO_UDP, payload=segment,
+                      ident=ident, ttl=ttl, df=df, udp=datagram)
+
+
+def make_icmp_packet(src: str, dst: str, message: IcmpMessage,
+                     ident: int = 0, ttl: int = 64) -> Ipv4Packet:
+    """Build a ready-to-send ICMP/IPv4 packet."""
+    segment = encode_icmp(message)
+    return Ipv4Packet(src=src, dst=dst, proto=PROTO_ICMP, payload=segment,
+                      ident=ident, ttl=ttl, icmp=message)

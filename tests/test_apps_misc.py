@@ -1,0 +1,321 @@
+"""Tests for RADIUS, XMPP, NTP, Bitcoin, VPN, PKI and middlebox apps."""
+
+import pytest
+
+from repro.apps.bitcoin import BitcoinNode, BitcoinPeer, ChainTip
+from repro.apps.middlebox import (
+    AliasProvider,
+    CdnEdge,
+    Firewall,
+    LoadBalancer,
+    MiddleboxProfile,
+    Proxy,
+    TABLE2_PROFILES,
+)
+from repro.apps.ntp import NtpClient, NtpServer
+from repro.apps.pki import CertificateAuthority, OcspClient, OcspResponder
+from repro.apps.radius import RadiusServer
+from repro.apps.tls import TlsAuthority
+from repro.apps.vpn import OpenVpnClient, OpportunisticIpsecPeer, VpnGateway
+from repro.apps.web import HttpServer
+from repro.apps.xmpp import XmppMailbox, XmppMessage, XmppServer
+from repro.attacks.base import plant_poison
+from repro.dns.records import (
+    rr_a,
+    rr_ipseckey,
+    rr_naptr,
+    rr_srv,
+)
+from repro.dns.stub import StubResolver
+from repro.testbed import Testbed
+
+
+def bed_with(records_by_domain, seed):
+    bed = Testbed(seed=seed)
+    ns_octet = 30
+    for domain, records in records_by_domain.items():
+        bed.add_domain(domain, f"123.{ns_octet}.0.53", records=records)
+        ns_octet += 1
+    resolver = bed.make_resolver("30.0.0.1")
+    return bed, resolver
+
+
+class TestRadius:
+    def build(self):
+        bed, resolver = bed_with({"uni.im": [
+            rr_naptr("uni.im", 100, 10, "s", "radsec+tls", "",
+                     "_radsec._tcp.uni.im"),
+            rr_srv("_radsec._tcp.uni.im", 0, 10, 2083, "radius.uni.im"),
+            rr_a("radius.uni.im", "123.30.0.99"),
+        ]}, seed="radius")
+        tls = TlsAuthority()
+        tls.issue("radius.uni.im", "123.30.0.99")
+        host = bed.make_host("campus", "30.0.0.40")
+        server = RadiusServer(StubResolver(host, "30.0.0.1"), tls)
+        return bed, resolver, server
+
+    def test_discovery_and_authentication(self):
+        bed, resolver, server = self.build()
+        outcome = server.authenticate_roaming_user("student@uni.im")
+        assert outcome.ok
+        assert outcome.used_address == "123.30.0.99"
+
+    def test_poisoning_yields_dos_not_compromise(self):
+        """Table 1: 'DoS: no network access' — TLS stops impersonation."""
+        bed, resolver, server = self.build()
+        plant_poison(resolver, [rr_a("radius.uni.im", "6.6.6.6", ttl=600)])
+        outcome = server.authenticate_roaming_user("student@uni.im")
+        assert not outcome.ok
+        assert "DoS" in outcome.detail["effect"]
+
+    def test_malformed_user_rejected(self):
+        bed, resolver, server = self.build()
+        assert not server.authenticate_roaming_user("nodomain").ok
+
+
+class TestXmpp:
+    def build(self):
+        bed, resolver = bed_with({"chat.im": [
+            rr_srv("_xmpp-server._tcp.chat.im", 0, 10, 5269,
+                   "xmpp.chat.im"),
+            rr_a("xmpp.chat.im", "123.30.0.70"),
+        ]}, seed="xmpp")
+        genuine_host = bed.make_host("chat-server", "123.30.0.70")
+        genuine = XmppMailbox(genuine_host)
+        sender_host = bed.make_host("our-xmpp", "30.0.0.60")
+        sender = XmppServer(sender_host, StubResolver(sender_host,
+                                                      "30.0.0.1"))
+        return bed, resolver, sender, genuine
+
+    def test_federated_delivery(self):
+        bed, resolver, sender, genuine = self.build()
+        outcome = sender.deliver(XmppMessage("a@ours.im", "b@chat.im",
+                                             "hello"))
+        assert outcome.ok
+        assert genuine.received[0].body == "hello"
+
+    def test_srv_poisoning_eavesdrops(self):
+        bed, resolver, sender, genuine = self.build()
+        evil_host = bed.make_host("evil-xmpp", "6.6.6.9", spoofing=True)
+        evil = XmppMailbox(evil_host)
+        plant_poison(resolver, [rr_a("xmpp.chat.im", "6.6.6.9", ttl=600)])
+        outcome = sender.deliver(XmppMessage("a@ours.im", "b@chat.im",
+                                             "private"))
+        assert outcome.ok
+        assert evil.received[0].body == "private"
+        assert genuine.received == []
+
+
+class TestNtp:
+    def test_time_shift_attack(self):
+        bed, resolver = bed_with({"ntp.im": [
+            rr_a("pool.ntp.im", "123.30.0.11"),
+        ]}, seed="ntp")
+        NtpServer(bed.make_host("true-time", "123.30.0.11"),
+                  time_offset=0.0)
+        client_host = bed.make_host("ntp-client", "30.0.0.30")
+        client = NtpClient(client_host,
+                           StubResolver(client_host, "30.0.0.1"),
+                           pool_name="pool.ntp.im")
+        assert client.synchronise().ok
+        assert abs(client.clock_offset) < 0.5
+        # Poison, then serve time shifted a year into the future.
+        NtpServer(bed.make_host("evil-time", "6.6.6.10", spoofing=True),
+                  time_offset=31_536_000.0)
+        plant_poison(resolver, [rr_a("pool.ntp.im", "6.6.6.10", ttl=600)])
+        outcome = client.synchronise()
+        assert outcome.ok
+        assert client.clock_offset > 31_000_000
+
+
+class TestBitcoin:
+    def test_eclipse_via_seed_poisoning(self):
+        bed, resolver = bed_with({"btc.im": [
+            rr_a("seed.btc.im", "123.30.0.21"),
+            rr_a("seed.btc.im", "123.30.0.22"),
+        ]}, seed="btc")
+        honest_tip = ChainTip(height=800_000, chain_id="honest")
+        BitcoinPeer(bed.make_host("peer1", "123.30.0.21"), honest_tip)
+        BitcoinPeer(bed.make_host("peer2", "123.30.0.22"), honest_tip)
+        node_host = bed.make_host("node", "30.0.0.20")
+        node = BitcoinNode(node_host, StubResolver(node_host, "30.0.0.1"),
+                           seed_name="seed.btc.im")
+        sync = node.sync_chain()
+        assert sync.ok and node.tip.chain_id == "honest"
+        # Eclipse: poison the seed to attacker peers with a fake chain.
+        fake_tip = ChainTip(height=900_000, chain_id="fake")
+        BitcoinPeer(bed.make_host("evil-peer", "6.6.6.11", spoofing=True),
+                    fake_tip)
+        plant_poison(resolver, [rr_a("seed.btc.im", "6.6.6.11", ttl=600)])
+        node.peers = []
+        sync = node.sync_chain()
+        assert sync.ok
+        assert node.tip.chain_id == "fake"
+        assert sync.detail["single_chain_view"]
+
+
+class TestVpn:
+    def test_dos_on_gateway_poisoning(self):
+        bed, resolver = bed_with({"vpn.im": [
+            rr_a("gw.vpn.im", "123.30.0.31"),
+        ]}, seed="vpn")
+        VpnGateway(bed.make_host("gateway", "123.30.0.31"), psk="secret")
+        client_host = bed.make_host("roadwarrior", "30.0.0.31")
+        client = OpenVpnClient(client_host,
+                               StubResolver(client_host, "30.0.0.1"),
+                               gateway_name="gw.vpn.im", psk="secret")
+        assert client.connect().ok
+        # The attacker cannot fake the PSK: redirection only denies.
+        VpnGateway(bed.make_host("fake-gw", "6.6.6.12", spoofing=True),
+                   psk="unknown-to-attacker")
+        plant_poison(resolver, [rr_a("gw.vpn.im", "6.6.6.12", ttl=600)])
+        outcome = client.connect()
+        assert not outcome.ok
+        assert "DoS" in outcome.detail["effect"]
+
+    def test_opportunistic_ipsec_eavesdropping(self):
+        bed, resolver = bed_with({"peer.im": [
+            rr_ipseckey("host.peer.im", "123.30.0.41", "genuine-key"),
+        ]}, seed="ipsec")
+        peer_host = bed.make_host("initiator", "30.0.0.41")
+        peer = OpportunisticIpsecPeer(peer_host,
+                                      StubResolver(peer_host, "30.0.0.1"))
+        outcome = peer.establish("host.peer.im")
+        assert outcome.detail["key"] == "genuine-key"
+        plant_poison(resolver, [rr_ipseckey("host.peer.im", "6.6.6.13",
+                                            "attacker-key", ttl=600)])
+        outcome = peer.establish("host.peer.im")
+        assert outcome.ok
+        assert outcome.detail["key"] == "attacker-key"
+        assert outcome.used_address == "6.6.6.13"
+
+
+class TestPki:
+    def test_fraudulent_issuance_via_poisoned_dv(self):
+        bed, resolver = bed_with({"bank.im": [
+            rr_a("bank.im", "123.30.0.51"),
+        ]}, seed="pki")
+        tls = TlsAuthority()
+        tls.issue("bank.im", "123.30.0.51")  # the bank's existing cert
+        ca_host = bed.make_host("ca", "30.0.0.51")
+        ca = CertificateAuthority(ca_host,
+                                  StubResolver(ca_host, "30.0.0.1"), tls)
+        # Attacker orders a certificate for bank.im and poisons the CA's
+        # resolver so validation runs against the attacker's web server.
+        token = ca.begin_order("bank.im")
+        evil_host = bed.make_host("evil-web", "6.6.6.14", spoofing=True)
+        HttpServer(evil_host, {
+            f"/.well-known/acme-challenge/{token}": token.encode(),
+        })
+        plant_poison(resolver, [rr_a("bank.im", "6.6.6.14", ttl=600)])
+        outcome = ca.validate_and_issue("bank.im",
+                                        requester_address="6.6.6.14")
+        assert outcome.ok
+        assert outcome.detail["fraudulent"]
+        # The fraudulent certificate now passes TLS verification: the
+        # cryptographic defence was bypassed, not broken.
+        assert tls.handshake("bank.im", "6.6.6.14")
+
+    def test_genuine_issuance_not_fraudulent(self):
+        bed, resolver = bed_with({"bank.im": [
+            rr_a("bank.im", "123.30.0.51"),
+        ]}, seed="pki2")
+        tls = TlsAuthority()
+        ca_host = bed.make_host("ca", "30.0.0.51")
+        ca = CertificateAuthority(ca_host,
+                                  StubResolver(ca_host, "30.0.0.1"), tls)
+        token = ca.begin_order("bank.im")
+        HttpServer(bed.make_host("bank-web", "123.30.0.51"), {
+            f"/.well-known/acme-challenge/{token}": token.encode(),
+        })
+        outcome = ca.validate_and_issue("bank.im", "123.30.0.51")
+        assert outcome.ok and not outcome.detail["fraudulent"]
+
+    def test_ocsp_soft_fail_downgrade(self):
+        bed, resolver = bed_with({"ca.im": [
+            rr_a("ocsp.ca.im", "123.30.0.61"),
+        ]}, seed="ocsp")
+        OcspResponder(bed.make_host("responder", "123.30.0.61"),
+                      revoked={"SERIAL-1"})
+        client_host = bed.make_host("browser", "30.0.0.61")
+        client = OcspClient(client_host,
+                            StubResolver(client_host, "30.0.0.1"),
+                            responder_name="ocsp.ca.im")
+        assert not client.check("SERIAL-1").ok       # revoked detected
+        assert client.check("SERIAL-2").ok           # good
+        # Poison to a dead host: soft-fail accepts the revoked serial.
+        plant_poison(resolver, [rr_a("ocsp.ca.im", "6.6.6.15", ttl=600)])
+        outcome = client.check("SERIAL-1")
+        assert outcome.ok
+        assert outcome.security_degraded
+
+    def test_ocsp_hard_fail_resists(self):
+        bed, resolver = bed_with({"ca.im": [
+            rr_a("ocsp.ca.im", "123.30.0.61"),
+        ]}, seed="ocsp2")
+        client_host = bed.make_host("browser", "30.0.0.61")
+        client = OcspClient(client_host,
+                            StubResolver(client_host, "30.0.0.1"),
+                            responder_name="ocsp.ca.im", hard_fail=True)
+        plant_poison(resolver, [rr_a("ocsp.ca.im", "6.6.6.15", ttl=600)])
+        assert not client.check("SERIAL-1").ok
+
+
+class TestMiddleboxes:
+    def build(self, profile):
+        bed, resolver = bed_with({"origin.im": [
+            rr_a("backend.origin.im", "123.30.0.71"),
+        ]}, seed=f"mb-{profile.provider}")
+        device_host = bed.make_host("device", "30.0.0.71")
+        stub = StubResolver(device_host, "30.0.0.1")
+        return bed, resolver, stub
+
+    def test_firewall_rule_poisoning(self):
+        profile = TABLE2_PROFILES[0]  # pfSense, 500s timer
+        bed, resolver, stub = self.build(profile)
+        firewall = Firewall(stub, profile, "backend.origin.im")
+        assert firewall.permits("123.30.0.71")
+        plant_poison(resolver, [rr_a("backend.origin.im", "6.6.6.16",
+                                     ttl=600)])
+        bed.run(501.0)
+        assert firewall.tick()
+        assert firewall.permits("6.6.6.16")
+        assert not firewall.permits("123.30.0.71")
+
+    def test_load_balancer_backend_redirect(self):
+        profile = next(p for p in TABLE2_PROFILES
+                       if p.provider == "Kemp Technologies")
+        bed, resolver, stub = self.build(profile)
+        balancer = LoadBalancer(stub, profile, "backend.origin.im")
+        assert balancer.route_request().used_address == "123.30.0.71"
+
+    def test_cdn_on_demand_refresh(self):
+        profile = next(p for p in TABLE2_PROFILES
+                       if p.provider == "Cloudflare"
+                       and p.device_type == "CDN")
+        bed, resolver, stub = self.build(profile)
+        edge = CdnEdge(stub, profile, "backend.origin.im")
+        assert edge.fetch_from_origin("/x").used_address == "123.30.0.71"
+        plant_poison(resolver, [rr_a("backend.origin.im", "6.6.6.17",
+                                     ttl=600)])
+        bed.run(301.0)  # past the record TTL
+        outcome = edge.fetch_from_origin("/y")
+        assert outcome.used_address == "6.6.6.17"
+
+    def test_alias_provider_serves_poisoned_target(self):
+        profile = next(p for p in TABLE2_PROFILES
+                       if p.provider == "DNSimple")
+        bed, resolver, stub = self.build(profile)
+        alias = AliasProvider(stub, profile, "backend.origin.im")
+        assert alias.answer_client() == "123.30.0.71"
+
+    def test_proxy_resolves_per_request(self):
+        profile = TABLE2_PROFILES[0]
+        bed, resolver, stub = self.build(profile)
+        proxy = Proxy(stub)
+        outcome = proxy.connect("backend.origin.im")
+        assert outcome.ok and outcome.used_address == "123.30.0.71"
+        plant_poison(resolver, [rr_a("backend.origin.im", "6.6.6.18",
+                                     ttl=600)])
+        outcome = proxy.connect("backend.origin.im")
+        assert outcome.used_address == "6.6.6.18"

@@ -1,0 +1,120 @@
+"""Tests for the HijackDNS methodology."""
+
+import pytest
+
+from repro.attacks import (
+    HijackDnsAttack,
+    HijackDnsConfig,
+    OffPathAttacker,
+    SpoofedClientTrigger,
+    cache_poisoned,
+)
+from repro.dns.records import TYPE_A, rr_a
+from repro.dns.resolver import ResolverConfig
+from repro.testbed import (
+    ATTACKER_IP,
+    RESOLVER_IP,
+    SERVICE_IP,
+    TARGET_DOMAIN,
+    TARGET_NS_IP,
+    standard_testbed,
+)
+from tests.conftest import make_trigger
+
+
+def build_attack(world, attacker, **kwargs):
+    return HijackDnsAttack(
+        attacker, world["testbed"].network, world["resolver"],
+        TARGET_DOMAIN, TARGET_NS_IP, malicious_records=[], **kwargs,
+    )
+
+
+class TestHijackDns:
+    def test_single_query_single_response(self, world, attacker):
+        attack = build_attack(world, attacker)
+        result = attack.execute(make_trigger(world, attacker))
+        assert result.success
+        assert result.queries_triggered == 1
+        assert result.packets_sent == 2  # announcement + forged response
+        assert result.detail["answered_queries"] == 1
+
+    def test_cache_contains_attacker_address(self, world, attacker):
+        attack = build_attack(world, attacker)
+        attack.execute(make_trigger(world, attacker))
+        resolver = world["resolver"]
+        entry = resolver.cache.entry(TARGET_DOMAIN, TYPE_A)
+        assert entry is not None
+        assert entry.poisoned
+        assert entry.records[0].data == ATTACKER_IP
+
+    def test_custom_malicious_records_injected(self, world, attacker):
+        attack = HijackDnsAttack(
+            attacker, world["testbed"].network, world["resolver"],
+            TARGET_DOMAIN, TARGET_NS_IP,
+            malicious_records=[rr_a(TARGET_DOMAIN, "9.9.9.9", ttl=77)],
+        )
+        attack.execute(make_trigger(world, attacker))
+        entry = world["resolver"].cache.entry(TARGET_DOMAIN, TYPE_A)
+        assert entry.records[0].data == "9.9.9.9"
+
+    def test_other_traffic_relayed_for_stealth(self, world, attacker):
+        bed = world["testbed"]
+        attack = build_attack(world, attacker)
+        # Independent traffic into the hijacked prefix during the attack.
+        web_host = bed.make_host("bystander", "77.0.0.1")
+        web_got = []
+        target_ns_host = bed.network.host_for(TARGET_NS_IP)
+        target_ns_host.open_udp(9999,
+                                lambda d, src, dst: web_got.append(d.payload))
+
+        trigger = make_trigger(world, attacker)
+        original_fire = trigger.fire
+
+        def fire_and_cross_traffic(qname, qtype="A"):
+            original_fire(qname, qtype)
+            web_host.open_udp().sendto(TARGET_NS_IP, 9999, b"innocent")
+
+        trigger.fire = fire_and_cross_traffic
+        result = attack.execute(trigger)
+        assert result.success
+        assert web_got == [b"innocent"]  # relayed through the attacker
+        assert result.detail["relayed"] >= 1
+
+    def test_no_capture_no_poisoning(self, world, attacker):
+        attack = build_attack(world, attacker, capture_possible=False)
+        result = attack.execute(make_trigger(world, attacker))
+        assert not result.success
+        assert "reason" in result.detail
+
+    def test_dnssec_validation_defeats_hijack(self):
+        world = standard_testbed(
+            seed="hijack-dnssec",
+            resolver_config=ResolverConfig(
+                allowed_clients=["30.0.0.0/24"], validates_dnssec=True),
+            signed_target=True,
+        )
+        attacker = OffPathAttacker(world["attacker"])
+        attack = build_attack(world, attacker)
+        result = attack.execute(make_trigger(world, attacker))
+        assert not result.success
+        assert world["resolver"].stats.dnssec_failures > 0
+
+    def test_subdomain_queries_also_answered(self, world, attacker):
+        attack = build_attack(world, attacker)
+        trigger = make_trigger(world, attacker)
+        result = attack.execute(trigger, qname="anything.vict.im")
+        assert result.success
+        assert cache_poisoned(world["resolver"], "anything.vict.im",
+                              ATTACKER_IP)
+
+    def test_hijack_withdrawn_after_attack(self, world, attacker):
+        attack = build_attack(world, attacker)
+        attack.execute(make_trigger(world, attacker))
+        bed = world["testbed"]
+        # After the campaign stops, traffic flows normally again.
+        probe_got = []
+        ns_host = bed.network.host_for(TARGET_NS_IP)
+        ns_host.open_udp(1111, lambda d, src, dst: probe_got.append(1))
+        world["service"].open_udp().sendto(TARGET_NS_IP, 1111, b"after")
+        bed.run()
+        assert probe_got == [1]

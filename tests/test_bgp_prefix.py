@@ -1,0 +1,91 @@
+"""Tests for prefixes and longest-prefix-match tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.prefix import MAX_ACCEPTED_PREFIX_LEN, Prefix, PrefixTable
+
+
+class TestPrefix:
+    def test_parse_masks_host_bits(self):
+        assert str(Prefix.parse("30.0.1.77/22")) == "30.0.0.0/22"
+
+    def test_contains_ip(self):
+        prefix = Prefix.parse("30.0.0.0/22")
+        assert prefix.contains_ip("30.0.3.255")
+        assert not prefix.contains_ip("30.0.4.0")
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("30.0.0.0/22")
+        inner = Prefix.parse("30.0.2.0/23")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+
+    def test_subprefix(self):
+        sub = Prefix.parse("30.0.0.0/22").subprefix()
+        assert sub.length == 23
+        assert Prefix.parse("30.0.0.0/22").contains(sub)
+
+    def test_subprefix_index_selects_half(self):
+        upper = Prefix.parse("30.0.0.0/22").subprefix(index=1)
+        assert str(upper) == "30.0.2.0/23"
+
+    def test_subprefix_past_32_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("1.1.1.1/32").subprefix()
+
+    def test_hijackable_criterion(self):
+        assert Prefix.parse("30.0.0.0/22").hijackable_by_subprefix
+        assert not Prefix.parse("30.0.0.0/24").hijackable_by_subprefix
+        assert MAX_ACCEPTED_PREFIX_LEN == 24
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(network=0, length=40)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFF00),
+           st.integers(min_value=8, max_value=24))
+    def test_roundtrip(self, base, length):
+        prefix = Prefix.parse(
+            f"{(base >> 24) & 255}.{(base >> 16) & 255}."
+            f"{(base >> 8) & 255}.{base & 255}/{length}")
+        assert Prefix.parse(str(prefix)) == prefix
+
+
+class TestPrefixTable:
+    def test_longest_match_wins(self):
+        table = PrefixTable()
+        table.insert(Prefix.parse("30.0.0.0/22"), "victim")
+        table.insert(Prefix.parse("30.0.0.0/23"), "attacker")
+        match = table.lookup("30.0.0.1")
+        assert match is not None
+        assert match[1] == "attacker"
+
+    def test_no_match(self):
+        table = PrefixTable()
+        table.insert(Prefix.parse("30.0.0.0/22"), "x")
+        assert table.lookup("99.0.0.1") is None
+
+    def test_covering_lists_all(self):
+        table = PrefixTable()
+        table.insert(Prefix.parse("30.0.0.0/22"), "outer")
+        table.insert(Prefix.parse("30.0.0.0/24"), "inner")
+        covering = table.covering("30.0.0.5")
+        assert [value for _p, value in covering] == ["inner", "outer"]
+
+    def test_remove(self):
+        table = PrefixTable()
+        prefix = Prefix.parse("30.0.0.0/22")
+        table.insert(prefix, "x")
+        table.remove(prefix)
+        assert table.lookup("30.0.0.1") is None
+        assert len(table) == 0
+
+    def test_replace_same_prefix(self):
+        table = PrefixTable()
+        prefix = Prefix.parse("30.0.0.0/22")
+        table.insert(prefix, "first")
+        table.insert(prefix, "second")
+        assert table.lookup("30.0.0.1")[1] == "second"
+        assert len(table) == 1

@@ -1,0 +1,178 @@
+"""Tests for topology generation, Gao-Rexford routing, and hijacks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bgp.hijack import sameprefix_hijack, subprefix_hijack
+from repro.bgp.prefix import Prefix
+from repro.bgp.routing import BgpSimulation, Route, propagate
+from repro.bgp.topology import (
+    AsTier,
+    AsTopology,
+    Relationship,
+    generate_topology,
+)
+from repro.core.rng import DeterministicRNG
+
+
+def diamond_topology() -> AsTopology:
+    """1 and 2 are peering tier-1 providers of 3 and 4; 3-4 peer;
+    5 is 3's customer."""
+    topology = AsTopology()
+    topology.add_peering(1, 2)
+    topology.add_provider_customer(1, 3)
+    topology.add_provider_customer(1, 4)
+    topology.add_provider_customer(2, 3)
+    topology.add_provider_customer(2, 4)
+    topology.add_peering(3, 4)
+    topology.add_provider_customer(3, 5)
+    return topology
+
+
+class TestTopology:
+    def test_relationships_are_symmetric(self):
+        topology = diamond_topology()
+        assert topology.relationship(1, 3) == Relationship.CUSTOMER
+        assert topology.relationship(3, 1) == Relationship.PROVIDER
+        assert topology.relationship(3, 4) == Relationship.PEER
+
+    def test_self_loops_rejected(self):
+        topology = AsTopology()
+        with pytest.raises(ValueError):
+            topology.add_provider_customer(1, 1)
+        with pytest.raises(ValueError):
+            topology.add_peering(2, 2)
+
+    def test_generator_structure(self):
+        topology = generate_topology(DeterministicRNG(3), n_tier1=5,
+                                     n_medium=20, n_small=40, n_stub=100)
+        assert len(topology) == 165
+        tier1 = topology.tier_members(AsTier.TIER1)
+        assert len(tier1) == 5
+        # Tier-1s form a full peering clique.
+        for left in tier1:
+            for right in tier1:
+                if left != right:
+                    assert right in topology.get(left).peers
+        # Every non-tier-1 AS has at least one provider.
+        for asn in topology.asns:
+            as_obj = topology.get(asn)
+            if as_obj.tier != AsTier.TIER1:
+                assert as_obj.providers
+
+
+class TestGaoRexford:
+    def test_everyone_reaches_the_origin(self):
+        topology = diamond_topology()
+        routes = propagate(topology, origin=5)
+        assert set(routes) == {1, 2, 3, 4, 5}
+
+    def test_customer_route_preferred_over_peer(self):
+        topology = diamond_topology()
+        routes = propagate(topology, origin=5)
+        # AS 3 hears 5 directly (customer); AS 4 hears via peer 3 or
+        # via providers; peer beats provider.
+        assert routes[3].learned_via == Relationship.CUSTOMER
+        assert routes[4].learned_via == Relationship.PEER
+
+    def test_valley_free_property_random_topologies(self):
+        """No route may descend to a customer and climb back up.
+
+        Equivalent check: a provider- or peer-learned route is only
+        extended downward (to customers), so any AS with a peer/provider
+        route must have gotten it from an AS with a customer route or
+        again downward — i.e. next_hop's route class must not be
+        'provider before peer/customer after'.
+        """
+        topology = generate_topology(DeterministicRNG(7), n_tier1=4,
+                                     n_medium=12, n_small=30, n_stub=60)
+        rng = DeterministicRNG(8)
+        for _ in range(15):
+            origin = rng.choice(topology.asns)
+            routes = propagate(topology, origin)
+            for asn, route in routes.items():
+                if route.learned_via is None:
+                    continue
+                next_hop_route = routes[route.next_hop]
+                if route.learned_via in (Relationship.PEER,
+                                         Relationship.PROVIDER):
+                    # The exporter must itself have a customer route (or
+                    # be the origin) for peer routes; for provider routes
+                    # the exporter may hold any route.
+                    if route.learned_via == Relationship.PEER:
+                        assert next_hop_route.learned_via in (
+                            None, Relationship.CUSTOMER)
+
+    def test_path_lengths_monotone(self):
+        topology = diamond_topology()
+        routes = propagate(topology, origin=5)
+        for asn, route in routes.items():
+            if route.learned_via is not None:
+                assert route.path_length \
+                    == routes[route.next_hop].path_length + 1
+
+    def test_route_preference_ordering(self):
+        customer = Route(1, Relationship.CUSTOMER, 5, 2)
+        peer = Route(1, Relationship.PEER, 1, 2)
+        provider = Route(1, Relationship.PROVIDER, 1, 2)
+        assert customer.better_than(peer)
+        assert peer.better_than(provider)
+        assert not provider.better_than(customer)
+
+    def test_shorter_path_wins_within_class(self):
+        short = Route(1, Relationship.PEER, 1, 2)
+        long = Route(1, Relationship.PEER, 3, 2)
+        assert short.better_than(long)
+
+
+class TestHijacks:
+    def test_subprefix_hijack_captures_everyone(self):
+        topology = diamond_topology()
+        simulation = BgpSimulation(topology)
+        simulation.announce("30.0.0.0/22", 5)
+        outcome = subprefix_hijack(simulation, attacker_asn=2, victim_asn=5,
+                                   victim_prefix="30.0.0.0/22",
+                                   sources=[1, 4])
+        assert outcome.capture_rate == 1.0
+
+    def test_slash24_not_subprefix_hijackable(self):
+        topology = diamond_topology()
+        simulation = BgpSimulation(topology)
+        simulation.announce("30.0.0.0/24", 5)
+        outcome = subprefix_hijack(simulation, attacker_asn=2, victim_asn=5,
+                                   victim_prefix="30.0.0.0/24",
+                                   sources=[1, 4])
+        assert outcome.capture_rate == 0.0
+
+    def test_sameprefix_hijack_partial_capture(self):
+        topology = diamond_topology()
+        simulation = BgpSimulation(topology)
+        simulation.announce("30.0.0.0/22", 5)
+        outcome = sameprefix_hijack(simulation, attacker_asn=4,
+                                    victim_asn=5,
+                                    victim_prefix="30.0.0.0/22",
+                                    sources=[1, 2, 3])
+        # AS 3 hears the victim as a customer: never captured.
+        assert 3 not in outcome.captured_sources
+
+    def test_hijack_withdrawn_after_evaluation(self):
+        topology = diamond_topology()
+        simulation = BgpSimulation(topology)
+        simulation.announce("30.0.0.0/22", 5)
+        subprefix_hijack(simulation, 2, 5, "30.0.0.0/22", [1])
+        # After withdrawal only the victim's announcement remains.
+        assert simulation.forwarding_origin(1, "30.0.0.1") == 5
+
+    def test_rov_filter_blocks_invalid(self):
+        topology = diamond_topology()
+        simulation = BgpSimulation(topology)
+        simulation.announce("30.0.0.0/22", 5)
+
+        def validator(prefix, origin):
+            return "valid" if origin == 5 else "invalid"
+
+        for asn in topology.asns:
+            simulation.set_rov_filter(asn, validator)
+        outcome = sameprefix_hijack(simulation, 4, 5, "30.0.0.0/22",
+                                    sources=[1, 2, 3])
+        assert outcome.capture_rate == 0.0

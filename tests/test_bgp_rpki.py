@@ -1,0 +1,91 @@
+"""Tests for RPKI: ROAs, validation states, the DNS-fetched repository."""
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.rpki import (
+    INVALID,
+    RelyingParty,
+    Roa,
+    RpkiRepository,
+    UNKNOWN,
+    VALID,
+    validate_origin,
+)
+from repro.dns.records import rr_a
+from repro.dns.stub import StubResolver
+from repro.testbed import Testbed
+
+
+class TestValidation:
+    ROAS = [Roa(prefix=Prefix.parse("30.0.0.0/22"), max_length=23,
+                origin=500)]
+
+    def test_valid(self):
+        assert validate_origin(self.ROAS, Prefix.parse("30.0.0.0/22"),
+                               500) == VALID
+
+    def test_valid_within_maxlength(self):
+        assert validate_origin(self.ROAS, Prefix.parse("30.0.0.0/23"),
+                               500) == VALID
+
+    def test_invalid_wrong_origin(self):
+        assert validate_origin(self.ROAS, Prefix.parse("30.0.0.0/22"),
+                               666) == INVALID
+
+    def test_invalid_too_specific(self):
+        assert validate_origin(self.ROAS, Prefix.parse("30.0.0.0/24"),
+                               500) == INVALID
+
+    def test_unknown_uncovered_space(self):
+        assert validate_origin(self.ROAS, Prefix.parse("99.0.0.0/22"),
+                               500) == UNKNOWN
+
+    def test_empty_roa_set_is_all_unknown(self):
+        """The downgrade end-state: no ROAs, everything unknown."""
+        assert validate_origin([], Prefix.parse("30.0.0.0/24"),
+                               666) == UNKNOWN
+
+
+class TestRelyingParty:
+    def build(self, seed="rpki-test"):
+        bed = Testbed(seed=seed)
+        repo_host = bed.make_host("repo", "123.7.0.10")
+        repository = RpkiRepository(repo_host, "rpki.vict.im")
+        repository.publish(Roa(prefix=Prefix.parse("30.0.0.0/22"),
+                               max_length=23, origin=500))
+        bed.add_domain("vict.im", "123.0.0.53",
+                       records=[rr_a("rpki.vict.im", "123.7.0.10")])
+        resolver = bed.make_resolver("30.0.0.1")
+        rp_host = bed.make_host("rp", "30.0.0.7")
+        stub = StubResolver(rp_host, "30.0.0.1")
+        party = RelyingParty(rp_host, stub, "rpki.vict.im")
+        return bed, resolver, party
+
+    def test_successful_synchronisation(self):
+        bed, resolver, party = self.build()
+        assert party.synchronise()
+        assert len(party.validated) == 1
+        assert party.validate("30.0.0.0/22", 500) == VALID
+        assert party.validate("30.0.0.0/22", 666) == INVALID
+
+    def test_poisoned_repository_name_downgrades_to_unknown(self):
+        """The paper's headline RPKI attack end-state."""
+        bed, resolver, party = self.build()
+        from repro.attacks.base import plant_poison
+
+        plant_poison(resolver, [rr_a("rpki.vict.im", "6.6.6.6", ttl=600)])
+        assert not party.synchronise()
+        assert party.validated == []
+        # The hijack announcement now validates UNKNOWN, not INVALID.
+        assert party.validate("30.0.0.0/23", 666) == UNKNOWN
+
+    def test_rov_filter_callable(self):
+        bed, resolver, party = self.build()
+        party.synchronise()
+        rov = party.as_rov_filter()
+        assert rov(Prefix.parse("30.0.0.0/22"), 666) == INVALID
+
+    def test_fetch_log_records_failures(self):
+        bed, resolver, party = self.build()
+        party.stub.resolver_ips = ["30.0.0.99"]  # nonexistent resolver
+        assert not party.synchronise()
+        assert party.log.failures == 1

@@ -1,0 +1,121 @@
+"""Tests for the virtual clock and scheduler."""
+
+import pytest
+
+from repro.core.clock import Clock, Scheduler
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(5.5).now == 5.5
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_by_delta(self):
+        clock = Clock(1.0)
+        clock.advance(0.5)
+        assert clock.now == 1.5
+
+    def test_cannot_go_backwards(self):
+        clock = Clock(2.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1.0)
+
+
+class TestScheduler:
+    def test_runs_in_time_order(self):
+        sched = Scheduler()
+        order = []
+        sched.call_at(2.0, lambda: order.append("b"))
+        sched.call_at(1.0, lambda: order.append("a"))
+        sched.call_at(3.0, lambda: order.append("c"))
+        sched.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_runs_in_scheduling_order(self):
+        sched = Scheduler()
+        order = []
+        for tag in ("first", "second", "third"):
+            sched.call_at(1.0, lambda t=tag: order.append(t))
+        sched.run_until_idle()
+        assert order == ["first", "second", "third"]
+
+    def test_call_later_is_relative(self):
+        sched = Scheduler()
+        sched.clock.advance_to(10.0)
+        fired = []
+        sched.call_later(2.0, lambda: fired.append(sched.clock.now))
+        sched.run_until_idle()
+        assert fired == [12.0]
+
+    def test_clock_advances_to_event_time(self):
+        sched = Scheduler()
+        sched.call_at(7.0, lambda: None)
+        sched.run_until_idle()
+        assert sched.clock.now == 7.0
+
+    def test_cannot_schedule_in_past(self):
+        sched = Scheduler()
+        sched.clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            sched.call_at(4.0, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        sched = Scheduler()
+        fired = []
+        handle = sched.call_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sched.run_until_idle()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_run_until_stops_at_deadline(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_at(1.0, lambda: fired.append(1))
+        sched.call_at(5.0, lambda: fired.append(5))
+        sched.run_until(2.0)
+        assert fired == [1]
+        assert sched.clock.now == 2.0
+        sched.run_until_idle()
+        assert fired == [1, 5]
+
+    def test_pending_counts_uncancelled(self):
+        sched = Scheduler()
+        handle = sched.call_at(1.0, lambda: None)
+        sched.call_at(2.0, lambda: None)
+        assert sched.pending == 2
+        handle.cancel()
+        assert sched.pending == 1
+
+    def test_events_scheduled_during_run_execute(self):
+        sched = Scheduler()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sched.call_later(1.0, lambda: order.append("inner"))
+
+        sched.call_at(1.0, outer)
+        sched.run_until_idle()
+        assert order == ["outer", "inner"]
+
+    def test_runaway_loop_detected(self):
+        sched = Scheduler()
+
+        def forever():
+            sched.call_later(0.1, forever)
+
+        sched.call_at(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sched.run_until_idle(max_events=100)

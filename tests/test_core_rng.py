@@ -1,0 +1,79 @@
+"""Tests for deterministic namespaced randomness."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.rng import DeterministicRNG, derive_rng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(7)
+        b = DeterministicRNG(7)
+        assert [a.random() for _ in range(10)] == \
+            [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(7)
+        b = DeterministicRNG(8)
+        assert [a.random() for _ in range(5)] != \
+            [b.random() for _ in range(5)]
+
+    def test_string_and_bytes_seeds_accepted(self):
+        assert DeterministicRNG("label").random() == \
+            DeterministicRNG("label").random()
+        assert DeterministicRNG(b"raw").random() == \
+            DeterministicRNG(b"raw").random()
+
+    def test_derive_is_deterministic(self):
+        parent = DeterministicRNG(1)
+        assert parent.derive("x").random() == \
+            DeterministicRNG(1).derive("x").random()
+
+    def test_derived_labels_independent(self):
+        parent = DeterministicRNG(1)
+        assert parent.derive("a").random() != parent.derive("b").random()
+
+    def test_derivation_unaffected_by_consumption(self):
+        """Consuming the parent stream must not shift children."""
+        parent1 = DeterministicRNG(9)
+        parent1.random()
+        parent2 = DeterministicRNG(9)
+        assert parent1.derive("child").random() == \
+            parent2.derive("child").random()
+
+
+class TestHelpers:
+    def test_pick_port_in_range(self):
+        rng = DeterministicRNG(3)
+        for _ in range(100):
+            assert 1024 <= rng.pick_port() <= 65535
+
+    def test_pick_port_custom_range(self):
+        rng = DeterministicRNG(3)
+        for _ in range(50):
+            assert 4000 <= rng.pick_port(4000, 4010) <= 4010
+
+    def test_pick_txid_16_bit(self):
+        rng = DeterministicRNG(3)
+        for _ in range(100):
+            assert 0 <= rng.pick_txid() <= 0xFFFF
+
+    def test_chance_extremes(self):
+        rng = DeterministicRNG(3)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+        assert not rng.chance(-1.0)
+        assert rng.chance(2.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_chance_returns_bool(self, probability):
+        assert isinstance(DeterministicRNG(0).chance(probability), bool)
+
+    def test_chance_statistics(self):
+        rng = DeterministicRNG(42)
+        hits = sum(rng.chance(0.3) for _ in range(10_000))
+        assert 2700 < hits < 3300
+
+    def test_derive_rng_shortcut(self):
+        assert derive_rng(5, "x").random() == \
+            DeterministicRNG(5).derive("x").random()

@@ -1,0 +1,58 @@
+"""Tests for Section 6 countermeasure policies and spot ablation cells."""
+
+import pytest
+
+from repro.countermeasures import (
+    ALL_MITIGATIONS,
+    MITIGATION_0X20,
+    MITIGATION_BLOCK_FRAGMENTS,
+    MITIGATION_DNSSEC,
+    MITIGATION_RANDOMIZED_ICMP_LIMIT,
+)
+from repro.countermeasures.evaluation import run_attack_under_mitigation
+
+
+class TestPolicies:
+    def test_every_mitigation_names_a_defeated_attack(self):
+        for mitigation in ALL_MITIGATIONS:
+            assert mitigation.defeats
+            assert mitigation.paper_section
+
+    def test_testbed_kwargs_apply_overrides(self):
+        kwargs = MITIGATION_0X20.testbed_kwargs()
+        assert kwargs["resolver_config"].use_0x20
+        kwargs = MITIGATION_BLOCK_FRAGMENTS.testbed_kwargs()
+        assert not kwargs["host_config"].accept_fragments
+        kwargs = MITIGATION_DNSSEC.testbed_kwargs()
+        assert kwargs["signed_target"]
+        assert kwargs["resolver_config"].validates_dnssec
+
+    def test_unique_keys(self):
+        keys = [m.key for m in ALL_MITIGATIONS]
+        assert len(keys) == len(set(keys))
+
+
+class TestSpotAblation:
+    """A few single cells (the full grid runs in bench_ablation)."""
+
+    def test_baseline_hijack_succeeds(self):
+        assert run_attack_under_mitigation("HijackDNS", None,
+                                           seed="spot-1")
+
+    def test_dnssec_blocks_hijack(self):
+        assert not run_attack_under_mitigation(
+            "HijackDNS", MITIGATION_DNSSEC, seed="spot-2")
+
+    def test_randomized_icmp_blocks_saddns(self):
+        assert not run_attack_under_mitigation(
+            "SadDNS", MITIGATION_RANDOMIZED_ICMP_LIMIT, seed="spot-3",
+            saddns_iterations=25)
+
+    def test_block_fragments_blocks_fragdns(self):
+        assert not run_attack_under_mitigation(
+            "FragDNS", MITIGATION_BLOCK_FRAGMENTS, seed="spot-4",
+            frag_attempts=25)
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ValueError):
+            run_attack_under_mitigation("Nonsense", None)

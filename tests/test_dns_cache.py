@@ -1,0 +1,124 @@
+"""Tests for the resolver cache: TTL, bailiwick, poisoning forensics."""
+
+from repro.dns.cache import DnsCache
+from repro.dns.records import (
+    TYPE_A,
+    TYPE_CNAME,
+    TYPE_MX,
+    rr_a,
+    rr_cname,
+    rr_mx,
+)
+
+
+class TestTtl:
+    def test_hit_before_expiry(self):
+        cache = DnsCache()
+        cache.put([rr_a("vict.im", "1.2.3.4", ttl=300)], now=0.0)
+        assert cache.get("vict.im", TYPE_A, now=299.0) is not None
+
+    def test_miss_after_expiry(self):
+        cache = DnsCache()
+        cache.put([rr_a("vict.im", "1.2.3.4", ttl=300)], now=0.0)
+        assert cache.get("vict.im", TYPE_A, now=301.0) is None
+        assert cache.stats.expirations == 1
+
+    def test_minimum_ttl_of_rrset_governs(self):
+        cache = DnsCache()
+        cache.put([rr_a("vict.im", "1.2.3.4", ttl=300),
+                   rr_a("vict.im", "1.2.3.5", ttl=10)], now=0.0)
+        assert cache.get("vict.im", TYPE_A, now=11.0) is None
+
+    def test_lookup_is_case_insensitive(self):
+        cache = DnsCache()
+        cache.put([rr_a("VICT.IM", "1.2.3.4")], now=0.0)
+        assert cache.get("vict.im", TYPE_A, now=1.0) is not None
+
+
+class TestBailiwick:
+    def test_in_bailiwick_accepted(self):
+        cache = DnsCache()
+        accepted = cache.put([rr_a("www.vict.im", "1.2.3.4")], now=0.0,
+                             bailiwick="vict.im")
+        assert accepted == 1
+
+    def test_out_of_bailiwick_rejected(self):
+        """A vict.im server cannot cache records for google.example."""
+        cache = DnsCache()
+        accepted = cache.put([rr_a("www.google.example", "6.6.6.6")],
+                             now=0.0, bailiwick="vict.im")
+        assert accepted == 0
+        assert cache.stats.bailiwick_rejects == 1
+        assert cache.get("www.google.example", TYPE_A, now=0.0) is None
+
+    def test_mixed_records_filtered_individually(self):
+        cache = DnsCache()
+        accepted = cache.put([
+            rr_a("www.vict.im", "1.2.3.4"),
+            rr_a("evil.example", "6.6.6.6"),
+        ], now=0.0, bailiwick="vict.im")
+        assert accepted == 1
+
+    def test_no_bailiwick_accepts_all(self):
+        cache = DnsCache()
+        accepted = cache.put([rr_a("anything.example", "1.1.1.1")],
+                             now=0.0, bailiwick=None)
+        assert accepted == 1
+
+
+class TestCnameAndAny:
+    def test_cname_answers_a_query(self):
+        cache = DnsCache()
+        cache.put([rr_cname("www.vict.im", "vict.im")], now=0.0)
+        found = cache.get("www.vict.im", TYPE_A, now=1.0)
+        assert found is not None
+        assert found[0].rtype == TYPE_CNAME
+
+    def test_get_any_returns_all_types(self):
+        cache = DnsCache()
+        cache.put([rr_a("vict.im", "1.2.3.4")], now=0.0)
+        cache.put([rr_mx("vict.im", 10, "mail.vict.im")], now=0.0)
+        everything = cache.get_any("vict.im", now=1.0)
+        assert {r.rtype for r in everything} == {TYPE_A, TYPE_MX}
+
+
+class TestForensics:
+    def test_poison_marking(self):
+        cache = DnsCache()
+        cache.put([rr_a("vict.im", "6.6.6.6")], now=0.0, poisoned=True)
+        assert cache.contains_poison()
+        assert cache.poisoned_names() == {"vict.im"}
+
+    def test_clean_cache_reports_clean(self):
+        cache = DnsCache()
+        cache.put([rr_a("vict.im", "1.2.3.4")], now=0.0)
+        assert not cache.contains_poison()
+
+    def test_source_recorded(self):
+        cache = DnsCache()
+        cache.put([rr_a("vict.im", "1.2.3.4")], now=0.0,
+                  source="123.0.0.53")
+        assert cache.entry("vict.im", TYPE_A).source == "123.0.0.53"
+
+    def test_flush(self):
+        cache = DnsCache()
+        cache.put([rr_a("vict.im", "1.2.3.4")], now=0.0)
+        cache.flush()
+        assert len(cache) == 0
+
+
+class TestEviction:
+    def test_capacity_bound(self):
+        cache = DnsCache(max_entries=3)
+        for index in range(5):
+            cache.put([rr_a(f"h{index}.vict.im", "1.1.1.1")],
+                      now=float(index))
+        assert len(cache) == 3
+
+    def test_oldest_evicted_first(self):
+        cache = DnsCache(max_entries=2)
+        cache.put([rr_a("old.vict.im", "1.1.1.1")], now=0.0)
+        cache.put([rr_a("mid.vict.im", "1.1.1.1")], now=1.0)
+        cache.put([rr_a("new.vict.im", "1.1.1.1")], now=2.0)
+        assert cache.get("old.vict.im", TYPE_A, now=2.0) is None
+        assert cache.get("new.vict.im", TYPE_A, now=2.0) is not None

@@ -1,0 +1,110 @@
+"""Tests for domain-name handling and 0x20 encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rng import DeterministicRNG
+from repro.dns import names
+
+label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                min_size=1, max_size=10).filter(
+    lambda s: not s.startswith("-") and not s.endswith("-"))
+hostname = st.lists(label, min_size=1, max_size=4).map(".".join)
+
+
+class TestNormalisation:
+    def test_lowercases_and_strips_dot(self):
+        assert names.normalise("WWW.Vict.IM.") == "www.vict.im"
+
+    def test_root_is_empty(self):
+        assert names.normalise(".") == ""
+        assert names.labels_of("") == []
+
+    def test_labels(self):
+        assert names.labels_of("a.b.c") == ["a", "b", "c"]
+
+    def test_parent(self):
+        assert names.parent_of("a.b.c") == "b.c"
+        assert names.parent_of("c") == ""
+
+    def test_validate_rejects_long_labels(self):
+        with pytest.raises(ValueError):
+            names.validate("x" * 64 + ".com")
+
+    def test_validate_rejects_long_names(self):
+        with pytest.raises(ValueError):
+            names.validate(".".join(["abcdefgh"] * 40))
+
+    def test_validate_rejects_empty_label(self):
+        with pytest.raises(ValueError):
+            names.validate("a..b")
+
+
+class TestSubdomains:
+    def test_self_is_subdomain(self):
+        assert names.is_subdomain("vict.im", "vict.im")
+
+    def test_child_is_subdomain(self):
+        assert names.is_subdomain("ns1.vict.im", "vict.im")
+
+    def test_sibling_is_not(self):
+        assert not names.is_subdomain("evil.com", "vict.im")
+
+    def test_suffix_trap(self):
+        """'evilvict.im' must not count as inside 'vict.im'."""
+        assert not names.is_subdomain("evilvict.im", "vict.im")
+
+    def test_everything_under_root(self):
+        assert names.is_subdomain("anything.example", "")
+
+    @given(hostname, hostname)
+    def test_antisymmetry(self, a, b):
+        if names.is_subdomain(a, b) and names.is_subdomain(b, a):
+            assert names.normalise(a) == names.normalise(b)
+
+
+class Test0x20:
+    def test_preserves_letters_case_insensitively(self):
+        rng = DeterministicRNG(5)
+        encoded = names.encode_0x20("www.vict.im", rng)
+        assert encoded.lower() == "www.vict.im"
+
+    def test_non_alpha_untouched(self):
+        rng = DeterministicRNG(5)
+        assert names.encode_0x20("123.456", rng) == "123.456"
+
+    def test_entropy_bits(self):
+        assert names.case_entropy_bits("www.vict.im") == 9
+        assert names.case_entropy_bits("123") == 0
+
+    def test_case_matches_exact(self):
+        assert names.case_matches("WwW.vIcT.iM", "WwW.vIcT.iM")
+        assert not names.case_matches("WwW.vIcT.iM", "www.vict.im")
+
+    def test_same_name_ignores_case(self):
+        assert names.same_name("WWW.VICT.IM", "www.vict.im.")
+
+    @given(hostname)
+    def test_encoding_roundtrips_under_normalise(self, name):
+        rng = DeterministicRNG(1)
+        assert names.normalise(names.encode_0x20(name, rng)) == \
+            names.normalise(name)
+
+
+class TestBloat:
+    def test_bloat_reaches_target_length(self):
+        bloated = names.bloat_name("vict.im")
+        assert len(bloated) >= 240
+        names.validate(bloated)
+
+    def test_bloat_preserves_suffix(self):
+        bloated = names.bloat_name("vict.im")
+        assert names.is_subdomain(bloated, "vict.im")
+
+    def test_bloat_custom_length(self):
+        bloated = names.bloat_name("vict.im", total_length=100)
+        assert 80 <= len(bloated) <= 100
+
+    def test_random_label_alphabet(self):
+        rng = DeterministicRNG(2)
+        assert names.random_label(rng, 20).isalpha()

@@ -1,0 +1,200 @@
+"""Tests for the recursive resolver: iterative resolution and defences."""
+
+import pytest
+
+from repro.dns.message import RCODE_NOERROR, RCODE_NXDOMAIN, make_query
+from repro.dns.records import TYPE_A, TYPE_CNAME, TYPE_MX, rr_a, rr_cname
+from repro.dns.resolver import ResolverConfig
+from repro.dns.stub import StubResolver
+from repro.dns.wire import encode_message
+from repro.testbed import Testbed
+
+
+def build_bed(resolver_config=None, seed="resolver-tests"):
+    bed = Testbed(seed=seed)
+    bed.add_domain("vict.im", "123.0.0.53", records=[
+        rr_a("vict.im", "123.0.0.80"),
+        rr_cname("www.vict.im", "vict.im"),
+        rr_a("multi.vict.im", "123.0.0.81"),
+        rr_a("multi.vict.im", "123.0.0.82"),
+    ])
+    resolver = bed.make_resolver("30.0.0.1", config=resolver_config)
+    client = bed.make_host("client", "30.0.0.50")
+    stub = StubResolver(client, "30.0.0.1")
+    return bed, resolver, stub
+
+
+class TestIterativeResolution:
+    def test_full_chain_resolves(self):
+        bed, resolver, stub = build_bed()
+        answer = stub.lookup("vict.im", "A")
+        assert answer.ok
+        assert answer.addresses() == ["123.0.0.80"]
+        # Root, TLD and authoritative: three upstream queries.
+        assert resolver.stats.upstream_queries == 3
+
+    def test_second_lookup_from_cache(self):
+        bed, resolver, stub = build_bed()
+        stub.lookup("vict.im", "A")
+        before = resolver.stats.upstream_queries
+        answer = stub.lookup("vict.im", "A")
+        assert answer.ok
+        assert resolver.stats.upstream_queries == before
+        assert resolver.stats.cache_answers >= 1
+
+    def test_cname_chain_followed(self):
+        bed, resolver, stub = build_bed()
+        answer = stub.lookup("www.vict.im", "A")
+        assert answer.ok
+        assert "123.0.0.80" in answer.addresses()
+        assert any(r.rtype == TYPE_CNAME for r in answer.records)
+
+    def test_nxdomain(self):
+        bed, resolver, stub = build_bed()
+        answer = stub.lookup("missing.vict.im", "A")
+        assert answer.rcode == RCODE_NXDOMAIN
+
+    def test_nodata_for_wrong_type(self):
+        bed, resolver, stub = build_bed()
+        answer = stub.lookup("vict.im", TYPE_MX)
+        assert answer.rcode == RCODE_NOERROR
+        assert answer.records == []
+
+    def test_multiple_records_returned(self):
+        bed, resolver, stub = build_bed()
+        answer = stub.lookup("multi.vict.im", "A")
+        assert sorted(answer.addresses()) == ["123.0.0.81", "123.0.0.82"]
+
+    def test_unknown_tld_servfail_or_nxdomain(self):
+        bed, resolver, stub = build_bed()
+        answer = stub.lookup("host.unknowntld", "A")
+        assert not answer.ok or answer.records == []
+
+
+class TestAclAndService:
+    def test_external_client_refused(self):
+        bed, resolver, stub = build_bed()
+        outsider = bed.make_host("outsider", "99.0.0.1")
+        outsider_stub = StubResolver(outsider, "30.0.0.1")
+        answer = outsider_stub.lookup("vict.im", "A")
+        assert not answer.ok
+        assert resolver.stats.client_refused >= 1
+
+    def test_open_resolver_serves_everyone(self):
+        bed, resolver, stub = build_bed(
+            ResolverConfig(open_to_world=True))
+        outsider = bed.make_host("outsider", "99.0.0.1")
+        outsider_stub = StubResolver(outsider, "30.0.0.1")
+        assert outsider_stub.lookup("vict.im", "A").ok
+
+
+class TestChallengeValidation:
+    def test_wrong_source_ignored(self):
+        """Responses from addresses we did not query are dropped."""
+        bed, resolver, stub = build_bed()
+        evil = bed.make_host("evil", "6.6.6.6", spoofing=True)
+
+        from repro.netsim.wire import make_udp_packet
+
+        def flood_wrong_source(datagram, src, dst):
+            pass
+
+        # Kick off a resolution, then inject a response from a wrong IP
+        # with every txid; it must never be accepted.
+        resolver_host = resolver.host
+        results = []
+        resolver.resolve("vict.im", TYPE_A, results.append)
+        # The query socket opens synchronously; flood it before the
+        # genuine root response (due at ~20ms) lands.
+        open_ports = resolver_host.open_ports() - {53}
+        assert open_ports
+        port = next(iter(open_ports))
+        from repro.attacks.base import OffPathAttacker
+
+        attacker = OffPathAttacker(evil)
+        for txid in range(0, 0x10000, 256):
+            response = attacker.forge_response(
+                "vict.im", TYPE_A, txid, [rr_a("vict.im", "6.6.6.6")])
+            attacker.spoof_udp("9.9.9.9", 53, "30.0.0.1", port,
+                               encode_message(response))
+        bed.run()
+        assert results and results[0].ok
+        assert results[0].addresses() == ["123.0.0.80"]
+        assert resolver.stats.rejected_responses > 0
+
+    def test_wrong_txid_ignored(self):
+        bed, resolver, stub = build_bed()
+        answer = stub.lookup("vict.im", "A")
+        assert answer.addresses() == ["123.0.0.80"]
+
+    def test_0x20_case_mismatch_rejected(self):
+        """With 0x20 on, a lowercase echo must be rejected."""
+        bed, resolver, stub = build_bed(
+            ResolverConfig(allowed_clients=["30.0.0.0/24"], use_0x20=True))
+        answer = stub.lookup("vict.im", "A")
+        # The genuine server echoes the exact case, so resolution works.
+        assert answer.ok and answer.addresses() == ["123.0.0.80"]
+
+
+class TestDeduplication:
+    def test_inflight_queries_join(self):
+        bed, resolver, _stub = build_bed()
+        results = []
+        resolver.resolve("vict.im", TYPE_A, results.append)
+        resolver.resolve("vict.im", TYPE_A, results.append)
+        assert resolver.inflight_count() == 1
+        bed.run()
+        assert len(results) == 2
+        assert all(r.ok for r in results)
+
+    def test_dedup_disabled(self):
+        bed, resolver, _stub = build_bed(
+            ResolverConfig(allowed_clients=["30.0.0.0/24"],
+                           dedup_inflight=False))
+        results = []
+        resolver.resolve("vict.im", TYPE_A, results.append)
+        resolver.resolve("vict.im", TYPE_A, results.append)
+        bed.run()
+        assert len(results) == 2
+
+
+class TestPortPolicy:
+    def test_random_ports_differ_across_resolutions(self):
+        bed, resolver, stub = build_bed()
+        ports = set()
+
+        original_open = resolver.host.open_udp
+
+        def spy_open(port=None, handler=None, local_ip=None):
+            socket = original_open(port, handler, local_ip)
+            if port is None:
+                ports.add(socket.port)
+            return socket
+
+        resolver.host.open_udp = spy_open
+        stub.lookup("vict.im", "A")
+        stub.lookup("multi.vict.im", "A")
+        assert len(ports) >= 2
+
+    def test_fixed_port_reused(self):
+        bed, resolver, stub = build_bed(
+            ResolverConfig(allowed_clients=["30.0.0.0/24"],
+                           port_policy="fixed", fixed_port=2053))
+        stub.lookup("vict.im", "A")
+        stub.lookup("multi.vict.im", "A")
+        assert 2053 in resolver.host.open_ports()
+
+
+class TestDnssecValidation:
+    def test_signed_domain_resolves_when_genuine(self):
+        bed = Testbed(seed="dnssec-ok")
+        bed.add_domain("signed.im", "123.0.1.53",
+                       records=[rr_a("signed.im", "123.0.1.80")],
+                       signed=True)
+        resolver = bed.make_resolver("30.0.0.1", config=ResolverConfig(
+            allowed_clients=["30.0.0.0/24"], validates_dnssec=True))
+        client = bed.make_host("client", "30.0.0.50")
+        stub = StubResolver(client, "30.0.0.1")
+        answer = stub.lookup("signed.im", "A")
+        assert answer.ok
+        assert "123.0.1.80" in answer.addresses()

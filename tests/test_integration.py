@@ -1,0 +1,185 @@
+"""Cross-layer integration scenarios: full attack stories end to end.
+
+Each test tells one of the paper's complete stories through real
+packets: poisoning methodology -> poisoned cache -> application harm.
+"""
+
+import pytest
+
+from repro.apps.tls import TlsAuthority
+from repro.apps.web import HttpClient, HttpServer
+from repro.attacks import (
+    FragDnsAttack,
+    FragDnsConfig,
+    HijackDnsAttack,
+    OffPathAttacker,
+    SadDnsAttack,
+    SadDnsConfig,
+    SpoofedClientTrigger,
+)
+from repro.bgp import (
+    BgpSimulation,
+    Prefix,
+    RelyingParty,
+    Roa,
+    RpkiRepository,
+    generate_topology,
+    sameprefix_hijack,
+)
+from repro.core.rng import DeterministicRNG
+from repro.dns.nameserver import NameserverConfig
+from repro.dns.records import rr_a
+from repro.dns.stub import StubResolver
+from repro.netsim.host import HostConfig
+from repro.testbed import (
+    FRAG_TARGET_NAME,
+    RESOLVER_IP,
+    SERVICE_IP,
+    TARGET_DOMAIN,
+    TARGET_NS_IP,
+    Testbed,
+    standard_testbed,
+)
+from tests.conftest import make_trigger
+
+
+class TestHijackToWebInterception:
+    def test_full_story(self):
+        """HijackDNS -> poisoned cache -> client browses to attacker."""
+        world = standard_testbed(seed="story-web")
+        bed, resolver = world["testbed"], world["resolver"]
+        HttpServer(bed.network.host_for("123.0.0.80")
+                   or bed.make_host("web", "123.0.0.80"),
+                   {"/login": b"genuine login page"})
+        HttpServer(world["attacker"], {"/login": b"phishing login page"})
+        attacker = OffPathAttacker(world["attacker"])
+        attack = HijackDnsAttack(attacker, bed.network, resolver,
+                                 TARGET_DOMAIN, TARGET_NS_IP,
+                                 malicious_records=[])
+        assert attack.execute(make_trigger(world, attacker)).success
+        victim_host = bed.make_host("victim-browser", "30.0.0.51")
+        browser = HttpClient(victim_host,
+                             StubResolver(victim_host, RESOLVER_IP))
+        outcome = browser.fetch(TARGET_DOMAIN, "/login")
+        assert outcome.detail["body"] == "phishing login page"
+
+    def test_tls_limits_harm(self):
+        world = standard_testbed(seed="story-web-tls")
+        bed, resolver = world["testbed"], world["resolver"]
+        tls = TlsAuthority()
+        tls.issue(TARGET_DOMAIN, "123.0.0.80")
+        attacker = OffPathAttacker(world["attacker"])
+        attack = HijackDnsAttack(attacker, bed.network, resolver,
+                                 TARGET_DOMAIN, TARGET_NS_IP,
+                                 malicious_records=[])
+        assert attack.execute(make_trigger(world, attacker)).success
+        victim_host = bed.make_host("victim-browser", "30.0.0.51")
+        browser = HttpClient(victim_host,
+                             StubResolver(victim_host, RESOLVER_IP),
+                             tls=tls)
+        assert not browser.fetch(TARGET_DOMAIN, "/", https=True).ok
+
+
+class TestSadDnsToPoisonedService:
+    def test_full_story(self):
+        """SadDNS end to end, then the poisoned record is consumed."""
+        world = standard_testbed(
+            seed="story-saddns",
+            ns_config=NameserverConfig(rrl_enabled=True),
+            resolver_host_config=HostConfig(ephemeral_low=20000,
+                                            ephemeral_high=20511),
+        )
+        bed, resolver = world["testbed"], world["resolver"]
+        attacker = OffPathAttacker(world["attacker"])
+        attack = SadDnsAttack(attacker, bed.network, resolver,
+                              world["target"].server, TARGET_DOMAIN,
+                              config=SadDnsConfig(max_iterations=60))
+        result = attack.execute(make_trigger(world, attacker))
+        assert result.success
+        stub = StubResolver(world["service"], RESOLVER_IP)
+        assert stub.lookup(TARGET_DOMAIN).addresses() == ["6.6.6.6"]
+
+
+class TestFragDnsToPoisonedService:
+    def test_full_story(self):
+        world = standard_testbed(
+            seed="story-frag",
+            ns_host_config=HostConfig(ipid_policy="global",
+                                      min_accepted_mtu=68),
+        )
+        bed, resolver = world["testbed"], world["resolver"]
+        attacker = OffPathAttacker(world["attacker"])
+        attack = FragDnsAttack(attacker, bed.network, resolver,
+                               world["target"].server, TARGET_DOMAIN,
+                               config=FragDnsConfig(max_attempts=100))
+        result = attack.execute(make_trigger(world, attacker),
+                                qname=FRAG_TARGET_NAME)
+        assert result.success
+        stub = StubResolver(world["service"], RESOLVER_IP)
+        assert "6.6.6.6" in stub.lookup(FRAG_TARGET_NAME).addresses()
+
+
+class TestRpkiDowngradeStory:
+    def test_rov_blocks_then_poisoning_reopens(self):
+        """The headline result, compressed from examples/rpki_downgrade."""
+        bed = Testbed(seed="story-rpki")
+        repo_host = bed.make_host("repo", "123.9.0.10")
+        repository = RpkiRepository(repo_host, "rpki.vict.im")
+        victim_prefix = Prefix.parse("30.0.0.0/22")
+        topology = generate_topology(
+            DeterministicRNG("story-rpki-topo"), n_tier1=4, n_medium=20,
+            n_small=60, n_stub=150)
+        victim_asn = topology.asns[40]
+        attacker_asn = topology.asns[120]
+        repository.publish(Roa(prefix=victim_prefix, max_length=23,
+                               origin=victim_asn))
+        bed.add_domain("vict.im", "123.0.0.53",
+                       records=[rr_a("rpki.vict.im", "123.9.0.10")])
+        resolver = bed.make_resolver("30.0.0.1")
+        rp_host = bed.make_host("rp", "30.0.0.8")
+        party = RelyingParty(rp_host, StubResolver(rp_host, "30.0.0.1"),
+                             "rpki.vict.im")
+        simulation = BgpSimulation(topology)
+        simulation.announce(victim_prefix, victim_asn)
+        for asn in topology.asns:
+            simulation.set_rov_filter(asn, party.as_rov_filter())
+        sources = [asn for asn in topology.asns[:30]
+                   if asn not in (victim_asn, attacker_asn)]
+        assert party.synchronise()
+        blocked = sameprefix_hijack(simulation, attacker_asn, victim_asn,
+                                    victim_prefix, sources)
+        assert not blocked.captured_sources
+        # Poison the repository hostname; ROV degrades to unknown.
+        from repro.attacks.base import plant_poison
+
+        plant_poison(resolver, [rr_a("rpki.vict.im", "6.6.6.6",
+                                     ttl=86400)])
+        assert not party.synchronise()
+        reopened = sameprefix_hijack(simulation, attacker_asn, victim_asn,
+                                     victim_prefix, sources)
+        assert reopened.captured_sources
+
+
+class TestCrossApplicationCache:
+    def test_poison_via_one_app_hits_another(self):
+        """§4.3.2: shared caches let one app poison another's records."""
+        world = standard_testbed(seed="story-shared")
+        bed, resolver = world["testbed"], world["resolver"]
+        attacker = OffPathAttacker(world["attacker"])
+        # The trigger is a web-ish spoofed client; the victim is NTP.
+        attack = HijackDnsAttack(attacker, bed.network, resolver,
+                                 TARGET_DOMAIN, TARGET_NS_IP,
+                                 malicious_records=[
+                                     rr_a("time.vict.im", "6.6.6.6",
+                                          ttl=3600)])
+        assert attack.execute(make_trigger(world, attacker),
+                              qname="time.vict.im").success
+        from repro.apps.ntp import NtpClient, NtpServer
+
+        NtpServer(world["attacker"], time_offset=10_000.0)
+        ntp_host = bed.make_host("ntp-box", "30.0.0.52")
+        ntp = NtpClient(ntp_host, StubResolver(ntp_host, RESOLVER_IP),
+                        pool_name="time.vict.im")
+        outcome = ntp.synchronise()
+        assert outcome.ok
+        assert ntp.clock_offset > 9_000

@@ -1,0 +1,100 @@
+"""Tests for internet checksums — the math FragDNS lives on."""
+
+from hypothesis import given, strategies as st
+
+from repro.netsim.checksum import (
+    checksum_compensation,
+    internet_checksum,
+    ones_complement_sum,
+    partial_sum,
+    pseudo_header,
+    udp_checksum,
+)
+
+
+class TestOnesComplement:
+    def test_empty(self):
+        assert ones_complement_sum(b"") == 0
+
+    def test_known_value(self):
+        # 0x0001 + 0xF203 = 0xF204
+        assert ones_complement_sum(b"\x00\x01\xf2\x03") == 0xF204
+
+    def test_wraparound_carry(self):
+        # 0xFFFF + 0x0001 wraps to 0x0001 (end-around carry).
+        assert ones_complement_sum(b"\xff\xff\x00\x01") == 0x0001
+
+    def test_odd_length_padded(self):
+        assert ones_complement_sum(b"\xab") == 0xAB00
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_concatenation_property(self, left, right):
+        """Sum of a concatenation equals the combined sums (even split)."""
+        if len(left) % 2:
+            left = left + b"\x00"
+        combined = ones_complement_sum(left + right)
+        chained = ones_complement_sum(right, ones_complement_sum(left))
+        assert combined == chained
+
+    @given(st.binary(max_size=128))
+    def test_checksum_verifies(self, data):
+        """Appending the checksum makes the total sum 0xFFFF (or 0)."""
+        if len(data) % 2:
+            data = data + b"\x00"
+        checksum = internet_checksum(data)
+        total = ones_complement_sum(data + checksum.to_bytes(2, "big"))
+        assert total in (0xFFFF, 0x0000)
+
+
+class TestUdpChecksum:
+    def test_pseudo_header_layout(self):
+        header = pseudo_header("1.2.3.4", "5.6.7.8", 17, 20)
+        assert header[:4] == bytes([1, 2, 3, 4])
+        assert header[4:8] == bytes([5, 6, 7, 8])
+        assert header[9] == 17
+        assert int.from_bytes(header[10:12], "big") == 20
+
+    def test_zero_checksum_transmitted_as_ffff(self):
+        # Construct a segment whose checksum computes to zero.
+        segment = bytearray(8)
+        base = udp_checksum("0.0.0.0", "0.0.0.0", bytes(segment))
+        # Append the complement so the new sum complements to zero.
+        segment += base.to_bytes(2, "big")
+        segment[4:6] = (len(segment)).to_bytes(2, "big")
+        # Whatever the arrangement, the function never returns 0.
+        assert udp_checksum("0.0.0.0", "0.0.0.0", bytes(segment)) != 0
+
+    def test_differs_by_address(self):
+        segment = b"\x00\x35\x00\x35\x00\x0c\x00\x00hey!"
+        a = udp_checksum("10.0.0.1", "10.0.0.2", segment)
+        b = udp_checksum("10.0.0.1", "10.0.0.3", segment)
+        assert a != b
+
+
+class TestCompensation:
+    """The FragDNS checksum-repair primitive."""
+
+    @given(st.binary(min_size=8, max_size=96))
+    def test_compensation_equalises_sums(self, original):
+        if len(original) % 2:
+            original = original + b"\x00"
+        # Tamper with the first four bytes, then compensate via a
+        # 16-bit slot appended at the end.
+        tampered = bytearray(original)
+        tampered[0:4] = b"\x06\x06\x06\x06"
+        tampered += b"\x00\x00"
+        padded_original = original + b"\x00\x00"
+        comp = checksum_compensation(padded_original, bytes(tampered))
+        tampered[-2:] = comp.to_bytes(2, "big")
+        assert partial_sum(bytes(tampered)) in (
+            partial_sum(padded_original),
+            # 0x0000 and 0xFFFF are equivalent in one's complement.
+            partial_sum(padded_original) ^ 0xFFFF
+            if partial_sum(padded_original) in (0, 0xFFFF) else
+            partial_sum(padded_original),
+        )
+
+    def test_identity_compensation_is_zeroish(self):
+        data = b"\x12\x34\x56\x78"
+        comp = checksum_compensation(data, data)
+        assert comp in (0x0000, 0xFFFF)

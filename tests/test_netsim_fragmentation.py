@@ -1,0 +1,141 @@
+"""Tests for IP fragmentation and the defragmentation cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.fragmentation import (
+    LINUX_FRAG_CAPACITY,
+    ReassemblyCache,
+    fragment_packet,
+)
+from repro.netsim.packet import Ipv4Packet, PROTO_UDP
+
+
+def make_packet(payload: bytes, ident: int = 1,
+                df: bool = False) -> Ipv4Packet:
+    return Ipv4Packet(src="1.1.1.1", dst="2.2.2.2", proto=PROTO_UDP,
+                      payload=payload, ident=ident, df=df)
+
+
+class TestFragmentation:
+    def test_small_packet_unfragmented(self):
+        packet = make_packet(b"tiny")
+        assert fragment_packet(packet, 1500) == [packet]
+
+    def test_fragment_sizes_fit_mtu(self):
+        packet = make_packet(bytes(1000))
+        for fragment in fragment_packet(packet, 300):
+            assert fragment.total_length <= 300
+
+    def test_non_final_fragments_8_byte_aligned(self):
+        fragments = fragment_packet(make_packet(bytes(500)), 120)
+        for fragment in fragments[:-1]:
+            assert len(fragment.payload) % 8 == 0
+
+    def test_offsets_are_contiguous(self):
+        fragments = fragment_packet(make_packet(bytes(500)), 120)
+        offset = 0
+        for fragment in fragments:
+            assert fragment.frag_offset * 8 == offset
+            offset += len(fragment.payload)
+
+    def test_mf_flags(self):
+        fragments = fragment_packet(make_packet(bytes(500)), 120)
+        assert all(f.mf for f in fragments[:-1])
+        assert not fragments[-1].mf
+
+    def test_df_prevents_fragmentation(self):
+        with pytest.raises(ValueError):
+            fragment_packet(make_packet(bytes(500), df=True), 120)
+
+    def test_mtu_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_packet(make_packet(bytes(500)), 40)
+
+    @given(st.binary(min_size=1, max_size=3000),
+           st.integers(min_value=68, max_value=1500))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, payload, mtu):
+        """fragment + reassemble == identity, for any payload and MTU."""
+        packet = make_packet(payload)
+        fragments = fragment_packet(packet, mtu)
+        if len(fragments) == 1:
+            assert fragments[0].payload == payload
+            return
+        cache = ReassemblyCache()
+        result = None
+        for fragment in fragments:
+            result = cache.add(fragment, now=0.0)
+        assert result is not None
+        assert result.payload == payload
+        assert not result.is_fragment
+
+
+class TestReassemblyCache:
+    def test_out_of_order_reassembly(self):
+        fragments = fragment_packet(make_packet(bytes(range(200)) * 2), 120)
+        cache = ReassemblyCache()
+        result = None
+        for fragment in reversed(fragments):
+            result = cache.add(fragment, now=0.0)
+        assert result is not None
+        assert result.payload == bytes(range(200)) * 2
+
+    def test_first_arrival_wins_on_overlap(self):
+        """The property FragDNS exploits: planted fragments persist."""
+        packet = make_packet(bytes(100))
+        fragments = fragment_packet(packet, 68)
+        planted = fragments[1].with_payload(b"\xE1" * len(
+            fragments[1].payload))
+        cache = ReassemblyCache()
+        assert cache.add(planted, now=0.0) is None
+        result = cache.add(fragments[0], now=0.1)
+        if result is None:
+            # More than two fragments: feed the rest.
+            for fragment in fragments[2:]:
+                result = cache.add(fragment, now=0.1)
+        assert result is not None
+        offset = fragments[1].frag_offset * 8
+        assert result.payload[offset:offset + 8] == b"\xE1" * 8
+
+    def test_distinct_idents_do_not_mix(self):
+        f_a = fragment_packet(make_packet(bytes(100), ident=1), 68)
+        f_b = fragment_packet(make_packet(bytes(100), ident=2), 68)
+        cache = ReassemblyCache()
+        assert cache.add(f_a[0], 0.0) is None
+        assert cache.add(f_b[1], 0.0) is None
+        # Completing ident=1 requires ident=1 fragments only.
+        result = None
+        for fragment in f_a[1:]:
+            result = cache.add(fragment, 0.0)
+        assert result is not None
+
+    def test_timeout_expires_partials(self):
+        fragments = fragment_packet(make_packet(bytes(100)), 68)
+        cache = ReassemblyCache(timeout=5.0)
+        cache.add(fragments[0], now=0.0)
+        cache.expire(now=10.0)
+        assert len(cache) == 0
+        assert cache.timeouts == 1
+
+    def test_capacity_evicts_oldest(self):
+        cache = ReassemblyCache(capacity=4)
+        for ident in range(6):
+            fragment = fragment_packet(
+                make_packet(bytes(100), ident=ident), 68)[0]
+            cache.add(fragment, now=float(ident))
+        assert len(cache) == 4
+        assert cache.evictions == 2
+
+    def test_default_capacity_is_linux_like(self):
+        assert ReassemblyCache().capacity == LINUX_FRAG_CAPACITY == 64
+
+    def test_non_fragment_rejected(self):
+        with pytest.raises(ValueError):
+            ReassemblyCache().add(make_packet(b"whole"), 0.0)
+
+    def test_reassembled_counter(self):
+        cache = ReassemblyCache()
+        for fragment in fragment_packet(make_packet(bytes(100)), 68):
+            cache.add(fragment, 0.0)
+        assert cache.reassembled == 1

@@ -1,0 +1,201 @@
+"""Tests for the network fabric: delivery, interception, streams."""
+
+import pytest
+
+from repro.netsim.addresses import (
+    int_to_ip,
+    ip_in_prefix,
+    ip_to_int,
+    normalise_prefix,
+    prefix_mask,
+)
+from repro.netsim.host import Host, HostConfig
+from repro.netsim.network import Network
+from repro.netsim.ipid import (
+    GlobalCounterIPID,
+    PerDestinationIPID,
+    RandomIPID,
+    make_allocator,
+)
+from repro.netsim.ratelimit import TokenBucket
+from repro.netsim.wire import make_udp_packet
+from repro.core.rng import DeterministicRNG
+
+
+class TestAddresses:
+    def test_ip_roundtrip(self):
+        for address in ("0.0.0.0", "10.1.2.3", "255.255.255.255"):
+            assert int_to_ip(ip_to_int(address)) == address
+
+    def test_bad_addresses_rejected(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_prefix_mask(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(24) == 0xFFFFFF00
+        assert prefix_mask(32) == 0xFFFFFFFF
+
+    def test_ip_in_prefix(self):
+        assert ip_in_prefix("192.0.2.7", "192.0.2.0/24")
+        assert not ip_in_prefix("192.0.3.7", "192.0.2.0/24")
+        assert ip_in_prefix("10.20.30.40", "10.0.0.0/8")
+
+    def test_normalise_prefix(self):
+        assert normalise_prefix("192.0.2.77/24") == "192.0.2.0/24"
+
+
+class TestIpid:
+    def test_global_counter_increments(self):
+        alloc = GlobalCounterIPID(start=10)
+        assert [alloc.next_id("a"), alloc.next_id("b")] == [10, 11]
+        assert alloc.observe() == 12
+
+    def test_global_counter_wraps(self):
+        alloc = GlobalCounterIPID(start=0xFFFF)
+        assert alloc.next_id("a") == 0xFFFF
+        assert alloc.next_id("a") == 0
+
+    def test_per_destination_isolated(self):
+        alloc = PerDestinationIPID(DeterministicRNG(1))
+        first_a = alloc.next_id("a")
+        alloc.next_id("b")
+        assert alloc.next_id("a") == (first_a + 1) & 0xFFFF
+        assert alloc.observe() is None
+
+    def test_random_not_observable(self):
+        alloc = RandomIPID(DeterministicRNG(1))
+        assert alloc.observe() is None
+        values = {alloc.next_id("a") for _ in range(50)}
+        assert len(values) > 30
+
+    def test_factory(self):
+        rng = DeterministicRNG(0)
+        assert make_allocator("global", rng).name == "global"
+        assert make_allocator("per-destination", rng).name \
+            == "per-destination"
+        assert make_allocator("random", rng).name == "random"
+        with pytest.raises(ValueError):
+            make_allocator("bogus", rng)
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(rate=10, burst=3)
+        assert all(bucket.allow(0.0) for _ in range(3))
+        assert not bucket.allow(0.0)
+
+    def test_refill(self):
+        bucket = TokenBucket(rate=10, burst=3)
+        bucket.drain(0.0)
+        assert not bucket.allow(0.0)
+        assert bucket.allow(0.2)  # 2 tokens refilled
+
+    def test_peek_does_not_consume(self):
+        bucket = TokenBucket(rate=1, burst=5)
+        assert bucket.peek(0.0) == 5.0
+        assert bucket.peek(0.0) == 5.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestNetworkFabric:
+    def test_duplicate_address_rejected(self):
+        net = Network()
+        net.attach(Host("a", "10.0.0.1"))
+        with pytest.raises(ValueError):
+            net.attach(Host("b", "10.0.0.1"))
+
+    def test_no_route_counted(self):
+        net = Network()
+        a = net.attach(Host("a", "10.0.0.1",
+                            config=HostConfig(egress_spoofing_allowed=True)))
+        a.raw_send(make_udp_packet("10.0.0.1", "10.9.9.9", 1, 2, b""))
+        net.run()
+        assert net.stats.dropped_no_route == 1
+
+    def test_latency_override_orders_arrivals(self):
+        net = Network(default_latency=0.05)
+        a = net.attach(Host("a", "10.0.0.1"))
+        b = net.attach(Host("b", "10.0.0.2"))
+        c = net.attach(Host("c", "10.0.0.3"))
+        net.set_latency("10.0.0.3", "10.0.0.2", 0.001)
+        got = []
+        b.open_udp(53, lambda d, src, dst: got.append(src))
+        a.open_udp().sendto("10.0.0.2", 53, b"slow")
+        c.open_udp().sendto("10.0.0.2", 53, b"fast")
+        net.run()
+        assert got == ["10.0.0.3", "10.0.0.1"]
+
+    def test_interceptor_diverts_packets(self):
+        net = Network()
+        a = net.attach(Host("a", "10.0.0.1"))
+        b = net.attach(Host("b", "10.0.0.2"))
+        spy = net.attach(Host("spy", "10.0.0.3"))
+        seen = []
+        spy.packet_tap = lambda packet: seen.append(packet.describe())
+        net.add_interceptor(
+            lambda packet, origin:
+            spy if packet.dst == "10.0.0.2" else None
+        )
+        a.open_udp().sendto("10.0.0.2", 53, b"secret")
+        net.run()
+        assert len(seen) == 1
+        assert b.stats.received == 0
+        assert net.stats.intercepted == 1
+
+    def test_interceptor_removal(self):
+        net = Network()
+        a = net.attach(Host("a", "10.0.0.1"))
+        b = net.attach(Host("b", "10.0.0.2"))
+        interceptor = lambda packet, origin: None  # noqa: E731
+        net.add_interceptor(interceptor)
+        net.remove_interceptor(interceptor)
+        a.open_udp().sendto("10.0.0.2", 53, b"x")
+        net.run()
+        assert b.stats.received == 1
+
+    def test_loss_model_drops(self):
+        net = Network()
+        a = net.attach(Host("a", "10.0.0.1"))
+        b = net.attach(Host("b", "10.0.0.2"))
+        net.set_loss_model(lambda packet: True)
+        a.open_udp().sendto("10.0.0.2", 53, b"x")
+        net.run()
+        assert b.stats.received == 0
+
+    def test_stream_request_response(self):
+        net = Network()
+        a = net.attach(Host("a", "10.0.0.1"))
+        b = net.attach(Host("b", "10.0.0.2"))
+        b.stream_handlers[80] = lambda payload, src: b"pong:" + payload
+        got = []
+        net.stream_request(a, "10.0.0.2", 80, b"ping",
+                           lambda data: got.append(data))
+        net.run()
+        assert got == [b"pong:ping"]
+
+    def test_stream_to_missing_listener_refused(self):
+        net = Network()
+        a = net.attach(Host("a", "10.0.0.1"))
+        net.attach(Host("b", "10.0.0.2"))
+        got = []
+        net.stream_request(a, "10.0.0.2", 80, b"ping",
+                           lambda data: got.append(data))
+        net.run()
+        assert got == [None]
+
+    def test_per_destination_accounting(self):
+        net = Network()
+        a = net.attach(Host("a", "10.0.0.1"))
+        b = net.attach(Host("b", "10.0.0.2"))
+        b.open_udp(53, None)
+        for _ in range(3):
+            a.open_udp().sendto("10.0.0.2", 53, b"x")
+        net.run()
+        assert net.stats.per_destination["10.0.0.2"] == 3

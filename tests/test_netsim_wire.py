@@ -1,0 +1,149 @@
+"""Round-trip tests for IPv4/UDP/ICMP byte encodings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import WireFormatError
+from repro.netsim.addresses import int_to_ip
+from repro.netsim.packet import (
+    ICMP_DEST_UNREACHABLE,
+    ICMP_ECHO_REQUEST,
+    ICMP_FRAG_NEEDED,
+    IcmpMessage,
+    Ipv4Packet,
+    PROTO_UDP,
+    UdpDatagram,
+)
+from repro.netsim.wire import (
+    attach_transport,
+    decode_icmp,
+    decode_ipv4,
+    decode_udp_payload,
+    encode_icmp,
+    encode_ipv4,
+    encode_udp,
+    make_icmp_packet,
+    make_udp_packet,
+    udp_header_checksum,
+)
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF).map(int_to_ip)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestUdpCodec:
+    @given(addresses, addresses, ports, ports, st.binary(max_size=200))
+    def test_roundtrip(self, src, dst, sport, dport, payload):
+        datagram = UdpDatagram(sport=sport, dport=dport, payload=payload)
+        wire = encode_udp(src, dst, datagram)
+        decoded = decode_udp_payload(src, dst, wire)
+        assert decoded == datagram
+
+    def test_checksum_mismatch_detected(self):
+        wire = bytearray(encode_udp("1.1.1.1", "2.2.2.2",
+                                    UdpDatagram(53, 4000, b"data")))
+        wire[-1] ^= 0xFF  # corrupt the payload
+        with pytest.raises(WireFormatError):
+            decode_udp_payload("1.1.1.1", "2.2.2.2", bytes(wire))
+
+    def test_wrong_pseudo_header_detected(self):
+        """The checksum binds the IP addresses (anti-splice property)."""
+        wire = encode_udp("1.1.1.1", "2.2.2.2", UdpDatagram(53, 4000, b"x"))
+        with pytest.raises(WireFormatError):
+            decode_udp_payload("1.1.1.1", "9.9.9.9", wire)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(WireFormatError):
+            decode_udp_payload("1.1.1.1", "2.2.2.2", b"\x00\x01")
+
+    def test_header_checksum_extraction(self):
+        wire = encode_udp("1.1.1.1", "2.2.2.2", UdpDatagram(1, 2, b"abc"))
+        assert udp_header_checksum(wire) != 0
+
+
+class TestIcmpCodec:
+    def test_port_unreachable_roundtrip(self):
+        message = IcmpMessage(icmp_type=ICMP_DEST_UNREACHABLE, code=3,
+                              embedded=b"\x45\x00" + b"\x00" * 18)
+        decoded = decode_icmp(encode_icmp(message))
+        assert decoded.is_port_unreachable
+        assert decoded.embedded == message.embedded
+
+    def test_frag_needed_carries_mtu(self):
+        message = IcmpMessage(icmp_type=ICMP_DEST_UNREACHABLE,
+                              code=ICMP_FRAG_NEEDED, mtu=68)
+        decoded = decode_icmp(encode_icmp(message))
+        assert decoded.is_frag_needed
+        assert decoded.mtu == 68
+
+    def test_echo_carries_ident_and_seq(self):
+        message = IcmpMessage(icmp_type=ICMP_ECHO_REQUEST, ident=7, seq=9)
+        decoded = decode_icmp(encode_icmp(message))
+        assert (decoded.ident, decoded.seq) == (7, 9)
+
+    def test_corruption_detected(self):
+        wire = bytearray(encode_icmp(IcmpMessage(icmp_type=8)))
+        wire[0] ^= 0x01
+        with pytest.raises(WireFormatError):
+            decode_icmp(bytes(wire))
+
+
+class TestIpv4Codec:
+    @given(addresses, addresses, st.binary(max_size=100),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_roundtrip_raw(self, src, dst, payload, ident):
+        packet = Ipv4Packet(src=src, dst=dst, proto=99, payload=payload,
+                            ident=ident)
+        decoded = decode_ipv4(encode_ipv4(packet))
+        assert (decoded.src, decoded.dst, decoded.proto,
+                decoded.payload, decoded.ident) == \
+            (src, dst, 99, payload, ident)
+
+    def test_flags_roundtrip(self):
+        packet = Ipv4Packet(src="1.2.3.4", dst="5.6.7.8", proto=PROTO_UDP,
+                            payload=b"x" * 8, df=True, mf=True,
+                            frag_offset=11)
+        decoded = decode_ipv4(encode_ipv4(packet))
+        assert decoded.df and decoded.mf and decoded.frag_offset == 11
+
+    def test_header_corruption_detected(self):
+        wire = bytearray(encode_ipv4(Ipv4Packet(
+            src="1.2.3.4", dst="5.6.7.8", proto=1, payload=b"")))
+        wire[8] ^= 0xFF  # TTL byte
+        with pytest.raises(WireFormatError):
+            decode_ipv4(bytes(wire))
+
+    def test_transport_attached_for_udp(self):
+        packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1234, 53, b"query")
+        decoded = decode_ipv4(encode_ipv4(packet))
+        assert decoded.udp is not None
+        assert decoded.udp.payload == b"query"
+
+    def test_fragments_not_transport_parsed(self):
+        packet = Ipv4Packet(src="1.1.1.1", dst="2.2.2.2", proto=PROTO_UDP,
+                            payload=b"partial!", mf=True)
+        decoded = decode_ipv4(encode_ipv4(packet))
+        assert decoded.udp is None
+        assert decoded.is_fragment
+
+    def test_attach_transport_rejects_bad_udp_checksum(self):
+        packet = make_udp_packet("1.1.1.1", "2.2.2.2", 1, 2, b"data")
+        corrupted = packet.with_payload(
+            packet.payload[:-1] + bytes([packet.payload[-1] ^ 0xFF])
+        )
+        with pytest.raises(WireFormatError):
+            attach_transport(corrupted)
+
+    def test_make_icmp_packet_parses(self):
+        packet = make_icmp_packet(
+            "1.1.1.1", "2.2.2.2",
+            IcmpMessage(icmp_type=ICMP_ECHO_REQUEST, ident=1),
+        )
+        decoded = decode_ipv4(encode_ipv4(packet))
+        assert decoded.icmp is not None
+        assert decoded.icmp.icmp_type == ICMP_ECHO_REQUEST
+
+    def test_describe_mentions_fragments(self):
+        packet = Ipv4Packet(src="1.1.1.1", dst="2.2.2.2", proto=17,
+                            payload=b"xxxxxxxx", mf=True, frag_offset=6)
+        assert "frag" in packet.describe()
