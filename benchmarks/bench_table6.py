@@ -1,9 +1,10 @@
 """Bench: regenerate Table 6 (methodology comparison).
 
 This is the heavyweight bench: it runs real end-to-end attack trials
-for all three methodologies.  Budgets are chosen so the whole bench
-stays under a couple of minutes while the statistics remain in the
-paper's regime.
+for all three methodologies, declared as scenarios and swept by the
+campaign runner (pass ``workers`` to ``table6.run`` to fan them out
+over processes).  Budgets are chosen so the whole bench stays under a
+couple of minutes while the statistics remain in the paper's regime.
 """
 
 from _helpers import publish

@@ -1,60 +1,54 @@
 #!/usr/bin/env python3
-"""Quickstart: poison a resolver's cache with HijackDNS in ~30 lines.
+"""Quickstart: poison a resolver's cache with one declarative scenario.
 
-Builds the paper's standard testbed (Figures 1/2): the victim network
+An :class:`AttackScenario` is the whole attack as data: methodology,
+target, trigger and testbed overrides.  ``scenario.run(seed)`` builds
+the paper's standard testbed (Figures 1/2) — the victim network
 30.0.0.0/24 with its resolver, the target domain vict.im on its own
-nameserver, and an off-path attacker at 6.6.6.6.  The attacker announces
-a sub-prefix covering the nameserver, intercepts the resolver's query,
-answers it with a forged record, and from then on every client of that
-resolver is redirected to the attacker.
+nameserver, an off-path attacker at 6.6.6.6 — and executes the attack
+end to end.  Swapping ``method="hijack"`` for ``"saddns"`` or ``"frag"``
+swaps the whole methodology; a ``Campaign`` sweeps any scenario across
+seeds in parallel.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.attacks import (
-    HijackDnsAttack,
-    OffPathAttacker,
-    SpoofedClientTrigger,
-)
 from repro.dns.stub import StubResolver
-from repro.testbed import (
-    RESOLVER_IP,
-    SERVICE_IP,
-    TARGET_DOMAIN,
-    TARGET_NS_IP,
-    standard_testbed,
-)
+from repro.scenario import AttackScenario, Campaign
+from repro.testbed import RESOLVER_IP, TARGET_DOMAIN
 
 
 def main() -> None:
-    world = standard_testbed(seed="quickstart")
-    testbed = world["testbed"]
-    resolver = world["resolver"]
+    # The attack, declared: HijackDNS against vict.im on the standard
+    # testbed, triggered by a spoofed internal client (the default).
+    scenario = AttackScenario(method="hijack")
+
+    # Materialise one world to watch the attack happen inside it.
+    built = scenario.build(seed="quickstart")
 
     # A legitimate client resolves vict.im before the attack.
-    client = StubResolver(world["service"], RESOLVER_IP)
+    client = StubResolver(built.world["service"], RESOLVER_IP)
     print("before attack:", TARGET_DOMAIN, "->",
           client.lookup(TARGET_DOMAIN).addresses())
-    resolver.cache.flush()  # let the TTL "expire" for the demo
+    built.resolver.cache.flush()  # let the TTL "expire" for the demo
 
     # The off-path attacker hijacks the nameserver's prefix, triggers a
     # query, and answers it first (it saw every challenge value).
-    attacker = OffPathAttacker(world["attacker"])
-    trigger = SpoofedClientTrigger(world["attacker"], RESOLVER_IP,
-                                   SERVICE_IP,
-                                   rng=attacker.rng.derive("trigger"))
-    attack = HijackDnsAttack(attacker, testbed.network, resolver,
-                             TARGET_DOMAIN, TARGET_NS_IP,
-                             malicious_records=[])
-    result = attack.execute(trigger)
-    print(result.describe())
+    run = built.execute()
+    print(run.result.describe())
 
     # Every later client of the poisoned resolver is now redirected.
     answer = client.lookup(TARGET_DOMAIN)
     print("after attack: ", TARGET_DOMAIN, "->", answer.addresses())
-    assert answer.addresses() == [attacker.address]
+    assert answer.addresses() == [built.attacker.address]
     print("cache entry poisoned:",
-          resolver.cache.entry(TARGET_DOMAIN, 1).poisoned)
+          built.resolver.cache.entry(TARGET_DOMAIN, 1).poisoned)
+
+    # Statistics come from sweeping seeds, not rerunning by hand: each
+    # seed is an independent deterministic world.
+    sweep = Campaign(executor="serial").run(scenario, seeds=range(8))
+    print(f"\n8-seed sweep: {sweep.success_rate:.0%} success,"
+          f" {sweep.wall_clock:.2f}s wall")
 
 
 if __name__ == "__main__":

@@ -17,45 +17,32 @@ full 64k-port attack is the Table 6 bench):
 Run:  python examples/saddns_walkthrough.py
 """
 
-from repro.attacks import (
-    OffPathAttacker,
-    SadDnsAttack,
-    SadDnsConfig,
-    SpoofedClientTrigger,
-    cache_poisoned,
-)
-from repro.dns.nameserver import NameserverConfig
+from repro.attacks import SadDnsConfig, cache_poisoned
 from repro.netsim.host import HostConfig
-from repro.testbed import (
-    RESOLVER_IP,
-    SERVICE_IP,
-    TARGET_DOMAIN,
-    standard_testbed,
-)
+from repro.scenario import AttackScenario
+from repro.testbed import TARGET_DOMAIN
 
 PORT_LOW, PORT_HIGH = 42000, 42511  # 512 candidate ports for the demo
 
 
 def main() -> None:
-    world = standard_testbed(
-        seed="saddns-demo",
-        ns_config=NameserverConfig(rrl_enabled=True),
+    # Declared as a scenario: the SadDNS method defaults give the
+    # nameserver its rate limiter; the narrowed ephemeral range is the
+    # demo's only override.
+    scenario = AttackScenario(
+        method="saddns",
         resolver_host_config=HostConfig(ephemeral_low=PORT_LOW,
                                         ephemeral_high=PORT_HIGH),
+        attack_config=SadDnsConfig(),
     )
-    bed, resolver = world["testbed"], world["resolver"]
-    attacker = OffPathAttacker(world["attacker"])
-    trigger = SpoofedClientTrigger(world["attacker"], RESOLVER_IP,
-                                   SERVICE_IP,
-                                   rng=attacker.rng.derive("trigger"))
-    attack = SadDnsAttack(attacker, bed.network, resolver,
-                          world["target"].server, TARGET_DOMAIN,
-                          config=SadDnsConfig())
+    built = scenario.build(seed="saddns-demo")
+    bed, resolver = built.testbed, built.resolver
+    attacker, trigger, attack = built.attacker, built.trigger, built.attack
 
     print("[1] muting the nameserver with a spoofed query flood ...")
     attack.mute_nameserver()
     print("    nameserver muted:",
-          world["target"].server.is_muted(bed.now))
+          built.target.server.is_muted(bed.now))
 
     print("[2] triggering the victim query (spoofed internal client) ...")
     trigger.fire(TARGET_DOMAIN, "A")

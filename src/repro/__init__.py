@@ -7,6 +7,10 @@ The package implements, on a byte-accurate simulated Internet:
   evaluates — HijackDNS (BGP prefix hijack), SadDNS (ICMP rate-limit
   side channel) and FragDNS (IPv4 fragment injection) — in
   :mod:`repro.attacks`;
+* a unified scenario/campaign API (:mod:`repro.scenario`): declarative
+  :class:`AttackScenario` specs, a methodology registry, the
+  planner-to-execution bridge (:func:`plan_and_run`), and a parallel
+  multi-seed :class:`Campaign` runner;
 * every substrate they need: an IPv4/UDP/ICMP network stack with
   fragmentation and rate limiting (:mod:`repro.netsim`), a full DNS
   ecosystem (:mod:`repro.dns`), and interdomain routing with RPKI
@@ -20,23 +24,50 @@ The package implements, on a byte-accurate simulated Internet:
 
 Quickstart::
 
-    from repro.testbed import standard_testbed, RESOLVER_IP, SERVICE_IP
-    from repro.attacks import (HijackDnsAttack, OffPathAttacker,
-                               SpoofedClientTrigger)
+    from repro import AttackScenario, Campaign
 
-    world = standard_testbed(seed=1)
-    attacker = OffPathAttacker(world["attacker"])
-    trigger = SpoofedClientTrigger(world["attacker"], RESOLVER_IP,
-                                   SERVICE_IP)
-    attack = HijackDnsAttack(attacker, world["testbed"].network,
-                             world["resolver"], "vict.im", "123.0.0.53",
-                             malicious_records=[])
-    result = attack.execute(trigger)
-    print(result.describe())
+    # One attack, declaratively: methodology + target + trigger.
+    run = AttackScenario(method="hijack").run(seed=1)
+    print(run.result.describe())
+
+    # Statistics: sweep any scenario across seeds on worker processes.
+    sweep = Campaign().run(AttackScenario(method="frag"),
+                           seeds=range(32), workers=8)
+    print(sweep.describe())
+
+    # Planner-driven: Table 1 reasoning picks the methodology, then
+    # executes it.
+    from repro import TargetProfile, plan_and_run
+    profile = TargetProfile(app_name="HTTP", query_name_known=True,
+                            query_name_choosable=True,
+                            trigger_style="direct")
+    print(plan_and_run(profile, seed=2).result.describe())
 """
 
+from repro.attacks.planner import TargetProfile
+from repro.scenario import (
+    AttackScenario,
+    Campaign,
+    CampaignResult,
+    ScenarioRun,
+    TriggerSpec,
+    plan_and_run,
+    scenario_from_profile,
+)
 from repro.testbed import Testbed, standard_testbed
 
 __version__ = "1.0.0"
 
-__all__ = ["Testbed", "__version__", "standard_testbed"]
+__all__ = [
+    "AttackScenario",
+    "Campaign",
+    "CampaignResult",
+    "ScenarioRun",
+    "TargetProfile",
+    "Testbed",
+    "TriggerSpec",
+    "__version__",
+    "plan_and_run",
+    "scenario_from_profile",
+    "standard_testbed",
+]

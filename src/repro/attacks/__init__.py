@@ -21,6 +21,7 @@ from repro.attacks.planner import (
     ApplicabilityVerdict,
     AttackPlanner,
     MethodChoice,
+    TargetProfile,
 )
 from repro.attacks.saddns import SadDnsAttack, SadDnsConfig
 from repro.attacks.trigger import (
@@ -47,6 +48,7 @@ __all__ = [
     "SadDnsAttack",
     "SadDnsConfig",
     "SpoofedClientTrigger",
+    "TargetProfile",
     "TimerPrediction",
     "cache_poisoned",
 ]

@@ -12,6 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: The paper's effectiveness ordering (HijackDNS needs two packets,
+#: FragDNS hundreds, SadDNS about a million).  ``best()`` and the
+#: scenario bridge both follow it; a new methodology joins the ranking
+#: here, in one place.
+METHOD_PREFERENCE = ("HijackDNS", "FragDNS", "SadDNS")
+
 
 @dataclass
 class TargetProfile:
@@ -67,7 +73,7 @@ class ApplicabilityVerdict:
         Ordering follows the paper's effectiveness analysis: HijackDNS
         needs two packets, FragDNS hundreds, SadDNS about a million.
         """
-        for method in ("HijackDNS", "FragDNS", "SadDNS"):
+        for method in METHOD_PREFERENCE:
             choice = self.choices.get(method)
             if choice is not None and choice.applicable:
                 return choice

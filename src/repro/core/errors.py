@@ -50,3 +50,23 @@ class ResolutionError(ReproError):
 
 class AttackError(ReproError):
     """An attack could not be carried out against the given target."""
+
+
+class ScenarioError(ReproError):
+    """An attack scenario is malformed or cannot be materialised.
+
+    Raised by :mod:`repro.scenario` for unknown methodology names,
+    mismatched attack configs, or unusable trigger specifications.
+    """
+
+
+class NotApplicableError(ScenarioError):
+    """The planner found no applicable methodology for a target.
+
+    Carries the full :class:`repro.attacks.planner.ApplicabilityVerdict`
+    so callers can inspect *why* each methodology was rejected.
+    """
+
+    def __init__(self, message: str, verdict=None):
+        super().__init__(message)
+        self.verdict = verdict

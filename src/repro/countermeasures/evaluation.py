@@ -10,26 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.attacks import (
-    FragDnsAttack,
-    FragDnsConfig,
-    HijackDnsAttack,
-    OffPathAttacker,
-    SadDnsAttack,
-    SadDnsConfig,
-    SpoofedClientTrigger,
-)
+from repro.attacks.fragdns import FragDnsConfig
+from repro.attacks.saddns import SadDnsConfig
 from repro.countermeasures.policies import ALL_MITIGATIONS, Mitigation
 from repro.dns.nameserver import NameserverConfig
+from repro.dns.records import rr_a
 from repro.netsim.host import HostConfig
-from repro.testbed import (
-    FRAG_TARGET_NAME,
-    RESOLVER_IP,
-    SERVICE_IP,
-    TARGET_DOMAIN,
-    TARGET_NS_IP,
-    standard_testbed,
-)
+from repro.scenario.spec import AttackScenario
+from repro.testbed import FRAG_TARGET_NAME
 
 ATTACK_NAMES = ("HijackDNS", "SadDNS", "FragDNS")
 
@@ -68,6 +56,65 @@ def _attack_friendly_bases(attack: str) -> dict:
     return {"base_resolver_host": resolver_host}
 
 
+def mitigated_scenario(attack: str, mitigation: Mitigation | None,
+                       saddns_iterations: int = 400,
+                       frag_attempts: int = 120) -> AttackScenario:
+    """Declare one (attack, mitigation) cell as an executable scenario."""
+    bases = _attack_friendly_bases(attack)
+    if mitigation is not None:
+        kwargs = mitigation.testbed_kwargs(
+            base_ns=bases.get("base_ns"),
+            base_ns_host=bases.get("base_ns_host"),
+            base_resolver_host=bases.get("base_resolver_host"),
+        )
+        world_overrides = dict(
+            resolver_config=kwargs["resolver_config"],
+            ns_config=kwargs["ns_config"],
+            ns_host_config=kwargs["ns_host_config"],
+            resolver_host_config=kwargs["host_config"],
+            signed_target=kwargs["signed_target"],
+        )
+    else:
+        world_overrides = dict(
+            ns_config=bases.get("base_ns"),
+            ns_host_config=bases.get("base_ns_host"),
+            resolver_host_config=bases.get("base_resolver_host"),
+        )
+    label = mitigation.key if mitigation is not None else "none"
+    if attack == "HijackDNS":
+        capture_possible = mitigation is None or "HijackDNS" not in (
+            mitigation.defeats if mitigation.key == "rpki-rov" else ()
+        )
+        return AttackScenario(
+            method="HijackDNS", label=f"HijackDNS vs {label}",
+            capture_possible=capture_possible, **world_overrides,
+        )
+    if attack == "SadDNS":
+        return AttackScenario(
+            method="SadDNS", label=f"SadDNS vs {label}",
+            attack_config=SadDnsConfig(max_iterations=saddns_iterations),
+            **world_overrides,
+        )
+    if attack == "FragDNS":
+        # A multi-address answer (a multi-homed service) gives the
+        # record-order randomisation countermeasure something to
+        # shuffle: with six records there are 720 possible second
+        # fragments, taking the per-attempt checksum-match probability
+        # far below the attempt budget.
+        return AttackScenario(
+            method="FragDNS", label=f"FragDNS vs {label}",
+            qname=FRAG_TARGET_NAME,
+            extra_target_records=tuple(
+                rr_a(FRAG_TARGET_NAME, f"123.0.0.{81 + index}", ttl=300)
+                for index in range(5)
+            ),
+            attack_config=FragDnsConfig(max_attempts=frag_attempts,
+                                        attempt_spacing=0.2),
+            **world_overrides,
+        )
+    raise ValueError(f"unknown attack {attack!r}")
+
+
 def run_attack_under_mitigation(attack: str,
                                 mitigation: Mitigation | None,
                                 seed: str = "ablation",
@@ -80,72 +127,11 @@ def run_attack_under_mitigation(attack: str,
     probability while a defeated one cannot succeed at all (the
     mitigations are categorical, not probabilistic).
     """
-    bases = _attack_friendly_bases(attack)
     label = mitigation.key if mitigation is not None else "none"
-    if mitigation is not None:
-        kwargs = mitigation.testbed_kwargs(
-            base_ns=bases.get("base_ns"),
-            base_ns_host=bases.get("base_ns_host"),
-            base_resolver_host=bases.get("base_resolver_host"),
-        )
-        world = standard_testbed(
-            seed=f"{seed}-{attack}-{label}",
-            resolver_config=kwargs["resolver_config"],
-            ns_config=kwargs["ns_config"],
-            ns_host_config=kwargs["ns_host_config"],
-            resolver_host_config=kwargs["host_config"],
-            signed_target=kwargs["signed_target"],
-        )
-    else:
-        world = standard_testbed(
-            seed=f"{seed}-{attack}-{label}",
-            ns_config=bases.get("base_ns"),
-            ns_host_config=bases.get("base_ns_host"),
-            resolver_host_config=bases.get("base_resolver_host"),
-        )
-    attacker = OffPathAttacker(world["attacker"])
-    trigger = SpoofedClientTrigger(
-        world["attacker"], RESOLVER_IP, SERVICE_IP,
-        rng=attacker.rng.derive("trigger"),
-    )
-    network = world["testbed"].network
-    resolver = world["resolver"]
-    if attack == "HijackDNS":
-        capture_possible = mitigation is None or "HijackDNS" not in (
-            mitigation.defeats if mitigation.key == "rpki-rov" else ()
-        )
-        instance = HijackDnsAttack(
-            attacker, network, resolver, TARGET_DOMAIN, TARGET_NS_IP,
-            malicious_records=[], capture_possible=capture_possible,
-        )
-        return instance.execute(trigger).success
-    if attack == "SadDNS":
-        instance = SadDnsAttack(
-            attacker, network, resolver, world["target"].server,
-            TARGET_DOMAIN,
-            config=SadDnsConfig(max_iterations=saddns_iterations),
-        )
-        return instance.execute(trigger).success
-    if attack == "FragDNS":
-        # A multi-address answer (a multi-homed service) gives the
-        # record-order randomisation countermeasure something to
-        # shuffle: with six records there are 720 possible second
-        # fragments, taking the per-attempt checksum-match probability
-        # far below the attempt budget.
-        from repro.dns.records import rr_a
-
-        for index in range(5):
-            world["target"].zone.add(
-                rr_a(FRAG_TARGET_NAME, f"123.0.0.{81 + index}", ttl=300)
-            )
-        instance = FragDnsAttack(
-            attacker, network, resolver, world["target"].server,
-            TARGET_DOMAIN,
-            config=FragDnsConfig(max_attempts=frag_attempts,
-                                 attempt_spacing=0.2),
-        )
-        return instance.execute(trigger, qname=FRAG_TARGET_NAME).success
-    raise ValueError(f"unknown attack {attack!r}")
+    scenario = mitigated_scenario(attack, mitigation,
+                                  saddns_iterations=saddns_iterations,
+                                  frag_attempts=frag_attempts)
+    return scenario.run(seed=f"{seed}-{attack}-{label}").success
 
 
 def evaluate_mitigation_matrix(mitigations: list[Mitigation] | None = None,

@@ -14,44 +14,30 @@ logging each protocol step of the paper's Figure 1:
 
 from __future__ import annotations
 
-from repro.attacks import (
-    OffPathAttacker,
-    SadDnsAttack,
-    SadDnsConfig,
-    SpoofedClientTrigger,
-    cache_poisoned,
-)
+from repro.attacks import SadDnsConfig, cache_poisoned
 from repro.core.eventlog import EventLog
-from repro.dns.nameserver import NameserverConfig
 from repro.experiments.base import ExperimentResult
 from repro.netsim.host import HostConfig
-from repro.testbed import (
-    RESOLVER_IP,
-    SERVICE_IP,
-    TARGET_DOMAIN,
-    standard_testbed,
-)
+from repro.scenario import AttackScenario
+from repro.testbed import TARGET_DOMAIN
 
 ACTORS = ["attacker", "resolver", "nameserver", "service"]
 
 
 def run(seed: int = 0) -> ExperimentResult:
     """One instrumented SadDNS run, rendered as a sequence chart."""
-    world = standard_testbed(
-        seed=f"figure1-{seed}",
-        ns_config=NameserverConfig(rrl_enabled=True),
+    scenario = AttackScenario(
+        method="SadDNS",
         resolver_host_config=HostConfig(ephemeral_low=40000,
                                         ephemeral_high=40049),
+        attack_config=SadDnsConfig(),
     )
-    bed = world["testbed"]
-    resolver = world["resolver"]
-    attacker = OffPathAttacker(world["attacker"])
-    trigger = SpoofedClientTrigger(world["attacker"], RESOLVER_IP,
-                                   SERVICE_IP,
-                                   rng=attacker.rng.derive("trigger"))
-    attack = SadDnsAttack(attacker, bed.network, resolver,
-                          world["target"].server, TARGET_DOMAIN,
-                          config=SadDnsConfig())
+    built = scenario.build(seed=f"figure1-{seed}")
+    bed = built.testbed
+    resolver = built.resolver
+    attacker = built.attacker
+    trigger = built.trigger
+    attack = built.attack
     log = EventLog()
 
     def note(actor: str, kind: str, detail: str, **data) -> None:

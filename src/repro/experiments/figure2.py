@@ -13,46 +13,28 @@ Steps of the paper's Figure 2:
 
 from __future__ import annotations
 
-from repro.attacks import (
-    FragDnsAttack,
-    FragDnsConfig,
-    OffPathAttacker,
-    SpoofedClientTrigger,
-    cache_poisoned,
-)
+from repro.attacks import FragDnsConfig, cache_poisoned
 from repro.core.eventlog import EventLog
 from repro.experiments.base import ExperimentResult
-from repro.netsim.host import HostConfig
-from repro.testbed import (
-    FRAG_TARGET_NAME,
-    RESOLVER_IP,
-    SERVICE_IP,
-    TARGET_DOMAIN,
-    standard_testbed,
-)
+from repro.scenario import AttackScenario
+from repro.testbed import FRAG_TARGET_NAME, RESOLVER_IP
 
 ACTORS = ["attacker", "resolver", "nameserver", "service"]
 
 
 def run(seed: int = 0) -> ExperimentResult:
     """One instrumented FragDNS run, rendered as a sequence chart."""
-    world = standard_testbed(
-        seed=f"figure2-{seed}",
-        ns_host_config=HostConfig(ipid_policy="global",
-                                  min_accepted_mtu=68),
-    )
-    bed = world["testbed"]
-    resolver = world["resolver"]
-    attacker = OffPathAttacker(world["attacker"])
-    trigger = SpoofedClientTrigger(world["attacker"], RESOLVER_IP,
-                                   SERVICE_IP,
-                                   rng=attacker.rng.derive("trigger"))
-    attack = FragDnsAttack(
-        attacker, bed.network, resolver, world["target"].server,
-        TARGET_DOMAIN,
+    scenario = AttackScenario(
+        method="FragDNS",
         # Zero cross-traffic makes the single scripted attempt land.
-        config=FragDnsConfig(cross_traffic_advance=(0, 1)),
+        attack_config=FragDnsConfig(cross_traffic_advance=(0, 1)),
     )
+    built = scenario.build(seed=f"figure2-{seed}")
+    bed = built.testbed
+    resolver = built.resolver
+    attacker = built.attacker
+    trigger = built.trigger
+    attack = built.attack
     log = EventLog()
 
     def note(actor: str, kind: str, detail: str, **data) -> None:

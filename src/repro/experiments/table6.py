@@ -27,12 +27,18 @@ PAPER_REFERENCE = {
 
 def run(seed: int = 0, saddns_runs: int = 2, frag_runs: int = 6,
         frag_random_runs: int = 2, scale: float = 0.01,
-        data: Table6Data | None = None) -> ExperimentResult:
-    """Assemble the full Table 6 from live trials and survey numbers."""
+        data: Table6Data | None = None,
+        workers: int | None = None) -> ExperimentResult:
+    """Assemble the full Table 6 from live trials and survey numbers.
+
+    ``workers`` > 1 fans the attack trials out over a process pool via
+    the campaign runner; the statistics are identical either way.
+    """
     if data is None:
         data = collect_table6(seed=seed, saddns_runs=saddns_runs,
                               frag_runs=frag_runs,
-                              frag_random_runs=frag_random_runs)
+                              frag_random_runs=frag_random_runs,
+                              workers=workers)
     survey3 = table3.run(seed=seed, scale=scale)
     survey4 = table4.run(seed=seed, scale=scale)
     adnet = survey3.data["summaries"]["ad-net"]

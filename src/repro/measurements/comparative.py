@@ -6,6 +6,12 @@ needed, total packets, plus the qualitative applicability and stealth
 rows.  Absolute values emerge from the attack mechanics, not from
 constants — the testbeds only pin the environmental parameters the paper
 states (global ICMP limits, 64-slot defrag caches, IP-ID policies).
+
+The trials are declared as :class:`repro.scenario.AttackScenario`
+objects and swept by a :class:`repro.scenario.Campaign`; passing
+``workers`` parallelises them across processes without changing a
+single number (each trial seed builds an independent deterministic
+testbed).
 """
 
 from __future__ import annotations
@@ -13,56 +19,28 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
-from repro.attacks import (
-    FragDnsAttack,
-    FragDnsConfig,
-    HijackDnsAttack,
-    OffPathAttacker,
-    SadDnsAttack,
-    SadDnsConfig,
-    SpoofedClientTrigger,
-)
-from repro.dns.nameserver import NameserverConfig
+from repro.attacks.fragdns import FragDnsConfig
+from repro.attacks.saddns import SadDnsConfig
 from repro.netsim.host import HostConfig
-from repro.testbed import (
-    FRAG_TARGET_NAME,
-    RESOLVER_IP,
-    SERVICE_IP,
-    TARGET_DOMAIN,
-    TARGET_NS_IP,
-    standard_testbed,
-)
+from repro.scenario.campaign import Campaign, MethodSummary
+from repro.scenario.spec import AttackScenario
 
 
 @dataclass
-class MethodStats:
-    """Aggregates for one methodology column of Table 6."""
+class MethodStats(MethodSummary):
+    """Aggregates for one methodology column of Table 6.
 
-    method: str
-    runs: int = 0
-    successes: int = 0
+    Extends the campaign's :class:`MethodSummary` (the shared
+    success/hitrate/packet bookkeeping) with the Table 6 extras:
+    per-run iteration counts and the mean attack duration.
+    """
+
     iterations: list[int] = field(default_factory=list)
-    queries: list[int] = field(default_factory=list)
-    packets: list[int] = field(default_factory=list)
-    durations: list[float] = field(default_factory=list)
 
     @property
-    def hitrate(self) -> float:
-        """Mean per-query success probability across runs."""
-        total_queries = sum(self.queries)
-        if total_queries == 0:
-            return 0.0
-        return self.successes / total_queries
-
-    @property
-    def mean_queries(self) -> float:
-        """Average triggered queries per successful attack."""
-        return statistics.mean(self.queries) if self.queries else 0.0
-
-    @property
-    def mean_packets(self) -> float:
-        """Average attacker packets per run."""
-        return statistics.mean(self.packets) if self.packets else 0.0
+    def method(self) -> str:
+        """Table 6 column label (alias of the summary key)."""
+        return self.key
 
     @property
     def mean_duration(self) -> float:
@@ -70,81 +48,83 @@ class MethodStats:
         return statistics.mean(self.durations) if self.durations else 0.0
 
     def note(self, result) -> None:
-        """Record one attack run."""
-        self.runs += 1
-        self.successes += 1 if result.success else 0
+        """Record one attack run (an AttackResult or ScenarioRun)."""
+        super().note(result)
         self.iterations.append(result.iterations)
-        self.queries.append(result.queries_triggered)
-        self.packets.append(result.packets_sent)
-        self.durations.append(result.duration)
 
 
-def run_hijackdns_trials(runs: int = 3, seed: int = 0) -> MethodStats:
-    """HijackDNS trials on fresh testbeds."""
-    stats = MethodStats(method="HijackDNS")
-    for index in range(runs):
-        world = standard_testbed(seed=f"hijack-{seed}-{index}")
-        attacker = OffPathAttacker(world["attacker"])
-        trigger = SpoofedClientTrigger(
-            world["attacker"], RESOLVER_IP, SERVICE_IP,
-            rng=attacker.rng.derive("trigger"),
-        )
-        attack = HijackDnsAttack(
-            attacker, world["testbed"].network, world["resolver"],
-            TARGET_DOMAIN, TARGET_NS_IP, malicious_records=[],
-        )
-        stats.note(attack.execute(trigger))
+def _trial_campaign(workers: int | None) -> Campaign:
+    return Campaign(
+        workers=workers,
+        executor="process" if workers is not None and workers > 1
+        else "serial",
+    )
+
+
+def _fold_stats(runs) -> dict[str, MethodStats]:
+    """Group campaign runs by scenario label into Table 6 stats."""
+    stats: dict[str, MethodStats] = {}
+    for run in runs:
+        stats.setdefault(run.label, MethodStats(key=run.label)) \
+            .note(run.result)
     return stats
+
+
+def _hijack_trials(runs: int, seed: int) -> tuple[AttackScenario, list]:
+    scenario = AttackScenario(method="HijackDNS", label="HijackDNS")
+    return scenario, [f"hijack-{seed}-{index}" for index in range(runs)]
+
+
+def _saddns_trials(runs: int, seed: int,
+                   max_iterations: int) -> tuple[AttackScenario, list]:
+    scenario = AttackScenario(
+        method="SadDNS", label="SadDNS",
+        attack_config=SadDnsConfig(max_iterations=max_iterations),
+    )
+    return scenario, [f"saddns-{seed}-{index}" for index in range(runs)]
+
+
+def _fragdns_trials(runs: int, seed: int, ipid_policy: str,
+                    max_attempts: int) -> tuple[AttackScenario, list]:
+    label = "global IPID" if ipid_policy == "global" else "random IPID"
+    scenario = AttackScenario(
+        method="FragDNS", label=f"FragDNS ({label})",
+        ns_host_config=HostConfig(ipid_policy=ipid_policy,
+                                  min_accepted_mtu=68),
+        attack_config=FragDnsConfig(max_attempts=max_attempts,
+                                    attempt_spacing=0.2),
+    )
+    return scenario, [f"frag-{seed}-{ipid_policy}-{index}"
+                      for index in range(runs)]
+
+
+def _run_group(group: tuple[AttackScenario, list],
+               workers: int | None) -> MethodStats:
+    scenario, seeds = group
+    outcome = _trial_campaign(workers).run(scenario, seeds=seeds)
+    return _fold_stats(outcome.runs)[scenario.label]
+
+
+def run_hijackdns_trials(runs: int = 3, seed: int = 0,
+                         workers: int | None = None) -> MethodStats:
+    """HijackDNS trials on fresh testbeds."""
+    return _run_group(_hijack_trials(runs, seed), workers)
 
 
 def run_saddns_trials(runs: int = 3, seed: int = 0,
-                      max_iterations: int = 3000) -> MethodStats:
+                      max_iterations: int = 3000,
+                      workers: int | None = None) -> MethodStats:
     """SadDNS trials against rate-limited nameservers."""
-    stats = MethodStats(method="SadDNS")
-    for index in range(runs):
-        world = standard_testbed(
-            seed=f"saddns-{seed}-{index}",
-            ns_config=NameserverConfig(rrl_enabled=True),
-        )
-        attacker = OffPathAttacker(world["attacker"])
-        trigger = SpoofedClientTrigger(
-            world["attacker"], RESOLVER_IP, SERVICE_IP,
-            rng=attacker.rng.derive("trigger"),
-        )
-        attack = SadDnsAttack(
-            attacker, world["testbed"].network, world["resolver"],
-            world["target"].server, TARGET_DOMAIN,
-            config=SadDnsConfig(max_iterations=max_iterations),
-        )
-        stats.note(attack.execute(trigger))
-    return stats
+    return _run_group(_saddns_trials(runs, seed, max_iterations), workers)
 
 
 def run_fragdns_trials(runs: int = 5, seed: int = 0,
                        ipid_policy: str = "global",
-                       max_attempts: int = 4000) -> MethodStats:
+                       max_attempts: int = 4000,
+                       workers: int | None = None) -> MethodStats:
     """FragDNS trials; ``ipid_policy`` selects the Table 6 sub-column."""
-    label = "global IPID" if ipid_policy == "global" else "random IPID"
-    stats = MethodStats(method=f"FragDNS ({label})")
-    for index in range(runs):
-        world = standard_testbed(
-            seed=f"frag-{seed}-{ipid_policy}-{index}",
-            ns_host_config=HostConfig(ipid_policy=ipid_policy,
-                                      min_accepted_mtu=68),
-        )
-        attacker = OffPathAttacker(world["attacker"])
-        trigger = SpoofedClientTrigger(
-            world["attacker"], RESOLVER_IP, SERVICE_IP,
-            rng=attacker.rng.derive("trigger"),
-        )
-        attack = FragDnsAttack(
-            attacker, world["testbed"].network, world["resolver"],
-            world["target"].server, TARGET_DOMAIN,
-            config=FragDnsConfig(max_attempts=max_attempts,
-                                 attempt_spacing=0.2),
-        )
-        stats.note(attack.execute(trigger, qname=FRAG_TARGET_NAME))
-    return stats
+    return _run_group(
+        _fragdns_trials(runs, seed, ipid_policy, max_attempts), workers)
 
 
 @dataclass
@@ -171,14 +151,30 @@ class Table6Data:
 
 def collect_table6(seed: int = 0, saddns_runs: int = 2,
                    frag_runs: int = 6,
-                   frag_random_runs: int = 2) -> Table6Data:
-    """Run all trials (the slow part of the Table 6 bench)."""
+                   frag_random_runs: int = 2,
+                   workers: int | None = None) -> Table6Data:
+    """Run all trials (the slow part of the Table 6 bench).
+
+    All four trial groups are scheduled over one campaign pool, so a
+    multi-worker run interleaves the long SadDNS trials with the many
+    short FragDNS ones instead of paying one pool per group.
+    """
+    groups = [
+        _hijack_trials(3, seed),
+        _saddns_trials(saddns_runs, seed, max_iterations=3000),
+        _fragdns_trials(frag_runs, seed, "global", max_attempts=4000),
+        _fragdns_trials(frag_random_runs, seed, "random",
+                        max_attempts=6000),
+    ]
+    pairs = [(scenario, trial_seed)
+             for scenario, seeds in groups for trial_seed in seeds]
+    outcome = _trial_campaign(workers).run_pairs(pairs)
+    stats = _fold_stats(outcome.runs)
+    def column(label: str) -> MethodStats:
+        return stats.get(label, MethodStats(key=label))
     return Table6Data(
-        hijack=run_hijackdns_trials(runs=3, seed=seed),
-        saddns=run_saddns_trials(runs=saddns_runs, seed=seed),
-        frag_global=run_fragdns_trials(runs=frag_runs, seed=seed,
-                                       ipid_policy="global"),
-        frag_random=run_fragdns_trials(runs=frag_random_runs, seed=seed,
-                                       ipid_policy="random",
-                                       max_attempts=6000),
+        hijack=column("HijackDNS"),
+        saddns=column("SadDNS"),
+        frag_global=column("FragDNS (global IPID)"),
+        frag_random=column("FragDNS (random IPID)"),
     )

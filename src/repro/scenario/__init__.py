@@ -1,0 +1,71 @@
+"""Unified scenario/campaign API: the single entry point for attacks.
+
+Three layers, one surface:
+
+* **Declare** — :class:`AttackScenario` and :class:`TriggerSpec` turn an
+  attack into plain data; the method registry
+  (:func:`register_method` / :func:`available_methods`) maps methodology
+  names to the attack classes behind one factory.
+* **Plan** — :func:`scenario_from_profile` and :func:`plan_and_run`
+  bridge the Table 1 planner's verdicts to executable scenarios.
+* **Sweep** — :class:`Campaign` runs scenarios across seeds and config
+  grids on worker processes and aggregates a :class:`CampaignResult`.
+
+Quickstart::
+
+    from repro.scenario import AttackScenario, Campaign
+
+    result = AttackScenario(method="hijack").run(seed=1)
+    sweep = Campaign().run(AttackScenario(method="frag"),
+                           seeds=range(32), workers=8)
+    print(sweep.describe())
+"""
+
+from repro.scenario.bridge import (
+    METHOD_PREFERENCE,
+    choose_method,
+    plan_and_run,
+    profile_world_kwargs,
+    scenario_from_profile,
+)
+from repro.scenario.campaign import (
+    Campaign,
+    CampaignResult,
+    MethodSummary,
+    percentile,
+)
+from repro.scenario.presets import sweep_scenarios, table6_scenarios
+from repro.scenario.registry import (
+    MethodSpec,
+    available_methods,
+    register_method,
+    resolve_method,
+)
+from repro.scenario.spec import (
+    AttackScenario,
+    BuiltScenario,
+    ScenarioRun,
+    TriggerSpec,
+)
+
+__all__ = [
+    "AttackScenario",
+    "BuiltScenario",
+    "Campaign",
+    "CampaignResult",
+    "METHOD_PREFERENCE",
+    "MethodSpec",
+    "MethodSummary",
+    "ScenarioRun",
+    "TriggerSpec",
+    "available_methods",
+    "choose_method",
+    "percentile",
+    "plan_and_run",
+    "profile_world_kwargs",
+    "register_method",
+    "resolve_method",
+    "scenario_from_profile",
+    "sweep_scenarios",
+    "table6_scenarios",
+]

@@ -1,0 +1,152 @@
+"""Planner bridge: ``TargetProfile`` -> executable ``AttackScenario``.
+
+The :class:`repro.attacks.planner.AttackPlanner` reproduces the paper's
+Table 1 reasoning but used to stop at a verdict it could not execute.
+This module closes the loop: :func:`scenario_from_profile` converts the
+planner-preferred (or caller-chosen) applicable methodology into a
+scenario whose testbed mirrors the profile's infrastructure facts, and
+:func:`plan_and_run` executes it — so "the planner says FragDNS applies
+to NTP" becomes a simulated poisoning, and "SadDNS is blocked for DV"
+becomes a raised :class:`repro.core.errors.NotApplicableError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Iterable
+
+from repro.attacks.planner import (
+    METHOD_PREFERENCE,
+    ApplicabilityVerdict,
+    AttackPlanner,
+    MethodChoice,
+    TargetProfile,
+)
+from repro.core.errors import NotApplicableError, ScenarioError
+from repro.dns.nameserver import NameserverConfig
+from repro.dns.resolver import ResolverConfig
+from repro.netsim.host import HostConfig
+from repro.scenario.spec import AttackScenario, ScenarioRun
+from repro.testbed import FRAG_TARGET_NAME, VICTIM_PREFIX
+
+
+def profile_world_kwargs(profile: TargetProfile) -> dict[str, Any]:
+    """Scenario overrides that make the testbed *mirror* the profile.
+
+    Each planner-relevant infrastructure fact maps onto the simulation
+    knob that implements it, so an applicable verdict executes against a
+    world where the prerequisite genuinely holds — and an inapplicable
+    one would genuinely fail there.
+    """
+    return {
+        "resolver_config": ResolverConfig(
+            allowed_clients=[VICTIM_PREFIX],
+            validates_dnssec=profile.dnssec_validated,
+            edns_udp_size=(4096 if profile.resolver_edns_at_least_response
+                           else 512),
+        ),
+        "ns_config": NameserverConfig(rrl_enabled=profile.ns_rate_limited),
+        "ns_host_config": HostConfig(
+            ipid_policy="global",
+            accepts_ptb=profile.ns_honours_ptb,
+            min_accepted_mtu=68,
+        ),
+        "resolver_host_config": HostConfig(
+            icmp_rate_limited=True,
+            icmp_limit_randomized=not profile.resolver_global_icmp_limit,
+            accept_fragments=profile.resolver_accepts_fragments,
+        ),
+        "signed_target": profile.dnssec_validated,
+    }
+
+
+def choose_method(verdict: ApplicabilityVerdict,
+                  candidates: Iterable[str] | None = None
+                  ) -> MethodChoice | None:
+    """The preferred applicable methodology, optionally restricted.
+
+    ``candidates`` models attacker capability: an adversary without BGP
+    access passes ``("SadDNS", "FragDNS")`` and the bridge picks among
+    what remains, in the paper's effectiveness order.
+    """
+    if candidates is None:
+        return verdict.best()
+    from repro.scenario.registry import resolve_method
+
+    # Resolve through the registry so aliases ("hijack", "frag") select
+    # the same methods they do everywhere else — and typos fail loudly
+    # instead of silently excluding a methodology.
+    allowed = {resolve_method(name).name for name in candidates}
+    for method in METHOD_PREFERENCE:
+        if method not in allowed:
+            continue
+        choice = verdict.choices.get(method)
+        if choice is not None and choice.applicable:
+            return choice
+    return None
+
+
+def scenario_from_profile(profile: TargetProfile,
+                          method: str | None = None,
+                          planner: AttackPlanner | None = None,
+                          candidates: Iterable[str] | None = None,
+                          **overrides: Any) -> AttackScenario:
+    """Bridge one Table 1 profile to an executable scenario.
+
+    Picks ``method`` if given (raising when the planner marks it
+    inapplicable), otherwise the best applicable methodology among
+    ``candidates`` (default: all three).  Extra keyword arguments
+    override scenario fields — e.g. a narrowed
+    ``resolver_host_config`` so probabilistic attacks converge inside a
+    test budget.
+    """
+    planner = planner if planner is not None else AttackPlanner()
+    verdict = planner.assess(profile)
+    if method is not None:
+        from repro.scenario.registry import resolve_method
+
+        canonical = resolve_method(method).name
+        choice = verdict.choices.get(canonical)
+        if choice is None:
+            raise ScenarioError(f"planner has no verdict for {canonical!r}")
+        if not choice.applicable:
+            raise NotApplicableError(
+                f"{canonical} is not applicable to {profile.app_name}: "
+                + "; ".join(choice.reasons), verdict=verdict)
+    else:
+        choice = choose_method(verdict, candidates=candidates)
+        if choice is None:
+            rejected = "; ".join(
+                f"{name}: {', '.join(c.reasons) or 'inapplicable'}"
+                for name, c in verdict.choices.items() if not c.applicable
+            )
+            raise NotApplicableError(
+                f"no methodology applies to {profile.app_name}"
+                f" ({rejected})", verdict=verdict)
+    kwargs = profile_world_kwargs(profile)
+    # A FragDNS choice implies the planner accepted that responses can
+    # exceed the fragment floor, so race the name whose answer spills
+    # into the second fragment.
+    qname = FRAG_TARGET_NAME if choice.method == "FragDNS" else None
+    scenario = AttackScenario(
+        method=choice.method,
+        qname=qname,
+        app=profile.app_name,
+        label=f"{profile.app_name}/{choice.method}",
+        planner_notes=tuple(choice.reasons),
+        **kwargs,
+    )
+    if overrides:
+        scenario = replace(scenario, **overrides)
+    return scenario
+
+
+def plan_and_run(profile: TargetProfile, seed: Any = 0,
+                 method: str | None = None,
+                 planner: AttackPlanner | None = None,
+                 candidates: Iterable[str] | None = None,
+                 **overrides: Any) -> ScenarioRun:
+    """Assess, bridge and execute in one call (planner -> simulation)."""
+    scenario = scenario_from_profile(profile, method=method, planner=planner,
+                                     candidates=candidates, **overrides)
+    return scenario.run(seed=seed)

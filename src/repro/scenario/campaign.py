@@ -1,0 +1,279 @@
+"""Campaign runner: sweep scenarios across seeds on worker processes.
+
+Each seed builds an independent deterministic testbed, so a campaign is
+embarrassingly parallel: the scenario (pure data) is shipped to a
+``concurrent.futures`` worker which builds the world, runs the attack,
+and returns the :class:`repro.scenario.spec.ScenarioRun`.  Results are
+bit-identical across the serial, thread and process executors — the RNG
+streams depend only on the seed, never on scheduling — which is what
+lets the Table 6 statistics scale out without changing a single number.
+
+The aggregated :class:`CampaignResult` carries success rates, packet
+and duration percentiles, and per-method/per-label breakdowns: the raw
+material of the paper's Table 6 rows.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.errors import ScenarioError
+from repro.scenario.spec import AttackScenario, ScenarioRun
+
+EXECUTORS = ("process", "thread", "serial")
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 1]) of ``values``."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    position = (len(ordered) - 1) * q
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def _execute_task(task: tuple[AttackScenario, Any]) -> ScenarioRun:
+    """Worker entry point: one (scenario, seed) cell of the sweep."""
+    scenario, seed = task
+    return scenario.run(seed=seed)
+
+
+@dataclass
+class MethodSummary:
+    """Aggregates for one methodology (or one scenario label)."""
+
+    key: str
+    runs: int = 0
+    successes: int = 0
+    packets: list[int] = field(default_factory=list)
+    queries: list[int] = field(default_factory=list)
+    durations: list[float] = field(default_factory=list)
+
+    def note(self, run: ScenarioRun) -> None:
+        self.runs += 1
+        self.successes += 1 if run.success else 0
+        self.packets.append(run.packets_sent)
+        self.queries.append(run.queries_triggered)
+        self.durations.append(run.duration)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.runs if self.runs else 0.0
+
+    @property
+    def hitrate(self) -> float:
+        """Per-triggered-query success probability (Table 6's metric)."""
+        total = sum(self.queries)
+        return self.successes / total if total else 0.0
+
+    @property
+    def mean_packets(self) -> float:
+        return sum(self.packets) / len(self.packets) if self.packets else 0.0
+
+    @property
+    def mean_queries(self) -> float:
+        return sum(self.queries) / len(self.queries) if self.queries else 0.0
+
+    def packets_percentile(self, q: float) -> float:
+        return percentile(self.packets, q)
+
+    def duration_percentile(self, q: float) -> float:
+        return percentile(self.durations, q)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign measured, with Table 6-style aggregates."""
+
+    runs: list[ScenarioRun]
+    wall_clock: float
+    workers: int
+    executor: str
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def successes(self) -> int:
+        return sum(1 for run in self.runs if run.success)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / len(self.runs) if self.runs else 0.0
+
+    def _group(self, key_fn) -> dict[str, MethodSummary]:
+        groups: dict[str, MethodSummary] = {}
+        for run in self.runs:
+            key = key_fn(run)
+            groups.setdefault(key, MethodSummary(key=key)).note(run)
+        return groups
+
+    def by_method(self) -> dict[str, MethodSummary]:
+        """Per-methodology breakdown across all scenarios and seeds."""
+        return self._group(lambda run: run.method)
+
+    def by_label(self) -> dict[str, MethodSummary]:
+        """Per-scenario breakdown (distinguishes grid points)."""
+        return self._group(lambda run: run.label)
+
+    def duration_percentiles(self) -> dict[str, float]:
+        values = [run.duration for run in self.runs]
+        return {"p50": percentile(values, 0.50),
+                "p90": percentile(values, 0.90),
+                "p99": percentile(values, 0.99)}
+
+    def packet_percentiles(self) -> dict[str, float]:
+        values = [run.packets_sent for run in self.runs]
+        return {"p50": percentile(values, 0.50),
+                "p90": percentile(values, 0.90),
+                "p99": percentile(values, 0.99)}
+
+    def describe(self) -> str:
+        """Rendered per-label summary table plus the campaign footer."""
+        # Imported here: the measurements package itself declares its
+        # trials through this module, so a top-level import would cycle.
+        from repro.measurements.report import render_table
+
+        headers = ["Scenario", "Runs", "Success", "Hitrate",
+                   "Packets p50/p99", "Duration p50/p99 (s)"]
+        rows = []
+        by_label = self.by_label()
+        for key in sorted(by_label):
+            summary = by_label[key]
+            rows.append([
+                key, summary.runs,
+                f"{summary.success_rate * 100:.0f}%",
+                f"{summary.hitrate * 100:.2f}%",
+                f"{summary.packets_percentile(0.5):,.0f} / "
+                f"{summary.packets_percentile(0.99):,.0f}",
+                f"{summary.duration_percentile(0.5):.1f} / "
+                f"{summary.duration_percentile(0.99):.1f}",
+            ])
+        table = render_table(headers, rows, title="Campaign summary")
+        footer = (f"{len(self.runs)} runs in {self.wall_clock:.1f}s wall"
+                  f" ({self.executor}, workers={self.workers})")
+        if self.notes:
+            footer += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return f"{table}\n{footer}"
+
+
+class Campaign:
+    """Run scenarios across seeds (and config grids) in parallel.
+
+    ``executor`` selects the ``concurrent.futures`` backend:
+    ``"process"`` (default; true parallelism, scenarios must pickle),
+    ``"thread"`` (shared process; useful for callable triggers), or
+    ``"serial"`` (the reference loop the parallel paths must match).
+    """
+
+    def __init__(self, workers: int | None = None,
+                 executor: str = "process"):
+        if executor not in EXECUTORS:
+            raise ScenarioError(
+                f"unknown executor {executor!r}; pick one of {EXECUTORS}")
+        self.workers = workers
+        self.executor = executor
+
+    def run(self,
+            scenarios: AttackScenario | Iterable[AttackScenario],
+            seeds: Iterable[Any] = range(8),
+            workers: int | None = None,
+            executor: str | None = None) -> CampaignResult:
+        """Execute every (scenario, seed) cell and aggregate.
+
+        ``seeds`` may hold ints or strings; each is passed verbatim to
+        the scenario's deterministic testbed, so a campaign over
+        ``range(32)`` is 32 statistically independent trials that any
+        executor reproduces bit-identically.
+        """
+        if isinstance(scenarios, AttackScenario):
+            scenarios = [scenarios]
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise ScenarioError("no scenarios to run")
+        seeds = list(seeds)
+        if not seeds:
+            raise ScenarioError("no seeds to run")
+        return self.run_pairs(
+            [(scenario, seed) for scenario in scenarios for seed in seeds],
+            workers=workers, executor=executor,
+        )
+
+    def run_pairs(self,
+                  pairs: Iterable[tuple[AttackScenario, Any]],
+                  workers: int | None = None,
+                  executor: str | None = None) -> CampaignResult:
+        """Execute explicit (scenario, seed) cells on one worker pool.
+
+        The general form of :meth:`run` for ragged sweeps — e.g. four
+        trial groups with different seed lists scheduled across one
+        process pool instead of one pool per group.
+        """
+        tasks = list(pairs)
+        if not tasks:
+            raise ScenarioError("no scenario/seed pairs to run")
+        kind = executor if executor is not None else self.executor
+        if kind not in EXECUTORS:
+            raise ScenarioError(
+                f"unknown executor {kind!r}; pick one of {EXECUTORS}")
+        count = workers if workers is not None else self.workers
+        if count is None:
+            count = min(8, os.cpu_count() or 1)
+        if count < 1:
+            raise ScenarioError(f"workers must be >= 1, got {count}")
+        notes: list[str] = []
+        if kind != "serial" and (count == 1 or len(tasks) == 1):
+            notes.append(
+                f"{kind} executor downgraded to serial"
+                f" ({'one worker' if count == 1 else 'one task'})")
+            kind = "serial"
+        if kind == "process" and not _picklable(tasks):
+            notes.append(
+                "scenario not picklable (callable trigger?);"
+                " fell back to the thread executor")
+            kind = "thread"
+        started = time.perf_counter()
+        if kind == "serial":
+            runs = [_execute_task(task) for task in tasks]
+        elif kind == "thread":
+            with ThreadPoolExecutor(max_workers=count) as pool:
+                runs = list(pool.map(_execute_task, tasks))
+        else:
+            chunksize = max(1, len(tasks) // (count * 4))
+            with ProcessPoolExecutor(max_workers=count) as pool:
+                runs = list(pool.map(_execute_task, tasks,
+                                     chunksize=chunksize))
+        wall_clock = time.perf_counter() - started
+        return CampaignResult(runs=runs, wall_clock=wall_clock,
+                              workers=count, executor=kind, notes=notes)
+
+    def run_grid(self, base: AttackScenario,
+                 axes: dict[str, Iterable[Any]],
+                 seeds: Iterable[Any] = range(8),
+                 workers: int | None = None,
+                 executor: str | None = None) -> CampaignResult:
+        """Sweep a config grid: every axis combination times every seed."""
+        return self.run(base.variants(**axes), seeds=seeds,
+                        workers=workers, executor=executor)
+
+
+def _picklable(tasks: list[tuple[AttackScenario, Any]]) -> bool:
+    # Probe one representative task per distinct scenario object: the
+    # pool pickles everything again anyway, so serialising the whole
+    # sweep here would just double that work.
+    probes: dict[int, tuple[AttackScenario, Any]] = {}
+    for task in tasks:
+        probes.setdefault(id(task[0]), task)
+    try:
+        pickle.dumps(list(probes.values()))
+    except Exception:
+        return False
+    return True

@@ -1,0 +1,303 @@
+"""Declarative attack scenarios: one value object describes one attack.
+
+An :class:`AttackScenario` captures everything needed to run one of the
+paper's poisoning methodologies against the standard testbed — the
+methodology name, the queried name, the trigger, the malicious records,
+and any resolver/nameserver configuration overrides — as plain,
+picklable data.  ``scenario.build()`` materialises a world and wires the
+right attack class through the method registry; ``scenario.run(seed)``
+does the whole thing in one call.  Because the object is pure data, a
+:class:`repro.scenario.campaign.Campaign` can ship it to worker
+processes and sweep it across seeds and config grids.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Iterable
+
+from repro.attacks.base import AttackResult, OffPathAttacker
+from repro.attacks.trigger import (
+    CallableTrigger,
+    OpenResolverTrigger,
+    QueryTrigger,
+    SpoofedClientTrigger,
+)
+from repro.core.errors import ScenarioError
+from repro.dns.nameserver import NameserverConfig
+from repro.dns.records import ResourceRecord
+from repro.dns.resolver import ResolverConfig
+from repro.netsim.host import HostConfig
+from repro.testbed import SERVICE_IP, TARGET_DOMAIN, standard_testbed
+
+
+@dataclass
+class TriggerSpec:
+    """How the attacker makes the victim resolver issue its query.
+
+    Declarative counterpart of :mod:`repro.attacks.trigger`: the spec is
+    data (picklable, sweepable); :meth:`build` turns it into the live
+    trigger object once a world exists.
+
+    Kinds:
+
+    * ``"spoofed-client"`` — spoof a query from ``client_ip`` inside the
+      resolver's ACL (the Figure 1 trigger; the default).
+    * ``"open-resolver"`` — query the resolver directly from the
+      attacker's own address (Section 4.3.3 open forwarders).
+    * ``"callable"`` — an application-provided function whose side
+      effect is the query (email bounce, web fetch, ...).  Callables are
+      generally not picklable; campaigns fall back to in-process
+      execution for them.
+    """
+
+    kind: str = "spoofed-client"
+    client_ip: str = SERVICE_IP
+    fn: Callable[[str, int | str], None] | None = None
+    style: str = "application"
+    cadence_seconds: float | None = None
+
+    def build(self, world: dict, attacker: OffPathAttacker) -> QueryTrigger:
+        """Instantiate the live trigger against a built world."""
+        resolver_ip = world["resolver"].address
+        if self.kind == "spoofed-client":
+            return SpoofedClientTrigger(
+                world["attacker"], resolver_ip, self.client_ip,
+                rng=attacker.rng.derive("trigger"),
+            )
+        if self.kind == "open-resolver":
+            return OpenResolverTrigger(
+                world["attacker"], resolver_ip,
+                rng=attacker.rng.derive("trigger"),
+            )
+        if self.kind == "callable":
+            if self.fn is None:
+                raise ScenarioError(
+                    "trigger kind 'callable' needs a trigger function")
+            return CallableTrigger(self.fn, style=self.style,
+                                   cadence_seconds=self.cadence_seconds)
+        raise ScenarioError(f"unknown trigger kind: {self.kind!r}")
+
+
+@dataclass
+class ScenarioRun:
+    """One scenario executed on one seed."""
+
+    label: str
+    method: str
+    seed: Any
+    result: AttackResult
+    wall_time: float = 0.0
+
+    # -- flattened conveniences for aggregation --------------------------------
+
+    @property
+    def success(self) -> bool:
+        return self.result.success
+
+    @property
+    def packets_sent(self) -> int:
+        return self.result.packets_sent
+
+    @property
+    def queries_triggered(self) -> int:
+        return self.result.queries_triggered
+
+    @property
+    def duration(self) -> float:
+        """Virtual (simulated) attack duration in seconds."""
+        return self.result.duration
+
+    @property
+    def iterations(self) -> int:
+        return self.result.iterations
+
+    def describe(self) -> str:
+        return f"[seed={self.seed}] {self.result.describe()}"
+
+
+@dataclass
+class AttackScenario:
+    """Everything needed to run one poisoning attack, as plain data.
+
+    ``method`` is a registry name (``"HijackDNS"``, ``"SadDNS"``,
+    ``"FragDNS"`` or an alias like ``"hijack"``/``"frag"``); the other
+    fields override the standard testbed and the attack defaults.  Any
+    field left at its default is filled in by the method's registered
+    defaults (e.g. a SadDNS scenario gets a rate-limited nameserver, a
+    FragDNS scenario a global-IP-ID nameserver and the long qname whose
+    answer spills into the second fragment).
+    """
+
+    method: str
+    qname: str | None = None
+    target_domain: str = TARGET_DOMAIN
+    trigger: TriggerSpec = field(default_factory=TriggerSpec)
+    malicious_records: tuple[ResourceRecord, ...] = ()
+    attack_config: Any = None
+    # -- standard_testbed overrides (None = method/testbed default) ------------
+    resolver_config: ResolverConfig | None = None
+    ns_config: NameserverConfig | None = None
+    ns_host_config: HostConfig | None = None
+    resolver_host_config: HostConfig | None = None
+    signed_target: bool = False
+    extra_target_records: tuple[ResourceRecord, ...] = ()
+    # -- metadata --------------------------------------------------------------
+    app: str | None = None             # application victim (Table 1 row)
+    capture_possible: bool = True      # HijackDNS control-plane outcome
+    label: str | None = None
+    planner_notes: tuple[str, ...] = ()
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def canonical_method(self) -> str:
+        """The registry's canonical name for :attr:`method`."""
+        from repro.scenario.registry import resolve_method
+
+        return resolve_method(self.method).name
+
+    @property
+    def display_label(self) -> str:
+        return self.label if self.label is not None else (
+            f"{self.canonical_method}:{self.target_domain}"
+            + (f" [{self.app}]" if self.app else "")
+        )
+
+    def effective_qname(self) -> str:
+        """The name the attack races (method default when unset)."""
+        if self.qname is not None:
+            return self.qname
+        from repro.scenario.registry import resolve_method
+
+        return resolve_method(self.method).default_qname(self)
+
+    # -- materialisation -------------------------------------------------------
+
+    def make_world(self, seed: Any = 0) -> dict:
+        """Build the standard testbed with this scenario's overrides.
+
+        Overrides the user left unset fall back to the registered
+        method defaults, so ``AttackScenario("saddns")`` runs against a
+        rate-limited nameserver without further ceremony.
+        """
+        from repro.scenario.registry import resolve_method
+
+        spec = resolve_method(self.method)
+        kwargs: dict[str, Any] = {
+            "resolver_config": self.resolver_config,
+            "ns_config": self.ns_config,
+            "ns_host_config": self.ns_host_config,
+            "resolver_host_config": self.resolver_host_config,
+        }
+        for key, value in spec.world_defaults(self).items():
+            if key not in kwargs:
+                raise ScenarioError(
+                    f"{spec.name} world_defaults names {key!r}; only the"
+                    f" config knobs {sorted(kwargs)} can default per"
+                    " method")
+            if kwargs[key] is None:
+                kwargs[key] = value
+        world = standard_testbed(seed=seed, signed_target=self.signed_target,
+                                 **kwargs)
+        for record in self.extra_target_records:
+            world["target"].zone.add(record)
+        return world
+
+    def build(self, *, world: dict | None = None, seed: Any = 0
+              ) -> "BuiltScenario":
+        """Materialise the scenario: world, attacker, trigger, attack.
+
+        Both parameters are keyword-only: ``build(7)`` would otherwise
+        silently bind a seed to ``world`` and fail far from the call.
+        """
+        from repro.scenario.registry import resolve_method
+
+        spec = resolve_method(self.method)
+        if self.attack_config is not None and not isinstance(
+                self.attack_config, spec.config_cls):
+            raise ScenarioError(
+                f"{spec.name} expects a {spec.config_cls.__name__},"
+                f" got {type(self.attack_config).__name__}")
+        if world is None:
+            world = self.make_world(seed=seed)
+        attacker = OffPathAttacker(world["attacker"])
+        trigger = self.trigger.build(world, attacker)
+        attack = spec.attack_factory(self, world, attacker)
+        return BuiltScenario(scenario=self, seed=seed, world=world,
+                             attacker=attacker, trigger=trigger,
+                             attack=attack)
+
+    def run(self, seed: Any = 0) -> ScenarioRun:
+        """Build a fresh world for ``seed`` and execute the attack."""
+        return self.build(seed=seed).execute()
+
+    def variants(self, **axes: Iterable[Any]) -> list["AttackScenario"]:
+        """Expand a config grid: one scenario per combination of axes.
+
+        Each keyword names a scenario field; each value is an iterable
+        of settings for that field.  The cartesian product is returned
+        with labels recording the grid point, ready for
+        :meth:`repro.scenario.campaign.Campaign.run`.
+        """
+        valid = {f.name for f in fields(self)}
+        for name in axes:
+            if name not in valid:
+                raise ScenarioError(f"unknown scenario field: {name!r}")
+        grid: list[AttackScenario] = [self]
+        for name, values in axes.items():
+            values = list(values)
+            if not values:
+                raise ScenarioError(f"empty axis: {name!r}")
+            expanded: list[AttackScenario] = []
+            for point in grid:
+                for value in values:
+                    changes: dict[str, Any] = {name: value}
+                    if name != "label" and len(values) > 1:
+                        changes["label"] = (
+                            f"{point.display_label} {name}={value!r}")
+                    expanded.append(replace(point, **changes))
+            grid = expanded
+        return grid
+
+
+@dataclass
+class BuiltScenario:
+    """A scenario materialised against one concrete world."""
+
+    scenario: AttackScenario
+    seed: Any
+    world: dict
+    attacker: OffPathAttacker
+    trigger: QueryTrigger
+    attack: Any
+
+    @property
+    def testbed(self):
+        return self.world["testbed"]
+
+    @property
+    def network(self):
+        return self.world["testbed"].network
+
+    @property
+    def resolver(self):
+        return self.world["resolver"]
+
+    @property
+    def target(self):
+        return self.world["target"]
+
+    def execute(self) -> ScenarioRun:
+        """Run the attack to completion and wrap the outcome."""
+        started = time.perf_counter()
+        result = self.attack.execute(
+            self.trigger, qname=self.scenario.effective_qname())
+        return ScenarioRun(
+            label=self.scenario.display_label,
+            method=self.scenario.canonical_method,
+            seed=self.seed,
+            result=result,
+            wall_time=time.perf_counter() - started,
+        )

@@ -16,7 +16,7 @@ ethics"; Figures 1 and 2 use the concrete addresses reproduced here).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from repro.core.eventlog import EventLog
 from repro.core.rng import DeterministicRNG
@@ -171,13 +171,15 @@ class Testbed:
     def make_host(self, name: str, address: str,
                   spoofing: bool = False,
                   host_config: HostConfig | None = None) -> Host:
-        """Attach a plain host (service, client or attacker)."""
+        """Attach a plain host (service, client or attacker).
+
+        The caller's ``host_config`` is never mutated: one config object
+        can safely parameterise many hosts (or scenario sweeps).
+        """
         if host_config is None:
             host_config = HostConfig(egress_spoofing_allowed=spoofing)
-        else:
-            host_config.egress_spoofing_allowed = (
-                spoofing or host_config.egress_spoofing_allowed
-            )
+        elif spoofing and not host_config.egress_spoofing_allowed:
+            host_config = replace(host_config, egress_spoofing_allowed=True)
         return self.network.attach(Host(
             name, address, config=host_config,
             rng=self.rng.derive(f"host-{name}"),

@@ -1,0 +1,286 @@
+"""Tests for the declarative scenario API and the planner bridge.
+
+The parity tests walk every Table 1 application profile: each
+methodology the planner marks applicable must bridge to a scenario that
+actually builds (the right attack class against a materialised world),
+and each inapplicable verdict must raise cleanly instead of producing
+an unrunnable scenario.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPLICATIONS
+from repro.attacks import (
+    AttackPlanner,
+    FragDnsAttack,
+    FragDnsConfig,
+    HijackDnsAttack,
+    SadDnsAttack,
+    SadDnsConfig,
+    TargetProfile,
+)
+from repro.attacks.hijackdns import HijackDnsConfig
+from repro.core.errors import NotApplicableError, ScenarioError
+from repro.experiments.table1 import INFRASTRUCTURE_OVERRIDES, _application_key
+from repro.netsim.host import HostConfig
+from repro.scenario import (
+    AttackScenario,
+    TriggerSpec,
+    available_methods,
+    plan_and_run,
+    resolve_method,
+    scenario_from_profile,
+)
+from repro.testbed import FRAG_TARGET_NAME, TARGET_DOMAIN
+
+ATTACK_CLASSES = {
+    "HijackDNS": HijackDnsAttack,
+    "SadDNS": SadDnsAttack,
+    "FragDNS": FragDnsAttack,
+}
+
+
+def table1_profiles() -> list[tuple[str, TargetProfile]]:
+    """Every Table 1 application profile, with the paper's overrides."""
+    profiles = []
+    for app_class in ALL_APPLICATIONS:
+        key = _application_key(app_class)
+        overrides = INFRASTRUCTURE_OVERRIDES.get(key, {})
+        instance = app_class.__new__(app_class)  # row metadata only
+        profiles.append((key, instance.target_profile(**overrides)))
+    return profiles
+
+
+def simple_profile(**overrides) -> TargetProfile:
+    base = dict(app_name="test", query_name_known=True,
+                query_name_choosable=True, trigger_style="direct")
+    base.update(overrides)
+    return TargetProfile(**base)
+
+
+class TestRegistry:
+    def test_three_methods_registered(self):
+        assert available_methods() == ["FragDNS", "HijackDNS", "SadDNS"]
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("hijack", "HijackDNS"), ("HIJACKDNS", "HijackDNS"),
+        ("bgp-hijack", "HijackDNS"), ("saddns", "SadDNS"),
+        ("side-channel", "SadDNS"), ("frag", "FragDNS"),
+        ("Fragmentation", "FragDNS"),
+    ])
+    def test_aliases_resolve(self, alias, canonical):
+        assert resolve_method(alias).name == canonical
+        assert AttackScenario(method=alias).canonical_method == canonical
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ScenarioError, match="unknown attack method"):
+            resolve_method("quantum-dns")
+        with pytest.raises(ScenarioError):
+            AttackScenario(method="quantum-dns").build(seed=0)
+
+    def test_mismatched_attack_config_rejected(self):
+        scenario = AttackScenario(method="saddns",
+                                  attack_config=HijackDnsConfig())
+        with pytest.raises(ScenarioError, match="expects a SadDnsConfig"):
+            scenario.build(seed=0)
+
+    def test_build_instantiates_registered_class(self):
+        for method, attack_class in ATTACK_CLASSES.items():
+            built = AttackScenario(method=method).build(
+                seed=f"registry-{method}")
+            assert isinstance(built.attack, attack_class)
+
+    def test_method_world_defaults_applied(self):
+        saddns = AttackScenario(method="saddns").build(seed="defaults-sad")
+        assert saddns.target.server.config.rrl_enabled
+        frag = AttackScenario(method="frag").build(seed="defaults-frag")
+        assert frag.target.server.host.config.ipid_policy == "global"
+        # Explicit overrides win over method defaults.
+        custom = AttackScenario(
+            method="frag",
+            ns_host_config=HostConfig(ipid_policy="random",
+                                      min_accepted_mtu=68),
+        ).build(seed="defaults-frag-2")
+        assert custom.target.server.host.config.ipid_policy == "random"
+
+    def test_frag_default_qname_is_fragmentable_name(self):
+        assert AttackScenario(method="frag").effective_qname() \
+            == FRAG_TARGET_NAME
+        assert AttackScenario(method="hijack").effective_qname() \
+            == TARGET_DOMAIN
+
+
+class TestTriggerSpec:
+    def test_unknown_kind_raises(self):
+        scenario = AttackScenario(method="hijack",
+                                  trigger=TriggerSpec(kind="telepathy"))
+        with pytest.raises(ScenarioError, match="unknown trigger kind"):
+            scenario.build(seed=0)
+
+    def test_callable_kind_needs_fn(self):
+        scenario = AttackScenario(method="hijack",
+                                  trigger=TriggerSpec(kind="callable"))
+        with pytest.raises(ScenarioError, match="trigger function"):
+            scenario.build(seed=0)
+
+    def test_open_resolver_trigger_builds(self):
+        scenario = AttackScenario(
+            method="hijack", trigger=TriggerSpec(kind="open-resolver"))
+        built = scenario.build(seed="open-trigger")
+        assert built.trigger.resolver_ip == built.resolver.address
+
+
+class TestScenarioExecution:
+    def test_hijack_scenario_end_to_end(self):
+        run = AttackScenario(method="hijack").run(seed="e2e-hijack")
+        assert run.success
+        assert run.method == "HijackDNS"
+        assert run.packets_sent == 2
+        assert run.queries_triggered == 1
+
+    def test_same_seed_reproduces_bit_identically(self):
+        first = AttackScenario(method="frag").run(seed="repro-check")
+        second = AttackScenario(method="frag").run(seed="repro-check")
+        assert (first.success, first.packets_sent, first.duration) \
+            == (second.success, second.packets_sent, second.duration)
+
+    def test_variants_expand_config_grid(self):
+        base = AttackScenario(method="hijack")
+        grid = base.variants(capture_possible=[True, False],
+                             signed_target=[False])
+        assert len(grid) == 2
+        assert {point.capture_possible for point in grid} == {True, False}
+        labels = {point.display_label for point in grid}
+        assert len(labels) == 2
+
+    def test_variants_reject_unknown_field(self):
+        with pytest.raises(ScenarioError, match="unknown scenario field"):
+            AttackScenario(method="hijack").variants(warp_drive=[1])
+
+    def test_variants_over_label_axis(self):
+        grid = AttackScenario(method="hijack").variants(label=["a", "b"])
+        assert [point.label for point in grid] == ["a", "b"]
+
+    def test_build_rejects_positional_seed(self):
+        with pytest.raises(TypeError):
+            AttackScenario(method="hijack").build(7)
+
+
+class TestPlannerBridge:
+    """Planner <-> execution parity over the Table 1 matrix."""
+
+    planner = AttackPlanner()
+
+    @pytest.mark.parametrize("key,profile", table1_profiles())
+    def test_applicable_verdicts_build(self, key, profile):
+        verdict = self.planner.assess(profile)
+        for method, choice in verdict.choices.items():
+            if not choice.applicable:
+                continue
+            scenario = scenario_from_profile(profile, method=method)
+            assert scenario.app == profile.app_name
+            built = scenario.build(seed=f"parity-{key}-{method}")
+            assert isinstance(built.attack, ATTACK_CLASSES[method])
+
+    @pytest.mark.parametrize("key,profile", table1_profiles())
+    def test_inapplicable_verdicts_raise(self, key, profile):
+        verdict = self.planner.assess(profile)
+        for method, choice in verdict.choices.items():
+            if choice.applicable:
+                continue
+            with pytest.raises(NotApplicableError) as excinfo:
+                scenario_from_profile(profile, method=method)
+            assert excinfo.value.verdict is verdict or \
+                excinfo.value.verdict.target == profile
+
+    def test_preferred_method_follows_effectiveness_order(self):
+        scenario = scenario_from_profile(simple_profile())
+        assert scenario.canonical_method == "HijackDNS"
+        no_bgp = scenario_from_profile(
+            simple_profile(), candidates=("SadDNS", "FragDNS"))
+        assert no_bgp.canonical_method == "FragDNS"
+        saddns_only = scenario_from_profile(
+            simple_profile(), candidates=("saddns",))
+        assert saddns_only.canonical_method == "SadDNS"
+        # Registry aliases select the same methods they do everywhere
+        # else, and typos fail loudly instead of excluding silently.
+        aliased = scenario_from_profile(
+            simple_profile(), candidates=("hijack", "frag"))
+        assert aliased.canonical_method == "HijackDNS"
+        with pytest.raises(ScenarioError, match="unknown attack method"):
+            scenario_from_profile(simple_profile(),
+                                  candidates=("typo-dns",))
+
+    def test_nothing_applicable_raises(self):
+        hardened = simple_profile(dnssec_validated=True)
+        with pytest.raises(NotApplicableError, match="no methodology"):
+            scenario_from_profile(hardened)
+        with pytest.raises(NotApplicableError):
+            plan_and_run(hardened)
+
+    def test_restricted_candidates_may_exclude_everything(self):
+        # NTP-style infrastructure: pool nameservers do not rate-limit,
+        # so SadDNS is out; restricting the attacker to SadDNS must
+        # surface that as inapplicability, not as a doomed scenario.
+        profile = simple_profile(app_name="NTP", ns_rate_limited=False)
+        with pytest.raises(NotApplicableError):
+            scenario_from_profile(profile, method="saddns")
+
+    def test_profile_facts_shape_the_world(self):
+        profile = simple_profile(ns_rate_limited=False,
+                                 resolver_accepts_fragments=False)
+        scenario = scenario_from_profile(profile)
+        built = scenario.build(seed="facts")
+        assert not built.target.server.config.rrl_enabled
+        assert not built.resolver.host.config.accept_fragments
+
+
+class TestPlanAndRun:
+    """plan_and_run executes the preferred methodology end to end."""
+
+    def test_http_profile_runs_hijack(self):
+        run = plan_and_run(simple_profile(app_name="HTTP"), seed="par-http")
+        assert run.method == "HijackDNS"
+        assert run.success
+
+    def test_ntp_profile_runs_frag_without_bgp(self):
+        # NTP (Table 1): SadDNS x (no rate limiting), FragDNS v2 — an
+        # attacker without BGP access lands on FragDNS.
+        profile = simple_profile(app_name="NTP", ns_rate_limited=False,
+                                 query_name_choosable=False,
+                                 trigger_style="waiting",
+                                 third_party_trigger=True)
+        run = plan_and_run(
+            profile, seed="par-ntp-3",
+            candidates=("SadDNS", "FragDNS"),
+            attack_config=FragDnsConfig(max_attempts=40,
+                                        attempt_spacing=0.2),
+        )
+        assert run.method == "FragDNS"
+        assert run.success
+
+    def test_smtp_profile_runs_saddns_when_chosen(self):
+        profile = simple_profile(app_name="SMTP",
+                                 trigger_style="direct/bounce")
+        run = plan_and_run(
+            profile, seed="par-smtp", method="saddns",
+            resolver_host_config=HostConfig(ephemeral_low=30000,
+                                            ephemeral_high=30999),
+            attack_config=SadDnsConfig(max_iterations=60),
+        )
+        assert run.method == "SadDNS"
+        assert run.success
+
+
+def test_make_host_does_not_mutate_caller_config():
+    # Regression: make_host used to set egress_spoofing_allowed on the
+    # caller's HostConfig, silently granting spoofing to every later
+    # host built from the same (shared) config object.
+    from repro.testbed import Testbed
+
+    bed = Testbed(seed="no-mutate")
+    config = HostConfig()
+    host = bed.make_host("spoofer", "9.9.9.9", spoofing=True,
+                         host_config=config)
+    assert host.config.egress_spoofing_allowed
+    assert not config.egress_spoofing_allowed
