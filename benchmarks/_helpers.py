@@ -10,6 +10,8 @@ numbers.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 
 
@@ -29,3 +31,23 @@ def publish(benchmark, result) -> None:
 def pct(text: str) -> float:
     """Parse a rendered percentage cell back to a float."""
     return float(str(text).rstrip("%").replace(",", ""))
+
+
+def write_atlas_bench(reports, wall_clock: float,
+                      path: str | None = None) -> str:
+    """Write the machine-readable atlas scan record (``BENCH_atlas.json``).
+
+    ``reports`` are :class:`repro.atlas.pipeline.AtlasScanReport`
+    objects; the payload records entities/sec, shard counts and wall
+    time per dataset (the same shape ``python -m repro.atlas scan
+    --json`` emits, so CI can compare the bench and CLI records).  The
+    target path defaults to ``$BENCH_ATLAS_JSON`` or
+    ``BENCH_atlas.json`` in the working directory.
+    """
+    from repro.atlas.cli import bench_payload
+
+    path = path or os.environ.get("BENCH_ATLAS_JSON", "BENCH_atlas.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bench_payload(reports, wall_clock), handle,
+                  indent=2, sort_keys=True)
+    return path

@@ -1,0 +1,51 @@
+"""Bench: the atlas sharded scan pipeline (throughput + determinism).
+
+Scans a slice of the paper's largest population (open resolvers,
+1.58M full size) through the shard pipeline, writes the machine-readable
+``BENCH_atlas.json`` record (entities/sec, shard count, wall time), and
+asserts the shape results: measured rates recover the Table 3
+calibration and the aggregate is invariant to the shard layout.
+"""
+
+import os
+import sys
+
+from _helpers import pct, write_atlas_bench
+
+from repro.atlas import find_dataset, scan_dataset
+
+ENTITIES = int(os.environ.get("BENCH_ATLAS_ENTITIES", "20000"))
+SHARDS = int(os.environ.get("BENCH_ATLAS_SHARDS", "8"))
+
+
+def test_atlas_sharded_scan(benchmark):
+    spec = find_dataset("open")
+    report = benchmark.pedantic(
+        lambda: scan_dataset(spec, seed=0, entities=ENTITIES,
+                             shards=SHARDS),
+        rounds=1, iterations=1)
+    path = write_atlas_bench([report], report.wall_clock)
+    sys.stdout.write(
+        f"\natlas scan: {report.entities:,} entities, "
+        f"{report.shard_count} shards, {report.wall_clock:.1f}s "
+        f"({report.entities_per_second:,.0f} entities/s, "
+        f"{report.executor}, workers={report.workers}); wrote {path}\n")
+    benchmark.extra_info["entities"] = report.entities
+    benchmark.extra_info["shard_count"] = report.shard_count
+    benchmark.extra_info["entities_per_second"] = round(
+        report.entities_per_second, 1)
+    benchmark.extra_info["bench_json"] = path
+
+    # The scan must recover the Table 3 calibration at this scale ...
+    summary = report.summary
+    assert abs(summary.pct("hijack") - spec.expected_hijack) < 4
+    assert abs(summary.pct("saddns") - spec.expected_saddns) < 3
+    assert abs(summary.pct("frag") - spec.expected_frag) < 4
+    # ... the strata must cover every entity exactly once ...
+    assert sum(report.aggregate.strata.values()) == report.entities
+    # ... and the merged aggregate must not depend on the shard layout.
+    relaid = scan_dataset(spec, seed=0, entities=ENTITIES,
+                          shards=max(1, SHARDS // 2), executor="serial")
+    assert relaid.aggregate.to_json() == report.aggregate.to_json()
+    assert pct(f"{summary.pct('hijack'):.2f}") == \
+        pct(f"{relaid.summary.pct('hijack'):.2f}")

@@ -3,7 +3,9 @@
 
 Prints Tables 3 and 4, the Figure 3/4 distributions and the Figure 5
 Venn regions from one seeded synthetic Internet.  Increase ``--scale``
-for tighter statistics (0.01 samples ~16k of the 1.58M open resolvers).
+for tighter statistics (0.01 samples ~16k of the 1.58M open resolvers);
+for the *full* populations, use the sharded atlas instead
+(``python -m repro.atlas scan`` or ``examples/atlas_scan.py``).
 
 Run:  python examples/internet_survey.py [--scale 0.01] [--seed 0]
 """

@@ -20,7 +20,11 @@ The package implements, on a byte-accurate simulated Internet:
   (:mod:`repro.measurements`) and the countermeasures of Section 6
   (:mod:`repro.countermeasures`);
 * an experiment registry regenerating every table and figure
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* the attack-surface atlas (:mod:`repro.atlas`): sharded synthesis and
+  parallel scanning of the *full* paper populations (1.58M open
+  resolvers, 1M domains) with a resumable on-disk result store and a
+  campaign bridge validating planner verdicts at population scale.
 
 Quickstart::
 
@@ -42,6 +46,25 @@ Quickstart::
                             query_name_choosable=True,
                             trigger_style="direct")
     print(plan_and_run(profile, seed=2).result.describe())
+
+Atlas quickstart — Section 5 at the paper's full dataset sizes::
+
+    from repro.atlas import AtlasStore, find_dataset, scan_dataset
+
+    spec = find_dataset("open")                  # 1.58M open resolvers
+    report = scan_dataset(spec, shards=16, workers=8,
+                          store=AtlasStore(".atlas-store"))
+    print(report.summary.percentages)            # Table 3 'open' row
+    # Interrupted?  Re-run the same call: only missing shards compute.
+
+    # Validate the planner against the scanned strata end-to-end:
+    from repro.atlas import calibrate_population
+    print(calibrate_population(report.aggregate, "open",
+                               sample_budget=24).describe())
+
+Shell equivalent: ``python -m repro.atlas scan --entities 1580000
+--shards 16 --store .atlas-store`` (see ``python -m repro.atlas -h``
+for ``synth`` / ``calibrate`` / ``report``).
 """
 
 from repro.attacks.planner import TargetProfile

@@ -1,0 +1,102 @@
+"""``repro.atlas`` — the Internet-scale attack-surface atlas.
+
+The paper's measurement study (Section 5) runs against populations of
+up to 1.58M open resolvers and 1M domains.  The sampled experiment path
+(:mod:`repro.experiments.table3`/``table4`` at ``scale=0.01``) keeps
+those numbers honest statistically; the atlas makes them *computable*:
+
+* **sharded synthesis** (:mod:`repro.atlas.synth`) — every entity is
+  seeded by ``(seed, dataset, index)`` and produced by the same draw
+  kernel the monolithic generator uses, so shard producers are
+  seekable, stream in constant memory, and a shard-merge equals the
+  monolithic stream bit-for-bit;
+* **parallel scan pipeline** (:mod:`repro.atlas.pipeline`) — shards run
+  on ``concurrent.futures`` process workers and return mergeable
+  :class:`repro.atlas.aggregate.ScanAggregate` counters/histograms,
+  scaling Tables 3 and 4 to the paper's full dataset sizes;
+* **persistent result store** (:mod:`repro.atlas.store`) — an
+  append-only JSON-lines store keyed by ``(population_spec_hash,
+  shard_id)``; rerunning an interrupted scan recomputes only missing
+  shards;
+* **campaign calibration bridge** (:mod:`repro.atlas.calibrate`) —
+  scanned entities are stratified by vulnerability profile, mapped onto
+  planner profiles and validated with a stratified
+  :class:`repro.scenario.Campaign` sub-sample of end-to-end attacks.
+
+Quickstart::
+
+    from repro.atlas import scan_dataset, find_dataset, AtlasStore
+
+    spec = find_dataset("open")               # 1.58M open resolvers
+    store = AtlasStore(".atlas-store")        # enables resume
+    report = scan_dataset(spec, entities=200_000, shards=16, store=store)
+    print(report.summary.percentages)         # Table 3 'open' row
+    print(f"{report.entities_per_second:,.0f} entities/s")
+
+    from repro.atlas import calibrate_population
+    calibration = calibrate_population(report.aggregate, "open",
+                                       sample_budget=12)
+    print(calibration.describe())             # planner vs. simulation
+
+or from the shell::
+
+    python -m repro.atlas scan --entities 1580000 --shards 16 \
+        --store .atlas-store
+    python -m repro.atlas synth --dataset open --entities 100000 --verify
+    python -m repro.atlas calibrate --dataset open --entities 50000
+    python -m repro.atlas report --store .atlas-store
+"""
+
+from repro.atlas.aggregate import ScanAggregate, stratum_key
+from repro.atlas.calibrate import (
+    CalibrationReport,
+    StratumCalibration,
+    calibrate_population,
+    profile_for_stratum,
+)
+from repro.atlas.pipeline import (
+    AtlasScanReport,
+    all_dataset_specs,
+    run_tasks,
+    scan_dataset,
+    scan_many,
+)
+from repro.atlas.shards import (
+    ShardRange,
+    dataset_kind,
+    find_dataset,
+    population_spec_hash,
+    shard_ranges,
+)
+from repro.atlas.store import AtlasStore, ShardRecord
+from repro.atlas.synth import (
+    iter_domains,
+    iter_entities,
+    iter_front_ends,
+    stream_checksum,
+)
+
+__all__ = [
+    "AtlasScanReport",
+    "AtlasStore",
+    "CalibrationReport",
+    "ScanAggregate",
+    "ShardRange",
+    "ShardRecord",
+    "StratumCalibration",
+    "all_dataset_specs",
+    "calibrate_population",
+    "dataset_kind",
+    "find_dataset",
+    "iter_domains",
+    "iter_entities",
+    "iter_front_ends",
+    "population_spec_hash",
+    "profile_for_stratum",
+    "run_tasks",
+    "scan_dataset",
+    "scan_many",
+    "shard_ranges",
+    "stratum_key",
+    "stream_checksum",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.atlas``."""
+
+import sys
+
+from repro.atlas.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

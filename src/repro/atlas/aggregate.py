@@ -1,0 +1,158 @@
+"""Mergeable streaming aggregates for population-scale scans.
+
+A shard worker never materialises its entities: it feeds each one
+through the Section 5 scanners and folds the verdicts into a
+:class:`ScanAggregate` — counters and histograms with an associative,
+commutative :meth:`ScanAggregate.merge`.  Merging all shard aggregates
+(in any order) therefore equals aggregating the monolithic stream, which
+is what lets Tables 3 and 4 run at the paper's full dataset sizes in
+constant memory per worker.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.measurements.population import DomainProfile, FrontEnd
+from repro.measurements.scanner import (
+    SurveySummary,
+    scan_domain,
+    scan_front_end,
+)
+
+#: Methodology flags per entity kind, in reporting order.
+RESOLVER_FLAGS = ("hijack", "saddns", "frag")
+DOMAIN_FLAGS = ("hijack", "saddns", "frag_any", "frag_global", "dnssec")
+
+#: The three-methodology stratum axes (domains fold frag_any/global).
+STRATUM_FLAGS = ("hijack", "saddns", "frag")
+
+
+def stratum_key(hijack: bool, saddns: bool, frag: bool) -> str:
+    """Canonical name of one vulnerability-profile stratum."""
+    parts = [name for name, flag in
+             zip(STRATUM_FLAGS, (hijack, saddns, frag)) if flag]
+    return "+".join(parts) if parts else "none"
+
+
+@dataclass
+class ScanAggregate:
+    """Streaming scan statistics for one shard (or a merge of shards)."""
+
+    kind: str
+    count: int = 0
+    flags: Counter = field(default_factory=Counter)
+    strata: Counter = field(default_factory=Counter)
+    histograms: dict[str, Counter] = field(default_factory=dict)
+
+    def _bump(self, histogram: str, value: int) -> None:
+        self.histograms.setdefault(histogram, Counter())[value] += 1
+
+    def observe_front_end(self, front_end: FrontEnd) -> None:
+        """Scan one front-end system and fold in the verdicts."""
+        result = scan_front_end(front_end)
+        self.count += 1
+        for flag in RESOLVER_FLAGS:
+            if getattr(result, flag):
+                self.flags[flag] += 1
+        self.strata[stratum_key(result.hijack, result.saddns,
+                                result.frag)] += 1
+        for resolver in front_end.resolvers:
+            self._bump("prefix_length", resolver.prefix_length)
+            if resolver.reachable and resolver.edns_size is not None:
+                self._bump("edns_size", resolver.edns_size)
+
+    def observe_domain(self, domain: DomainProfile) -> None:
+        """Scan one domain and fold in the verdicts."""
+        result = scan_domain(domain)
+        self.count += 1
+        for flag in DOMAIN_FLAGS:
+            if getattr(result, flag):
+                self.flags[flag] += 1
+        self.strata[stratum_key(result.hijack, result.saddns,
+                                result.frag_any or result.frag_global)] += 1
+        for ns in domain.nameservers:
+            self._bump("prefix_length", ns.prefix_length)
+            if ns.honours_ptb:
+                self._bump("min_frag_size", ns.min_frag_size)
+
+    def observe(self, entity: FrontEnd | DomainProfile) -> None:
+        if isinstance(entity, FrontEnd):
+            self.observe_front_end(entity)
+        else:
+            self.observe_domain(entity)
+
+    # -- algebra ---------------------------------------------------------------
+
+    def merge(self, other: "ScanAggregate") -> "ScanAggregate":
+        """Fold another aggregate in (associative and commutative)."""
+        if other.kind != self.kind:
+            raise ValueError(
+                f"cannot merge {other.kind!r} into {self.kind!r}")
+        self.count += other.count
+        self.flags.update(other.flags)
+        self.strata.update(other.strata)
+        for name, histogram in other.histograms.items():
+            self.histograms.setdefault(name, Counter()).update(histogram)
+        return self
+
+    @classmethod
+    def merged(cls, kind: str,
+               parts: list["ScanAggregate"]) -> "ScanAggregate":
+        total = cls(kind=kind)
+        for part in parts:
+            total.merge(part)
+        return total
+
+    # -- reporting -------------------------------------------------------------
+
+    def pct(self, flag: str) -> float:
+        return 100.0 * self.flags.get(flag, 0) / self.count \
+            if self.count else 0.0
+
+    def flag_names(self) -> tuple[str, ...]:
+        return RESOLVER_FLAGS if self.kind == "resolver" else DOMAIN_FLAGS
+
+    def to_summary(self, dataset: str, full_size: int) -> SurveySummary:
+        """The same shape the monolithic scanners summarise into."""
+        return SurveySummary(
+            dataset=dataset, size=self.count, full_size=full_size,
+            percentages={flag: self.pct(flag)
+                         for flag in self.flag_names()},
+        )
+
+    def histogram_fractions(self, name: str) -> dict[int, float]:
+        histogram = self.histograms.get(name, Counter())
+        total = sum(histogram.values())
+        if not total:
+            return {}
+        return {value: count / total
+                for value, count in sorted(histogram.items())}
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "flags": dict(self.flags),
+            "strata": dict(self.strata),
+            "histograms": {name: {str(value): count
+                                  for value, count in histogram.items()}
+                           for name, histogram in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ScanAggregate":
+        return cls(
+            kind=payload["kind"],
+            count=payload["count"],
+            flags=Counter(payload.get("flags", {})),
+            strata=Counter(payload.get("strata", {})),
+            histograms={
+                name: Counter({int(value): count
+                               for value, count in histogram.items()})
+                for name, histogram in payload.get("histograms", {}).items()
+            },
+        )

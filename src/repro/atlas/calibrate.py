@@ -1,0 +1,284 @@
+"""Campaign calibration bridge: scanned strata -> executed scenarios.
+
+A population scan ends with *measured* vulnerability strata (which
+fraction of entities is hijackable, SadDNS-scannable, fragmentable, in
+every combination).  This module closes the loop the paper closes with
+its end-to-end attacks: each stratum becomes a
+:class:`repro.attacks.planner.TargetProfile` whose infrastructure facts
+mirror the stratum's flags, the planner bridge maps it onto an
+executable scenario, and a stratified :class:`repro.scenario.Campaign`
+sub-sample runs the attacks — so the planner's Table 1 verdicts are
+validated against simulated outcomes *at population scale*:
+
+* a stratum flagged ``hijack`` must succeed deterministically under
+  HijackDNS (and fail when capture is impossible);
+* ``saddns``/``frag`` strata must be planner-applicable and execute,
+  with hitrates reported against the Table 6 expectations;
+* methods whose prerequisite flag is *absent* must be planner-rejected
+  — the scan's negative verdicts are validated too;
+* the ``none`` stratum must raise
+  :class:`repro.core.errors.NotApplicableError` for every off-path
+  methodology.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.attacks.fragdns import FragDnsConfig
+from repro.attacks.planner import (
+    METHOD_PREFERENCE,
+    AttackPlanner,
+    TargetProfile,
+)
+from repro.attacks.saddns import SadDnsConfig
+from repro.atlas.aggregate import STRATUM_FLAGS, ScanAggregate
+from repro.core.errors import NotApplicableError
+from repro.scenario.bridge import profile_world_kwargs, scenario_from_profile
+from repro.scenario.campaign import Campaign
+from repro.scenario.presets import FAST_SADDNS_PORTS
+from repro.scenario.spec import AttackScenario
+
+#: Scan flag -> the methodology whose prerequisite it measures.
+FLAG_METHODS = {"hijack": "HijackDNS", "saddns": "SadDNS",
+                "frag": "FragDNS"}
+
+
+def profile_for_stratum(stratum: str) -> TargetProfile:
+    """A Table 1 target whose infrastructure mirrors one stratum.
+
+    Every planner-relevant fact is set from the stratum's flags, so the
+    planner's applicability reasoning runs against exactly what the
+    scanners measured.
+    """
+    flags = set() if stratum == "none" else set(stratum.split("+"))
+    unknown = flags - set(STRATUM_FLAGS)
+    if unknown:
+        raise ValueError(f"unknown stratum flags: {sorted(unknown)}")
+    return TargetProfile(
+        app_name=f"atlas-{stratum}",
+        query_name_known=True,
+        query_name_choosable=True,
+        trigger_style="direct",
+        resolver_prefix_longer_than_24="hijack" in flags,
+        ns_prefix_longer_than_24="hijack" in flags,
+        resolver_global_icmp_limit="saddns" in flags,
+        ns_rate_limited="saddns" in flags,
+        ns_honours_ptb="frag" in flags,
+        response_can_exceed_frag_limit="frag" in flags,
+        resolver_edns_at_least_response="frag" in flags,
+        resolver_accepts_fragments="frag" in flags,
+    )
+
+
+def _budget_overrides(method: str, profile: TargetProfile) -> dict[str, Any]:
+    """Budget-capped attack configs so stratified sub-samples run fast.
+
+    Mirrors :func:`repro.scenario.presets.sweep_scenarios`: mechanics
+    unchanged, budgets capped so each run finishes in well under a
+    second of wall time.
+    """
+    if method == "SadDNS":
+        base = profile_world_kwargs(profile)["resolver_host_config"]
+        return {
+            "attack_config": SadDnsConfig(max_iterations=1,
+                                          scan_batches_per_iteration=2),
+            "resolver_host_config": replace(
+                base, ephemeral_low=FAST_SADDNS_PORTS[0],
+                ephemeral_high=FAST_SADDNS_PORTS[1]),
+        }
+    if method == "FragDNS":
+        return {"attack_config": FragDnsConfig(max_attempts=3,
+                                               attempt_spacing=0.2)}
+    return {}
+
+
+@dataclass
+class StratumCalibration:
+    """One stratum's planner verdict and campaign outcome."""
+
+    stratum: str
+    count: int
+    weight: float
+    candidates: tuple[str, ...]
+    chosen_method: str | None
+    planner_applicable: bool
+    rejected_methods: tuple[str, ...]
+    runs: int = 0
+    successes: int = 0
+    validated: bool = False
+    note: str = ""
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.runs if self.runs else 0.0
+
+
+@dataclass
+class CalibrationReport:
+    """Stratified end-to-end validation of one scanned population."""
+
+    dataset: str
+    kind: str
+    entities: int
+    sample_budget: int
+    strata: list[StratumCalibration]
+    wall_clock: float = 0.0
+    executor: str = "serial"
+    workers: int = 1
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def validated_fraction(self) -> float:
+        """Population weight living in strata whose verdicts validated."""
+        total = sum(s.weight for s in self.strata)
+        if not total:
+            return 0.0
+        return sum(s.weight for s in self.strata if s.validated) / total
+
+    def describe(self) -> str:
+        from repro.measurements.report import render_table
+
+        headers = ["Stratum", "Entities", "Weight", "Method",
+                   "Runs", "Success", "Validated", "Note"]
+        rows = []
+        for stratum in sorted(self.strata, key=lambda s: -s.count):
+            rows.append([
+                stratum.stratum, f"{stratum.count:,}",
+                f"{stratum.weight * 100:.1f}%",
+                stratum.chosen_method or "-",
+                stratum.runs,
+                f"{stratum.success_rate * 100:.0f}%"
+                if stratum.runs else "-",
+                "yes" if stratum.validated else "NO",
+                stratum.note,
+            ])
+        table = render_table(
+            headers, rows,
+            title=f"Campaign calibration: {self.dataset} "
+                  f"({self.entities:,} scanned entities)")
+        footer = (f"{self.validated_fraction * 100:.1f}% of the population "
+                  f"sits in validated strata; {sum(s.runs for s in self.strata)}"
+                  f" attack runs in {self.wall_clock:.1f}s"
+                  f" ({self.executor}, workers={self.workers})")
+        lines = [table, footer]
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def calibrate_population(aggregate: ScanAggregate, dataset: str,
+                         seed: Any = 0, sample_budget: int = 24,
+                         workers: int | None = None,
+                         executor: str | None = None) -> CalibrationReport:
+    """Validate planner verdicts against a stratified attack sub-sample.
+
+    ``sample_budget`` caps the total number of end-to-end attack runs;
+    it is allocated across attackable strata proportionally to their
+    population weight (each non-empty stratum gets at least one run).
+    All cells run on one campaign pool, so ``workers`` parallelises the
+    validation exactly like any other campaign (``executor`` defaults
+    to the process pool whenever more than one worker is requested).
+    """
+    if executor is None:
+        executor = "process" if workers is not None and workers > 1 \
+            else "serial"
+    planner = AttackPlanner()
+    total = sum(aggregate.strata.values())
+    strata: list[StratumCalibration] = []
+    pairs: list[tuple[AttackScenario, Any]] = []
+    started = time.perf_counter()
+
+    for stratum, count in sorted(aggregate.strata.items(),
+                                 key=lambda item: -item[1]):
+        if count <= 0:
+            continue
+        weight = count / total if total else 0.0
+        flags = set() if stratum == "none" else set(stratum.split("+"))
+        candidates = tuple(method for method in METHOD_PREFERENCE
+                           if method in {FLAG_METHODS[f] for f in flags})
+        profile = profile_for_stratum(stratum)
+        verdict = planner.assess(profile)
+        rejected = tuple(
+            name for name, choice in verdict.choices.items()
+            if not choice.applicable
+        )
+        record = StratumCalibration(
+            stratum=stratum, count=count, weight=weight,
+            candidates=candidates, chosen_method=None,
+            planner_applicable=False, rejected_methods=rejected,
+        )
+        # The scan's *negative* verdicts must be planner-rejections:
+        # a method whose prerequisite flag is absent may not be
+        # applicable (HijackDNS is exempt — interception survives /24
+        # announcements, only DNSSEC blocks it outright).
+        negatives_hold = all(
+            verdict.choices[FLAG_METHODS[flag]].applicable == (flag in flags)
+            for flag in ("saddns", "frag")
+        )
+        if not candidates:
+            try:
+                scenario_from_profile(profile, planner=planner,
+                                      candidates=("SadDNS", "FragDNS"))
+                record.note = "off-path scenario built despite clean scan"
+                record.validated = False
+            except NotApplicableError:
+                record.note = "no methodology applies (planner agrees)"
+                record.validated = negatives_hold
+            strata.append(record)
+            continue
+        scenario = scenario_from_profile(
+            profile, planner=planner, candidates=candidates,
+            label=f"atlas/{stratum}",
+        )
+        record.chosen_method = scenario.canonical_method
+        record.planner_applicable = True
+        overrides = _budget_overrides(record.chosen_method, profile)
+        if overrides:
+            scenario = replace(scenario, **overrides)
+        runs = max(1, round(sample_budget * weight))
+        seeds = [f"{seed}/{stratum}/{index}" for index in range(runs)]
+        pairs.extend((scenario, run_seed) for run_seed in seeds)
+        record.runs = runs
+        record.note = "planner verdicts mirror scan flags" if negatives_hold \
+            else "planner/scan disagreement"
+        record.validated = negatives_hold
+        strata.append(record)
+
+    campaign_executor = executor
+    outcome = None
+    if pairs:
+        outcome = Campaign(workers=workers,
+                           executor=campaign_executor).run_pairs(pairs)
+        by_label = outcome.by_label()
+        for record in strata:
+            summary = by_label.get(f"atlas/{record.stratum}")
+            if summary is None:
+                continue
+            record.successes = summary.successes
+            if record.chosen_method == "HijackDNS":
+                # Control-plane interception is deterministic: the
+                # simulated outcome must match the scan flag exactly.
+                record.validated = record.validated and \
+                    summary.success_rate == 1.0
+                record.note = (f"deterministic capture "
+                               f"{summary.success_rate * 100:.0f}%"
+                               if record.validated else
+                               "hijack did not capture despite scan flag")
+            else:
+                hitrate = summary.success_rate
+                record.note = (f"probabilistic; per-seed success "
+                               f"{hitrate * 100:.0f}% (budget-capped)")
+    report = CalibrationReport(
+        dataset=dataset,
+        kind=aggregate.kind,
+        entities=aggregate.count,
+        sample_budget=sample_budget,
+        strata=strata,
+        wall_clock=time.perf_counter() - started,
+        executor=outcome.executor if outcome else "serial",
+        workers=outcome.workers if outcome else 1,
+        notes=list(outcome.notes) if outcome else [],
+    )
+    return report

@@ -1,0 +1,247 @@
+"""Parallel scan pipeline: shard producers × Section 5 scanners.
+
+Each shard is one task — ``(spec, seed, lo, hi)`` — shipped to a
+``concurrent.futures`` process worker that *streams* its entities
+through the scanners and returns only a mergeable
+:class:`repro.atlas.aggregate.ScanAggregate`, never the entities
+themselves.  Because every entity is seeded by its own index
+(:mod:`repro.atlas.synth`), the merged result is bit-identical across
+the serial and process executors and across any shard count.
+
+With a :class:`repro.atlas.store.AtlasStore` attached, completed shards
+are appended as they finish and a rerun of an interrupted scan
+recomputes only the shards the store is missing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.atlas.aggregate import ScanAggregate
+from repro.atlas.shards import (
+    DatasetSpec,
+    ShardRange,
+    dataset_kind,
+    population_spec_hash,
+    shard_ranges,
+)
+from repro.atlas.store import AtlasStore, ShardRecord
+from repro.atlas.synth import iter_entities
+from repro.measurements.population import (
+    DOMAIN_DATASETS,
+    RESOLVER_DATASETS,
+    DomainProfile,
+    FrontEnd,
+)
+from repro.measurements.scanner import SurveySummary
+
+EXECUTORS = ("process", "serial")
+
+
+def run_tasks(fn: Callable[[Any], Any], tasks: list[Any],
+              workers: int | None = None,
+              executor: str = "process") -> tuple[list[Any], str, int]:
+    """Map picklable tasks over a process pool (or the serial reference).
+
+    Returns ``(results, executor_used, workers_used)``; the pool
+    downgrades to the serial loop when it could not help (one worker or
+    one task), mirroring the campaign runner's behaviour so 1-vCPU
+    hosts document serial parity instead of paying pool overhead.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; pick one of {EXECUTORS}")
+    count = workers if workers is not None else min(8, os.cpu_count() or 1)
+    if count < 1:
+        raise ValueError(f"workers must be >= 1, got {count}")
+    count = min(count, len(tasks)) or 1
+    if executor == "process" and count == 1:
+        executor = "serial"
+    if executor == "serial":
+        return [fn(task) for task in tasks], "serial", 1
+    with ProcessPoolExecutor(max_workers=count) as pool:
+        return list(pool.map(fn, tasks)), "process", count
+
+
+def _scan_shard(task: tuple[DatasetSpec, Any, ShardRange, str]
+                ) -> ShardRecord:
+    """Worker entry point: stream-scan one shard into an aggregate."""
+    spec, seed, shard, spec_hash = task
+    kind = dataset_kind(spec)
+    aggregate = ScanAggregate(kind=kind)
+    started = time.perf_counter()
+    for entity in iter_entities(spec, seed=seed, lo=shard.lo, hi=shard.hi):
+        aggregate.observe(entity)
+    return ShardRecord(
+        spec_hash=spec_hash,
+        shard_id=shard.shard_id,
+        dataset=spec.key,
+        kind=kind,
+        lo=shard.lo,
+        hi=shard.hi,
+        wall_time=time.perf_counter() - started,
+        aggregate=aggregate,
+    )
+
+
+@dataclass
+class AtlasScanReport:
+    """Everything one dataset's sharded scan produced."""
+
+    dataset: str
+    label: str
+    kind: str
+    spec_hash: str
+    entities: int
+    full_size: int
+    shard_count: int
+    computed_shards: list[int]
+    cached_shards: list[int]
+    computed_entities: int
+    wall_clock: float
+    executor: str
+    workers: int
+    aggregate: ScanAggregate
+    summary: SurveySummary
+    notes: list[str] = field(default_factory=list)
+    entities_kept: list[FrontEnd | DomainProfile] | None = None
+
+    @property
+    def entities_per_second(self) -> float:
+        """Scan throughput over freshly computed entities only."""
+        if self.wall_clock <= 0:
+            return 0.0
+        return self.computed_entities / self.wall_clock
+
+
+def scan_dataset(spec: DatasetSpec, seed: int | str = 0,
+                 entities: int | None = None, shards: int = 16,
+                 workers: int | None = None, executor: str = "process",
+                 store: AtlasStore | None = None,
+                 keep_entities: bool = False) -> AtlasScanReport:
+    """Scan one dataset's synthetic population, sharded and resumable.
+
+    ``entities`` defaults to the dataset's **full** paper size (1.58M
+    for open resolvers) — the atlas exists so that is computable, not
+    extrapolated.  Pass a smaller count for sampled runs.
+
+    ``keep_entities`` retains the generated entities on the report (for
+    the sampled experiment paths that also need per-entity access, e.g.
+    the Figure 5 Venn flags); it forces the serial executor, holds the
+    whole population in memory, and cannot be combined with a store.
+    """
+    kind = dataset_kind(spec)
+    if entities is not None and entities < 0:
+        raise ValueError(f"entities must be >= 0, got {entities}")
+    total = min(entities, spec.full_size) if entities is not None \
+        else spec.full_size
+    spec_hash = population_spec_hash(spec, seed, total)
+    ranges = shard_ranges(total, shards)
+    notes: list[str] = []
+
+    cached: dict[int, ShardRecord] = {}
+    if store is not None:
+        for shard_id, record in store.load(spec_hash).items():
+            matching = next((r for r in ranges
+                             if r.shard_id == shard_id), None)
+            if matching is not None and (record.lo, record.hi) == \
+                    (matching.lo, matching.hi):
+                cached[shard_id] = record
+            else:
+                notes.append(
+                    f"stored shard {shard_id} has a different range; "
+                    "recomputing")
+    missing = [r for r in ranges if r.shard_id not in cached]
+
+    if keep_entities:
+        if store is not None:
+            # Cached shards would be missing from entities_kept while
+            # the aggregate covered them — a silently partial list.
+            raise ValueError(
+                "keep_entities cannot be combined with a store; "
+                "materialised runs always regenerate")
+        executor = "serial"
+
+    started = time.perf_counter()
+    kept: list[FrontEnd | DomainProfile] | None = None
+    if keep_entities:
+        # Serial streaming path that also materialises the entities:
+        # used by the sampled Table 3/4 runs which hand populations to
+        # Figures 3/5.
+        kept = []
+        fresh = []
+        for shard in missing:
+            aggregate = ScanAggregate(kind=kind)
+            shard_started = time.perf_counter()
+            for entity in iter_entities(spec, seed=seed,
+                                        lo=shard.lo, hi=shard.hi):
+                kept.append(entity)
+                aggregate.observe(entity)
+            fresh.append(ShardRecord(
+                spec_hash=spec_hash, shard_id=shard.shard_id,
+                dataset=spec.key, kind=kind, lo=shard.lo, hi=shard.hi,
+                wall_time=time.perf_counter() - shard_started,
+                aggregate=aggregate,
+            ))
+        executor_used, workers_used = "serial", 1
+    else:
+        tasks = [(spec, seed, shard, spec_hash) for shard in missing]
+        fresh, executor_used, workers_used = run_tasks(
+            _scan_shard, tasks, workers=workers, executor=executor)
+    wall_clock = time.perf_counter() - started
+
+    if store is not None:
+        for record in fresh:
+            store.append(record)
+
+    ordered = sorted(list(cached.values()) + fresh,
+                     key=lambda record: record.shard_id)
+    aggregate = ScanAggregate.merged(kind, [r.aggregate for r in ordered])
+    if cached:
+        notes.append(
+            f"resumed: {len(cached)}/{len(ranges)} shards loaded from "
+            "the store, only the rest recomputed")
+    if executor == "process" and executor_used == "serial" and missing:
+        notes.append("process executor downgraded to serial "
+                     "(one worker or one shard)")
+    report = AtlasScanReport(
+        dataset=spec.key,
+        label=spec.label,
+        kind=kind,
+        spec_hash=spec_hash,
+        entities=total,
+        full_size=spec.full_size,
+        shard_count=len(ranges),
+        computed_shards=[r.shard_id for r in fresh],
+        cached_shards=sorted(cached),
+        computed_entities=sum(r.hi - r.lo for r in fresh),
+        wall_clock=wall_clock,
+        executor=executor_used,
+        workers=workers_used,
+        aggregate=aggregate,
+        summary=aggregate.to_summary(spec.label, spec.full_size),
+        notes=notes,
+        entities_kept=kept,
+    )
+    return report
+
+
+def scan_many(specs: Iterable[DatasetSpec], seed: int | str = 0,
+              entities: int | None = None, shards: int = 16,
+              workers: int | None = None, executor: str = "process",
+              store: AtlasStore | None = None) -> list[AtlasScanReport]:
+    """Scan several datasets, reusing one configuration."""
+    return [
+        scan_dataset(spec, seed=seed, entities=entities, shards=shards,
+                     workers=workers, executor=executor, store=store)
+        for spec in specs
+    ]
+
+
+def all_dataset_specs() -> list[DatasetSpec]:
+    """Every Table 3 and Table 4 calibration row."""
+    return list(RESOLVER_DATASETS) + list(DOMAIN_DATASETS)

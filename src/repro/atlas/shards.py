@@ -1,0 +1,99 @@
+"""Shard geometry and population identity for the attack-surface atlas.
+
+A population is identified by everything that determines its entity
+stream bit-for-bit: the dataset calibration, the generator seed, the
+total entity count and the atlas format version.  The shard layout is
+deliberately *excluded* from the hash — entity ``index`` alone seeds
+each entity (see :mod:`repro.atlas.synth`), so re-sharding the same
+population re-partitions identical entities, and stored shard results
+stay valid as long as the shard *ranges* match.  The ranges themselves
+are recorded per shard in the store and validated on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.measurements.population import (
+    DOMAIN_DATASETS,
+    RESOLVER_DATASETS,
+    DomainDatasetSpec,
+    ResolverDatasetSpec,
+)
+
+#: Bump when the entity stream changes incompatibly (draw order, new
+#: fields, address scheme): old store entries then miss on hash and are
+#: recomputed instead of silently merged across formats.
+ATLAS_FORMAT_VERSION = 1
+
+KIND_RESOLVER = "resolver"
+KIND_DOMAIN = "domain"
+KINDS = (KIND_RESOLVER, KIND_DOMAIN)
+
+DatasetSpec = ResolverDatasetSpec | DomainDatasetSpec
+
+
+def dataset_kind(spec: DatasetSpec) -> str:
+    """Which entity stream a calibration spec describes."""
+    return KIND_RESOLVER if isinstance(spec, ResolverDatasetSpec) \
+        else KIND_DOMAIN
+
+
+def find_dataset(key: str) -> DatasetSpec:
+    """Look up a Table 3 or Table 4 calibration row by key."""
+    for spec in RESOLVER_DATASETS + DOMAIN_DATASETS:
+        if spec.key == key:
+            return spec
+    known = [s.key for s in RESOLVER_DATASETS + DOMAIN_DATASETS]
+    raise KeyError(f"unknown dataset {key!r}; known: {', '.join(known)}")
+
+
+def population_spec_hash(spec: DatasetSpec, seed: int | str,
+                         entities: int) -> str:
+    """Stable identity of one synthetic population's entity stream."""
+    payload = {
+        "atlas_format": ATLAS_FORMAT_VERSION,
+        "kind": dataset_kind(spec),
+        "spec": asdict(spec),
+        "seed": seed,
+        "entities": entities,
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One contiguous slice ``[lo, hi)`` of a population's index space."""
+
+    shard_id: int
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+def shard_ranges(entities: int, shards: int) -> list[ShardRange]:
+    """Split ``[0, entities)`` into ``shards`` near-equal ranges.
+
+    The first ``entities % shards`` shards carry one extra entity, so
+    concatenating the ranges in shard order reproduces the monolithic
+    index space exactly.
+    """
+    if entities < 0:
+        raise ValueError(f"entities must be >= 0, got {entities}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, entities) or 1
+    base, extra = divmod(entities, shards)
+    ranges = []
+    lo = 0
+    for shard_id in range(shards):
+        hi = lo + base + (1 if shard_id < extra else 0)
+        ranges.append(ShardRange(shard_id=shard_id, lo=lo, hi=hi))
+        lo = hi
+    return ranges

@@ -1,57 +1,113 @@
-"""Table 3: vulnerable resolvers per dataset."""
+"""Table 3: vulnerable resolvers per dataset.
+
+Both paths run on the :mod:`repro.atlas` shard pipeline:
+
+* :func:`run` — the sampled survey (``scale`` of each population,
+  entities kept in memory for the figures that need per-entity access);
+* :func:`run_full` — the population-scale scan at the paper's full
+  dataset sizes (1.58M open resolvers), streaming in constant memory,
+  optionally sharded across process workers and resumable via an
+  :class:`repro.atlas.store.AtlasStore`.
+"""
 
 from __future__ import annotations
 
+from repro.atlas.pipeline import AtlasScanReport, scan_dataset
 from repro.experiments.base import ExperimentResult
 from repro.measurements.population import (
-    PopulationGenerator,
     RESOLVER_DATASETS,
+    sample_size,
 )
 from repro.measurements.report import render_table
-from repro.measurements.scanner import scan_front_end, summarise_resolver_scan
+
+HEADERS = ["Dataset", "Protocol", "BGP hijack sub-prefix %",
+           "SadDNS %", "Fragment %", "Dataset size"]
 
 
-def run(seed: int = 0, scale: float = 0.01) -> ExperimentResult:
-    """Generate, scan and summarise all nine resolver datasets."""
-    generator = PopulationGenerator(seed=seed, scale=scale)
-    headers = ["Dataset", "Protocol", "BGP hijack sub-prefix %",
-               "SadDNS %", "Fragment %", "Dataset size"]
-    rows = []
-    summaries = {}
-    populations = {}
-    for spec in RESOLVER_DATASETS:
-        front_ends = generator.resolver_population(spec)
-        results = [scan_front_end(front_end) for front_end in front_ends]
-        summary = summarise_resolver_scan(spec.label, spec.full_size,
-                                          results)
-        summaries[spec.key] = summary
-        populations[spec.key] = front_ends
-        rows.append([
-            spec.label, spec.protocols,
-            f"{summary.pct('hijack'):.0f}%",
-            f"{summary.pct('saddns'):.0f}%",
-            f"{summary.pct('frag'):.0f}%",
-            f"{spec.full_size:,}",
-        ])
+def _full_scan_note(reports: dict[str, AtlasScanReport], wall: float,
+                    shards: int, noun: str) -> str:
+    """Resume-aware provenance note: cached shards are not 'scanned'."""
+    computed = sum(r.computed_entities for r in reports.values())
+    cached = sum(r.entities - r.computed_entities for r in reports.values())
+    note = (f"full-population scan via repro.atlas: {computed:,} {noun} "
+            f"computed in {wall:.1f}s across {shards} shards per dataset")
+    if cached:
+        note += f" (+{cached:,} loaded from the shard store)"
+    return note
+
+
+def _row(spec, summary) -> list[str]:
+    return [
+        spec.label, spec.protocols,
+        f"{summary.pct('hijack'):.0f}%",
+        f"{summary.pct('saddns'):.0f}%",
+        f"{summary.pct('frag'):.0f}%",
+        f"{spec.full_size:,}",
+    ]
+
+
+def _result(rows, summaries, extra_data, notes) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="table3",
         title="Table 3: vulnerable resolvers",
-        headers=headers,
+        headers=HEADERS,
         rows=rows,
         paper_reference={
             spec.key: (spec.expected_hijack, spec.expected_saddns,
                        spec.expected_frag)
             for spec in RESOLVER_DATASETS
         },
-        data={"summaries": summaries, "populations": populations,
-              "sampled_sizes": {
-                  spec.key: summaries[spec.key].size
-                  for spec in RESOLVER_DATASETS
-              }},
+        data={"summaries": summaries, **extra_data},
     )
-    result.rendered = render_table(headers, rows, title=result.title)
-    result.notes.append(
-        f"populations sampled at scale={scale}; dataset sizes shown are "
-        "the paper's full populations"
-    )
+    result.rendered = render_table(HEADERS, rows, title=result.title)
+    result.notes.extend(notes)
     return result
+
+
+def run(seed: int = 0, scale: float = 0.01) -> ExperimentResult:
+    """Scan a ``scale`` sample of all nine resolver datasets."""
+    rows = []
+    summaries = {}
+    populations = {}
+    for spec in RESOLVER_DATASETS:
+        report = scan_dataset(
+            spec, seed=seed, entities=sample_size(spec.full_size, scale),
+            shards=1, executor="serial", keep_entities=True,
+        )
+        summaries[spec.key] = report.summary
+        populations[spec.key] = report.entities_kept
+        rows.append(_row(spec, report.summary))
+    return _result(
+        rows, summaries,
+        {"populations": populations,
+         "sampled_sizes": {key: summary.size
+                           for key, summary in summaries.items()}},
+        [f"populations sampled at scale={scale} via the repro.atlas "
+         "pipeline; dataset sizes shown are the paper's full populations"],
+    )
+
+
+def run_full(seed: int = 0, entities: int | None = None, shards: int = 16,
+             workers: int | None = None, executor: str = "process",
+             store=None) -> ExperimentResult:
+    """Scan every resolver dataset at the paper's full size.
+
+    Streams all 2.1M resolvers through the sharded pipeline — the
+    percentages in the rendered table are computed over the *entire*
+    population, not extrapolated from a sample.
+    """
+    rows = []
+    summaries = {}
+    reports: dict[str, AtlasScanReport] = {}
+    total_wall = 0.0
+    for spec in RESOLVER_DATASETS:
+        report = scan_dataset(spec, seed=seed, entities=entities,
+                              shards=shards, workers=workers,
+                              executor=executor, store=store)
+        reports[spec.key] = report
+        summaries[spec.key] = report.summary
+        rows.append(_row(spec, report.summary))
+        total_wall += report.wall_clock
+    return _result(rows, summaries, {"reports": reports},
+                   [_full_scan_note(reports, total_wall, shards,
+                                    "entities")])

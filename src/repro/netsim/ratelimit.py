@@ -38,6 +38,12 @@ class TokenBucket:
         self.denied = 0
 
     def _refill(self, now: float) -> None:
+        if now < self._last:
+            # Virtual time is monotone everywhere in the simulator; a
+            # backwards clock would silently skip refills (and hide a
+            # scheduling bug), so fail loudly instead.
+            raise ValueError(
+                f"time went backwards: now={now} < last={self._last}")
         if now > self._last:
             self._tokens = min(self.burst,
                                self._tokens + (now - self._last) * self.rate)
@@ -45,12 +51,14 @@ class TokenBucket:
 
     def allow(self, now: float, cost: float = 1.0) -> bool:
         """Try to consume ``cost`` tokens at virtual time ``now``."""
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
         self._refill(now)
         if self._tokens >= cost:
             self._tokens -= cost
             self.allowed += 1
             return True
-        self.denied = self.denied + 1
+        self.denied += 1
         return False
 
     def peek(self, now: float) -> float:

@@ -48,6 +48,44 @@ def _execute_task(task: tuple[AttackScenario, Any]) -> ScenarioRun:
     return scenario.run(seed=seed)
 
 
+def _execute_batch(batch: tuple[AttackScenario, tuple[Any, ...]]
+                   ) -> list[ScenarioRun]:
+    """Worker entry point: one scenario with a batch of seeds.
+
+    Shipping a seed *batch* per task means the scenario — the only
+    expensive pickle in a sweep — crosses the process boundary once per
+    batch instead of once per seed.
+    """
+    scenario, seeds = batch
+    return [scenario.run(seed=seed) for seed in seeds]
+
+
+def _batch_tasks(tasks: list[tuple[AttackScenario, Any]],
+                 workers: int) -> list[tuple[AttackScenario, tuple[Any, ...]]]:
+    """Group tasks into (scenario, seed-batch) units, order-preserving.
+
+    Consecutive tasks sharing one scenario object form a group; each
+    group is split into batches sized like the old per-task chunking
+    (``len / (workers * 4)``) so the pool still load-balances.
+    Flattening the batched results in order reproduces the serial run
+    order exactly, which keeps every executor bit-identical.
+    """
+    batch_size = max(1, len(tasks) // (max(workers, 1) * 4))
+    batches: list[tuple[AttackScenario, tuple[Any, ...]]] = []
+    index = 0
+    while index < len(tasks):
+        scenario = tasks[index][0]
+        group_end = index
+        while group_end < len(tasks) and tasks[group_end][0] is scenario:
+            group_end += 1
+        for start in range(index, group_end, batch_size):
+            seeds = tuple(seed for _scenario, seed in
+                          tasks[start:min(start + batch_size, group_end)])
+            batches.append((scenario, seeds))
+        index = group_end
+    return batches
+
+
 @dataclass
 class MethodSummary:
     """Aggregates for one methodology (or one scenario label)."""
@@ -243,14 +281,15 @@ class Campaign:
         started = time.perf_counter()
         if kind == "serial":
             runs = [_execute_task(task) for task in tasks]
-        elif kind == "thread":
-            with ThreadPoolExecutor(max_workers=count) as pool:
-                runs = list(pool.map(_execute_task, tasks))
         else:
-            chunksize = max(1, len(tasks) // (count * 4))
-            with ProcessPoolExecutor(max_workers=count) as pool:
-                runs = list(pool.map(_execute_task, tasks,
-                                     chunksize=chunksize))
+            # One scenario + one seed batch per task: the scenario
+            # pickles once per batch rather than once per seed.
+            batches = _batch_tasks(tasks, count)
+            pool_cls = ThreadPoolExecutor if kind == "thread" \
+                else ProcessPoolExecutor
+            with pool_cls(max_workers=count) as pool:
+                runs = [run for chunk in pool.map(_execute_batch, batches)
+                        for run in chunk]
         wall_clock = time.perf_counter() - started
         return CampaignResult(runs=runs, wall_clock=wall_clock,
                               workers=count, executor=kind, notes=notes)

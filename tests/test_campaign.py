@@ -15,6 +15,7 @@ from repro.scenario import (
     percentile,
     sweep_scenarios,
 )
+from repro.scenario.campaign import _batch_tasks
 
 
 def flatten(result):
@@ -126,6 +127,51 @@ class TestCampaignRun:
         with pytest.raises(ScenarioError, match="workers"):
             campaign.run(AttackScenario(method="hijack"), seeds=range(2),
                          workers=0)
+
+
+class TestBatchedSubmission:
+    """The chunked-submission path: one scenario + a seed batch per task."""
+
+    def test_batches_preserve_task_order(self):
+        a = AttackScenario(method="hijack", label="a")
+        b = AttackScenario(method="hijack", label="b")
+        tasks = [(a, seed) for seed in range(8)] \
+            + [(b, seed) for seed in range(5)]
+        batches = _batch_tasks(tasks, workers=2)
+        flattened = [(scenario, seed) for scenario, seeds in batches
+                     for seed in seeds]
+        assert flattened == tasks
+
+    def test_scenario_shipped_once_per_batch(self):
+        scenario = AttackScenario(method="hijack")
+        tasks = [(scenario, seed) for seed in range(32)]
+        batches = _batch_tasks(tasks, workers=2)
+        # Old behaviour: 32 pickled scenario copies.  Now: one per
+        # batch, and batching still leaves enough tasks to balance.
+        assert 1 < len(batches) < len(tasks)
+        assert all(batch_scenario is scenario
+                   for batch_scenario, _seeds in batches)
+        assert sum(len(seeds) for _scenario, seeds in batches) == 32
+
+    def test_interleaved_scenarios_degrade_to_singletons(self):
+        a = AttackScenario(method="hijack", label="a")
+        b = AttackScenario(method="hijack", label="b")
+        tasks = [(a, 0), (b, 0), (a, 1), (b, 1)]
+        batches = _batch_tasks(tasks, workers=1)
+        assert [(s, list(seeds)) for s, seeds in batches] == \
+            [(a, [0]), (b, [0]), (a, [1]), (b, [1])]
+
+    def test_ragged_pairs_bit_identical_across_executors(self):
+        a = AttackScenario(method="hijack", label="a")
+        b = AttackScenario(method="frag", label="b")
+        pairs = [(a, seed) for seed in range(3)] \
+            + [(b, seed) for seed in range(5)] \
+            + [(a, "extra")]
+        serial = Campaign(executor="serial").run_pairs(pairs)
+        threaded = Campaign(executor="thread").run_pairs(pairs, workers=3)
+        pooled = Campaign(executor="process").run_pairs(pairs, workers=2)
+        assert flatten(threaded) == flatten(serial)
+        assert flatten(pooled) == flatten(serial)
 
 
 class TestSweepOrdering:

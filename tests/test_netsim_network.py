@@ -103,6 +103,32 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(rate=1, burst=0)
 
+    def test_non_positive_cost_rejected(self):
+        bucket = TokenBucket(rate=10, burst=3)
+        with pytest.raises(ValueError, match="cost"):
+            bucket.allow(0.0, cost=0)
+        with pytest.raises(ValueError, match="cost"):
+            bucket.allow(0.0, cost=-2.5)
+        # The failed calls consumed nothing and counted nothing.
+        assert bucket.allowed == 0 and bucket.denied == 0
+        assert bucket.peek(0.0) == 3.0
+
+    def test_backwards_time_raises(self):
+        bucket = TokenBucket(rate=10, burst=3)
+        assert bucket.allow(1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            bucket.allow(0.5)
+        # Equal timestamps are fine (same-instant bursts).
+        assert bucket.allow(1.0)
+
+    def test_denied_counter_increments(self):
+        bucket = TokenBucket(rate=1, burst=2)
+        assert all(bucket.allow(0.0) for _ in range(2))
+        assert not bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+        assert bucket.allowed == 2
+        assert bucket.denied == 2
+
 
 class TestNetworkFabric:
     def test_duplicate_address_rejected(self):
