@@ -1,0 +1,347 @@
+"""Kernel perf harness: measure, record, and gate the simulator's speed.
+
+Runs the hot-loop benchmarks the whole reproduction drains through —
+scheduler event dispatch, network packet delivery, DNS wire codec,
+the serial campaign sweep and the atlas shard scan — and writes the
+machine-readable record ``BENCH_core.json`` (per-bench wall time and
+rates: events/sec, packets/sec, messages/sec, runs/sec, entities/sec).
+
+The committed ``BENCH_core.json`` is the repo's perf baseline; CI reruns
+the harness with ``--quick --check BENCH_core.json`` and fails on a
+>25% rate regression.  Alongside the rates, the campaign and atlas
+benches record SHA-256 checksums of their statistical outputs, so a
+perf regression can never hide a semantics regression: same seeds must
+keep producing bit-identical stats.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full sizes
+    PYTHONPATH=src python benchmarks/run_all.py --quick    # CI sizes
+    PYTHONPATH=src python benchmarks/run_all.py --quick \
+        --check BENCH_core.json                            # gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+
+
+# -- sizes -------------------------------------------------------------------
+
+FULL_SIZES = {
+    "scheduler_events": 300_000,
+    "transmit_packets": 60_000,
+    "dns_wire_ops": 30_000,
+    "campaign_seeds": 32,
+    "atlas_entities": 20_000,
+}
+
+QUICK_SIZES = {
+    "scheduler_events": 60_000,
+    "transmit_packets": 15_000,
+    "dns_wire_ops": 20_000,
+    "campaign_seeds": 8,
+    "atlas_entities": 5_000,
+}
+
+REGRESSION_THRESHOLD = 0.25
+
+
+def _result(name: str, wall: float, n: int, unit: str,
+            checksum: str | None = None, **extra) -> dict:
+    record = {
+        "name": name,
+        "wall_s": round(wall, 4),
+        "n": n,
+        "rate": round(n / wall, 1) if wall > 0 else 0.0,
+        "unit": unit,
+    }
+    if checksum is not None:
+        record["checksum"] = checksum
+    record.update(extra)
+    return record
+
+
+# -- kernel micro-benches ----------------------------------------------------
+
+def bench_scheduler(events: int) -> dict:
+    """Schedule and drain ``events`` callbacks (10% cancelled)."""
+    from repro.core.clock import Scheduler
+
+    scheduler = Scheduler()
+    fired = [0]
+
+    def callback() -> None:
+        fired[0] += 1
+
+    started = time.perf_counter()
+    handles = []
+    for i in range(events):
+        if i % 10 == 3:
+            handles.append(scheduler.call_later(float(i % 97) / 10,
+                                                callback))
+        else:
+            scheduler.schedule(float(i % 97) / 10, callback)
+    for handle in handles:
+        handle.cancel()
+    executed = scheduler.run_until_idle(max_events=events + 1)
+    wall = time.perf_counter() - started
+    assert executed == events - len(handles), (executed, events)
+    assert fired[0] == executed
+    return _result("scheduler", wall, events, "events/s")
+
+
+def bench_transmit(packets: int) -> dict:
+    """Push ``packets`` UDP datagrams through the untraced fabric."""
+    from repro.core.eventlog import NullLog
+    from repro.netsim.host import Host
+    from repro.netsim.network import Network
+
+    network = Network(log=NullLog())
+    sender = network.attach(Host("sender", "10.0.0.1"))
+    receiver = network.attach(Host("receiver", "10.0.0.2"))
+    seen = [0]
+
+    def handler(datagram, src, dst) -> None:
+        seen[0] += 1
+
+    receiver.open_udp(4242, handler)
+    payload = b"x" * 64
+    started = time.perf_counter()
+    batch = 2_000
+    sent = 0
+    while sent < packets:
+        for _ in range(min(batch, packets - sent)):
+            sender.send_udp("10.0.0.1", 5353, "10.0.0.2", 4242, payload)
+            sent += 1
+        network.run()
+    wall = time.perf_counter() - started
+    assert seen[0] == packets, (seen[0], packets)
+    return _result("transmit", wall, packets, "packets/s")
+
+
+def bench_dns_wire(ops: int) -> dict:
+    """Encode+decode a realistic response across a TXID storm."""
+    from repro.dns.message import DnsMessage, Question
+    from repro.dns.records import TYPE_A, rr_a, rr_ns
+    from repro.dns.wire import decode_message, encode_message
+
+    template = DnsMessage(
+        txid=0, is_response=True, authoritative=True,
+        questions=[Question(name="secure-login.vict.im", qtype=TYPE_A)],
+        answers=[rr_a("secure-login.vict.im", "123.0.0.80", ttl=300)],
+        authority=[rr_ns("vict.im", "ns1.vict.im", ttl=3600)],
+        additional=[rr_a("ns1.vict.im", "123.0.0.53", ttl=3600)],
+        edns_udp_size=4096,
+    )
+    digest = hashlib.sha256()
+    started = time.perf_counter()
+    for i in range(ops):
+        template.txid = i & 0xFFFF
+        data = encode_message(template)
+        message = decode_message(data)
+        digest.update(data)
+        assert message.txid == template.txid
+    wall = time.perf_counter() - started
+    return _result("dns_wire", wall, ops, "messages/s",
+                   checksum=digest.hexdigest())
+
+
+# -- macro benches (the paper's workloads) ------------------------------------
+
+def campaign_checksum(result) -> str:
+    flat = [(run.label, run.seed, run.success, run.packets_sent,
+             run.queries_triggered, run.duration) for run in result.runs]
+    return hashlib.sha256(repr(flat).encode()).hexdigest()
+
+
+def bench_campaign(seeds: int) -> dict:
+    """The Table 6 sweep: three methodology scenarios x ``seeds`` seeds,
+    on the serial reference executor (the campaign hot loop)."""
+    from repro.scenario import Campaign, sweep_scenarios
+
+    started = time.perf_counter()
+    result = Campaign(executor="serial").run(sweep_scenarios(),
+                                             seeds=range(seeds))
+    wall = time.perf_counter() - started
+    return _result("campaign_serial", wall, len(result.runs), "runs/s",
+                   checksum=campaign_checksum(result), seeds=seeds)
+
+
+def aggregate_checksum(report) -> str:
+    payload = json.dumps(report.aggregate.to_json(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def bench_atlas(entities: int, dataset: str) -> dict:
+    """The sharded population scan (serial), aggregate checksummed."""
+    from repro.atlas import find_dataset, scan_dataset
+
+    spec = find_dataset(dataset)
+    started = time.perf_counter()
+    report = scan_dataset(spec, seed=0, entities=entities, shards=8,
+                          executor="serial")
+    wall = time.perf_counter() - started
+    return _result(f"atlas_{dataset}", wall, report.entities, "entities/s",
+                   checksum=aggregate_checksum(report),
+                   shards=report.shard_count)
+
+
+# -- harness ------------------------------------------------------------------
+
+def run_all(sizes: dict, mode: str, repeats: int) -> dict:
+    """Run every bench ``repeats`` times; keep each bench's best run.
+
+    Best-of-N is the standard way to measure a deterministic workload
+    on a noisy machine: the minimum wall time is the closest observation
+    of the code's actual cost, and the outputs (checksums) are identical
+    across repetitions by construction.
+    """
+    thunks = [
+        lambda: bench_scheduler(sizes["scheduler_events"]),
+        lambda: bench_transmit(sizes["transmit_packets"]),
+        lambda: bench_dns_wire(sizes["dns_wire_ops"]),
+        lambda: bench_campaign(sizes["campaign_seeds"]),
+        lambda: bench_atlas(sizes["atlas_entities"], "open"),
+        lambda: bench_atlas(sizes["atlas_entities"], "alexa"),
+    ]
+    benches = {}
+    for thunk in thunks:
+        best = None
+        for _ in range(max(1, repeats)):
+            record = thunk()
+            if best is not None and best.get("checksum") is not None \
+                    and best["checksum"] != record.get("checksum"):
+                raise AssertionError(
+                    f"{record['name']}: nondeterministic output across"
+                    " repetitions")
+            if best is None or record["wall_s"] < best["wall_s"]:
+                record["repeats"] = repeats
+                best = record
+        name = best.pop("name")
+        benches[name] = best
+        sys.stderr.write(
+            f"  {name:>16}: {best['rate']:>12,.0f} {best['unit']:<11} "
+            f"({best['wall_s']:.3f}s best of {repeats})\n")
+    return {
+        "schema": "bench-core/1",
+        "generated_by": "benchmarks/run_all.py",
+        "mode": mode,
+        "python": platform.python_version(),
+        "benches": benches,
+    }
+
+
+def baseline_benches(baseline: dict, mode: str) -> dict:
+    """The baseline's bench map for ``mode``.
+
+    ``BENCH_core.json`` carries one record per mode (``runs``), because
+    rates at quick sizes amortise fixed costs differently from full
+    sizes — only same-mode comparisons are meaningful.  Single-record
+    files compare only when their mode matches.
+    """
+    runs = baseline.get("runs")
+    if runs is not None:
+        return runs.get(mode, {}).get("benches", {})
+    if baseline.get("mode") == mode:
+        return baseline.get("benches", {})
+    return {}
+
+
+def check_against(current: dict, baseline: dict,
+                  threshold: float) -> list[str]:
+    """Rate-regression and bit-identity failures vs a baseline record."""
+    failures = []
+    reference = baseline_benches(baseline, current["mode"])
+    if not reference:
+        return [f"baseline has no {current['mode']!r}-mode record to"
+                " compare against"]
+    for name, base in reference.items():
+        record = current["benches"].get(name)
+        if record is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        base_rate = base.get("rate", 0.0)
+        rate = record.get("rate", 0.0)
+        if base_rate > 0 and rate < base_rate * (1.0 - threshold):
+            failures.append(
+                f"{name}: rate regressed {base_rate:,.0f} -> {rate:,.0f} "
+                f"{record.get('unit', '')} "
+                f"({100 * (1 - rate / base_rate):.1f}% > "
+                f"{100 * threshold:.0f}% allowed)")
+        # Checksums gate bit-identity, but only at matching sizes.
+        if base.get("checksum") and record.get("checksum") \
+                and base.get("n") == record.get("n") \
+                and base["checksum"] != record["checksum"]:
+            failures.append(
+                f"{name}: output checksum changed at n={base['n']} — "
+                "statistics are no longer bit-identical")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized benches (smaller n, same rates)")
+    parser.add_argument("--json", default="BENCH_core.json",
+                        help="output path (default: BENCH_core.json)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a committed BENCH_core.json;"
+                             " exit 1 on regression")
+    parser.add_argument("--threshold", type=float,
+                        default=REGRESSION_THRESHOLD,
+                        help="allowed fractional rate regression"
+                             " (default 0.25)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per bench; best run is kept"
+                             " (default 3)")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    sys.stderr.write(f"running kernel benches ({mode})...\n")
+    record = run_all(sizes, mode, args.repeats)
+
+    # The on-disk record keeps one entry per mode, merged in place, so
+    # the committed baseline can gate both full and quick reruns.
+    merged: dict = {
+        "schema": "bench-core/1",
+        "generated_by": record["generated_by"],
+        "python": record["python"],
+        "runs": {},
+    }
+    try:
+        with open(args.json, encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if "runs" in existing:
+            merged["runs"].update(existing["runs"])
+    except (OSError, ValueError):
+        pass
+    merged["runs"][mode] = {"mode": mode, "benches": record["benches"]}
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    sys.stderr.write(f"wrote {args.json} ({mode} record)\n")
+
+    if args.check:
+        with open(args.check, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_against(record, baseline, args.threshold)
+        if failures:
+            sys.stderr.write("PERF CHECK FAILED\n")
+            for failure in failures:
+                sys.stderr.write(f"  {failure}\n")
+            return 1
+        sys.stderr.write(
+            f"perf check ok vs {args.check} "
+            f"(threshold {100 * args.threshold:.0f}%)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,9 +16,12 @@ from dataclasses import dataclass, field
 
 from repro.measurements.population import DomainProfile, FrontEnd
 from repro.measurements.scanner import (
+    SUBPREFIX_HIJACKABLE_BELOW,
     SurveySummary,
-    scan_domain,
-    scan_front_end,
+    scan_fragmentation,
+    scan_nameserver_rrl,
+    scan_saddns,
+    scan_saddns_verdict,
 )
 
 #: Methodology flags per entity kind, in reporting order.
@@ -31,9 +34,21 @@ STRATUM_FLAGS = ("hijack", "saddns", "frag")
 
 def stratum_key(hijack: bool, saddns: bool, frag: bool) -> str:
     """Canonical name of one vulnerability-profile stratum."""
+    return _STRATUM_KEYS[bool(hijack), bool(saddns), bool(frag)]
+
+
+def _stratum_name(hijack: bool, saddns: bool, frag: bool) -> str:
     parts = [name for name, flag in
              zip(STRATUM_FLAGS, (hijack, saddns, frag)) if flag]
     return "+".join(parts) if parts else "none"
+
+
+# All eight strata, precomputed: the key is built once per scanned
+# entity, millions of times per full-population run.
+_STRATUM_KEYS = {
+    (h, s, f): _stratum_name(h, s, f)
+    for h in (False, True) for s in (False, True) for f in (False, True)
+}
 
 
 @dataclass
@@ -47,35 +62,91 @@ class ScanAggregate:
     histograms: dict[str, Counter] = field(default_factory=dict)
 
     def _bump(self, histogram: str, value: int) -> None:
-        self.histograms.setdefault(histogram, Counter())[value] += 1
+        counter = self.histograms.get(histogram)
+        if counter is None:
+            counter = self.histograms[histogram] = Counter()
+        counter[value] += 1
 
-    def observe_front_end(self, front_end: FrontEnd) -> None:
-        """Scan one front-end system and fold in the verdicts."""
-        result = scan_front_end(front_end)
-        self.count += 1
-        for flag in RESOLVER_FLAGS:
-            if getattr(result, flag):
-                self.flags[flag] += 1
-        self.strata[stratum_key(result.hijack, result.saddns,
-                                result.frag)] += 1
-        for resolver in front_end.resolvers:
-            self._bump("prefix_length", resolver.prefix_length)
-            if resolver.reachable and resolver.edns_size is not None:
-                self._bump("edns_size", resolver.edns_size)
+    def _histogram(self, name: str) -> Counter:
+        counter = self.histograms.get(name)
+        if counter is None:
+            counter = self.histograms[name] = Counter()
+        return counter
 
-    def observe_domain(self, domain: DomainProfile) -> None:
-        """Scan one domain and fold in the verdicts."""
-        result = scan_domain(domain)
+    def observe_front_end(self, front_end: FrontEnd,
+                          single_use: bool = False) -> None:
+        """Scan one front-end system and fold in the verdicts.
+
+        The probe loop is :func:`scan_front_end` fused in (same
+        short-circuits, same RNG consumption) so the per-entity path
+        builds no intermediate result object.  ``single_use=True``
+        switches the SadDNS probe to the pruned
+        :func:`scan_saddns_verdict` — identical verdicts, but the
+        entity's ICMP RNG may be left mid-stream, so it is only valid
+        when the entity is discarded after this call (the aggregate-only
+        shard scans).
+        """
+        saddns_probe = scan_saddns_verdict if single_use else scan_saddns
+        hijack = saddns = frag = False
         self.count += 1
-        for flag in DOMAIN_FLAGS:
-            if getattr(result, flag):
-                self.flags[flag] += 1
-        self.strata[stratum_key(result.hijack, result.saddns,
-                                result.frag_any or result.frag_global)] += 1
-        for ns in domain.nameservers:
-            self._bump("prefix_length", ns.prefix_length)
-            if ns.honours_ptb:
-                self._bump("min_frag_size", ns.min_frag_size)
+        if front_end.resolvers:
+            prefix_hist = self._histogram("prefix_length")
+            for resolver in front_end.resolvers:
+                if not hijack and resolver.prefix_length < SUBPREFIX_HIJACKABLE_BELOW:
+                    hijack = True
+                if not saddns and saddns_probe(resolver):
+                    saddns = True
+                if not frag and scan_fragmentation(resolver):
+                    frag = True
+                prefix_hist[resolver.prefix_length] += 1
+                if resolver.reachable and resolver.edns_size is not None:
+                    self._bump("edns_size", resolver.edns_size)
+        flags = self.flags
+        if hijack:
+            flags["hijack"] += 1
+        if saddns:
+            flags["saddns"] += 1
+        if frag:
+            flags["frag"] += 1
+        self.strata[_STRATUM_KEYS[hijack, saddns, frag]] += 1
+
+    def observe_domain(self, domain: DomainProfile,
+                       single_use: bool = False) -> None:
+        """Scan one domain and fold in the verdicts (fused scan loop).
+
+        ``single_use`` is accepted for symmetry with
+        :meth:`observe_front_end`; domain scanning consumes no RNG, so
+        both modes are identical.
+        """
+        hijack = saddns = frag_any = frag_global = False
+        self.count += 1
+        if domain.nameservers:
+            prefix_hist = self._histogram("prefix_length")
+            for ns in domain.nameservers:
+                if not hijack and ns.prefix_length < SUBPREFIX_HIJACKABLE_BELOW:
+                    hijack = True
+                if not saddns and scan_nameserver_rrl(ns):
+                    saddns = True
+                if ns.fragments_response("ANY"):
+                    frag_any = True
+                    if ns.ipid_global:
+                        frag_global = True
+                prefix_hist[ns.prefix_length] += 1
+                if ns.honours_ptb:
+                    self._bump("min_frag_size", ns.min_frag_size)
+        flags = self.flags
+        if hijack:
+            flags["hijack"] += 1
+        if saddns:
+            flags["saddns"] += 1
+        if frag_any:
+            flags["frag_any"] += 1
+        if frag_global:
+            flags["frag_global"] += 1
+        if domain.signed:
+            flags["dnssec"] += 1
+        self.strata[_STRATUM_KEYS[hijack, saddns,
+                                  frag_any or frag_global]] += 1
 
     def observe(self, entity: FrontEnd | DomainProfile) -> None:
         if isinstance(entity, FrontEnd):

@@ -74,8 +74,15 @@ def _scan_shard(task: tuple[DatasetSpec, Any, ShardRange, str]
     kind = dataset_kind(spec)
     aggregate = ScanAggregate(kind=kind)
     started = time.perf_counter()
-    for entity in iter_entities(spec, seed=seed, lo=shard.lo, hi=shard.hi):
-        aggregate.observe(entity)
+    # Streaming consumption: each entity is fully observed before the
+    # next is produced and then discarded, so the producer may reuse its
+    # scratch RNGs and the observers may prune single-use probe streams.
+    # Dispatch on the dataset kind once rather than per entity.
+    observe = aggregate.observe_front_end if kind == "resolver" \
+        else aggregate.observe_domain
+    for entity in iter_entities(spec, seed=seed, lo=shard.lo, hi=shard.hi,
+                                reuse_rng=True):
+        observe(entity, single_use=True)
     return ShardRecord(
         spec_hash=spec_hash,
         shard_id=shard.shard_id,

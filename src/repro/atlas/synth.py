@@ -20,6 +20,7 @@ then runs the *same* per-entity draw kernel
 from __future__ import annotations
 
 import hashlib
+from dataclasses import replace
 from typing import Iterable, Iterator
 
 from repro.core.rng import DeterministicRNG
@@ -27,14 +28,14 @@ from repro.measurements.population import (
     DomainDatasetSpec,
     DomainProfile,
     FrontEnd,
+    MixSampler,
     ResolverDatasetSpec,
     domain_rates,
     draw_domain_profile,
     draw_resolver_profile,
     resolver_prefix_mix,
+    resolver_rates,
 )
-from repro.netsim.addresses import int_to_ip
-
 # Same 11.0.0.0-based stride walk the monolithic generator uses, but
 # computed from the entity index so any shard can address its entities
 # without a shared counter.
@@ -44,8 +45,12 @@ _ADDRESS_STRIDE = 7
 
 def atlas_address(slot: int) -> str:
     """Deterministic address for one global entity/sub-entity slot."""
-    raw = _ADDRESS_BASE + (slot + 1) * _ADDRESS_STRIDE
-    return int_to_ip(raw & 0xDFFFFFFF | _ADDRESS_BASE)
+    # int_to_ip inlined: the masked value is always in range, and this
+    # runs once per sub-entity over million-entity populations.
+    value = (_ADDRESS_BASE + (slot + 1) * _ADDRESS_STRIDE) \
+        & 0xDFFFFFFF | _ADDRESS_BASE
+    return (f"{(value >> 24) & 0xFF}.{(value >> 16) & 0xFF}"
+            f".{(value >> 8) & 0xFF}.{value & 0xFF}")
 
 
 def _dataset_rng(seed: int | str, kind: str, key: str) -> DeterministicRNG:
@@ -53,50 +58,111 @@ def _dataset_rng(seed: int | str, kind: str, key: str) -> DeterministicRNG:
 
 
 def iter_front_ends(spec: ResolverDatasetSpec, seed: int | str = 0,
-                    lo: int = 0, hi: int | None = None
-                    ) -> Iterator[FrontEnd]:
-    """Stream front-end systems ``lo..hi`` of one Table 3 population."""
+                    lo: int = 0, hi: int | None = None,
+                    reuse_rng: bool = False) -> Iterator[FrontEnd]:
+    """Stream front-end systems ``lo..hi`` of one Table 3 population.
+
+    ``reuse_rng=True`` is the streaming fast path for consumers that
+    fully process each entity before advancing (the shard scanners): the
+    per-entity and per-resolver RNGs are one pair of scratch generators
+    re-derived in place — bit-identical streams, no per-entity generator
+    allocations — so entities from earlier iterations must not be
+    retained (their ``icmp.rng`` is re-seeded by the next iteration).
+    """
     if hi is None:
         hi = spec.full_size
     root = _dataset_rng(seed, "resolver", spec.key)
-    prefix_mix = resolver_prefix_mix(spec)
+    prefix_mix = MixSampler(resolver_prefix_mix(spec))
+    rates = resolver_rates(spec)
     per_fe = spec.resolvers_per_frontend
+    # Loop-invariant labels and prefixes, hoisted: this loop runs once
+    # per entity over million-entity populations.
+    icmp_labels = [f"icmp-{sub}" for sub in range(per_fe)]
+    subs = range(per_fe)
+    key_prefix = spec.key + "-"
+    if reuse_rng:
+        scratch = DeterministicRNG(0)
+        scratch_icmps = [DeterministicRNG(0) for _ in subs]
+        for index in range(lo, hi):
+            text = str(index)
+            scratch.rederive(root, text)
+            base_slot = index * per_fe
+            resolvers = []
+            for sub in subs:
+                icmp_rng = scratch_icmps[sub]
+                icmp_rng.rederive(scratch, icmp_labels[sub])
+                resolvers.append(draw_resolver_profile(
+                    scratch, spec, atlas_address(base_slot + sub),
+                    prefix_mix=prefix_mix, icmp_rng=icmp_rng,
+                    rates=rates,
+                ))
+            yield FrontEnd(identifier=key_prefix + text,
+                           resolvers=resolvers)
+        return
+    derive = root.derive
     for index in range(lo, hi):
-        rng = root.derive(str(index))
+        rng = derive(str(index))
+        base_slot = index * per_fe
         resolvers = [
             draw_resolver_profile(
-                rng, spec, atlas_address(index * per_fe + sub),
+                rng, spec, atlas_address(base_slot + sub),
                 prefix_mix=prefix_mix,
-                icmp_rng=rng.derive(f"icmp-{sub}"),
+                icmp_rng=rng.derive(icmp_labels[sub]),
+                rates=rates,
             )
-            for sub in range(per_fe)
+            for sub in subs
         ]
-        yield FrontEnd(identifier=f"{spec.key}-{index}", resolvers=resolvers)
+        yield FrontEnd(identifier=key_prefix + str(index),
+                       resolvers=resolvers)
 
 
 def iter_domains(spec: DomainDatasetSpec, seed: int | str = 0,
-                 lo: int = 0, hi: int | None = None
-                 ) -> Iterator[DomainProfile]:
-    """Stream domains ``lo..hi`` of one Table 4 population."""
+                 lo: int = 0, hi: int | None = None,
+                 reuse_rng: bool = False) -> Iterator[DomainProfile]:
+    """Stream domains ``lo..hi`` of one Table 4 population.
+
+    ``reuse_rng`` re-derives one scratch generator per entity in place
+    (see :func:`iter_front_ends`); domain entities never retain their
+    RNG, so the only constraint is streaming consumption.
+    """
     if hi is None:
         hi = spec.full_size
     root = _dataset_rng(seed, "domain", spec.key)
     rates = domain_rates(spec)
+    rates = replace(rates, prefix_mix=MixSampler(rates.prefix_mix))
     n_ns = spec.ns_per_domain
+    subs = range(n_ns)
+    key_prefix = spec.key + "-"
+    if reuse_rng:
+        scratch = DeterministicRNG(0)
+        for index in range(lo, hi):
+            text = str(index)
+            scratch.rederive(root, text)
+            base_slot = index * n_ns
+            addresses = [atlas_address(base_slot + sub) for sub in subs]
+            yield draw_domain_profile(scratch, spec,
+                                      key_prefix + text + ".example",
+                                      addresses, rates=rates)
+        return
+    derive = root.derive
     for index in range(lo, hi):
-        rng = root.derive(str(index))
-        addresses = [atlas_address(index * n_ns + sub)
-                     for sub in range(n_ns)]
-        yield draw_domain_profile(rng, spec, f"{spec.key}-{index}.example",
+        rng = derive(str(index))
+        base_slot = index * n_ns
+        addresses = [atlas_address(base_slot + sub) for sub in subs]
+        yield draw_domain_profile(rng, spec,
+                                  key_prefix + str(index) + ".example",
                                   addresses, rates=rates)
 
 
 def iter_entities(spec, seed: int | str = 0, lo: int = 0,
-                  hi: int | None = None) -> Iterator[FrontEnd | DomainProfile]:
+                  hi: int | None = None,
+                  reuse_rng: bool = False
+                  ) -> Iterator[FrontEnd | DomainProfile]:
     """Kind-dispatching entity stream for one dataset."""
     if isinstance(spec, ResolverDatasetSpec):
-        return iter_front_ends(spec, seed=seed, lo=lo, hi=hi)
-    return iter_domains(spec, seed=seed, lo=lo, hi=hi)
+        return iter_front_ends(spec, seed=seed, lo=lo, hi=hi,
+                               reuse_rng=reuse_rng)
+    return iter_domains(spec, seed=seed, lo=lo, hi=hi, reuse_rng=reuse_rng)
 
 
 def stream_checksum(entities: Iterable[FrontEnd | DomainProfile]) -> str:

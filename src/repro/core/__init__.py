@@ -13,7 +13,7 @@ from repro.core.errors import (
     ReproError,
     SimulationError,
 )
-from repro.core.eventlog import Event, EventLog
+from repro.core.eventlog import Event, EventLog, NullLog
 from repro.core.rng import DeterministicRNG, derive_rng
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "DropPacket",
     "Event",
     "EventLog",
+    "NullLog",
     "ReproError",
     "Scheduler",
     "SimulationError",

@@ -5,18 +5,36 @@ timestamp and a :class:`Scheduler` drives callbacks ordered by (time,
 sequence number).  Nothing ever sleeps; advancing time is explicit, which
 keeps attack experiments that "take 471 seconds" finishing in milliseconds
 of wall-clock.
+
+The scheduler is the single hottest object in the simulator — every
+packet delivery, retransmission timer and rate-limit drain goes through
+it, and the volume attacks push millions of events per campaign.  Its
+queue therefore holds plain lists ``[when, seq, callback, args,
+cancelled]`` rather than objects: list comparison runs in C (the unique
+``(when, seq)`` prefix decides every heap comparison before the
+callback is ever looked at), and ``call_later(delay, fn, *args)``
+carries arguments without a closure, so the per-packet cost is one list
+and zero lambdas.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
+
+# Heap entry layout (plain list so heapq compares in C and the
+# cancellation flag stays mutable): [when, seq, callback, args, cancelled]
+_WHEN = 0
+_SEQ = 1
+_CALLBACK = 2
+_ARGS = 3
+_CANCELLED = 4
 
 
 class Clock:
     """Monotonic virtual clock measured in seconds (float)."""
+
+    __slots__ = ("_now",)
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
@@ -41,89 +59,147 @@ class Clock:
         self._now += delta
 
 
-@dataclass(order=True)
-class _ScheduledCall:
-    when: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-
 class TimerHandle:
     """Handle returned by :meth:`Scheduler.call_at`; allows cancellation."""
 
-    def __init__(self, entry: _ScheduledCall):
+    __slots__ = ("_entry", "_scheduler")
+
+    def __init__(self, entry: list, scheduler: "Scheduler"):
         self._entry = entry
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the callback from running if it has not run yet."""
-        self._entry.cancelled = True
+        entry = self._entry
+        if entry[_CANCELLED]:
+            return
+        entry[_CANCELLED] = True
+        if entry[_CALLBACK] is not None:
+            # Still queued: release it and keep the live counter honest.
+            # A callback of None means the entry already executed (the
+            # run loops clear it), so there is nothing left to uncount —
+            # timers routinely get cancelled by their own callback's
+            # cleanup path (e.g. a resolver finishing on its last
+            # timeout).
+            entry[_CALLBACK] = None
+            entry[_ARGS] = None
+            self._scheduler._pending -= 1
 
     @property
     def when(self) -> float:
         """Virtual time at which the callback is due."""
-        return self._entry.when
+        return self._entry[_WHEN]
 
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` was called."""
-        return self._entry.cancelled
+        return self._entry[_CANCELLED]
 
 
 class Scheduler:
     """Priority-queue event loop over a :class:`Clock`.
 
     Events scheduled for the same instant run in scheduling order, which
-    gives the simulation deterministic tie-breaking.
+    gives the simulation deterministic tie-breaking.  ``call_at`` /
+    ``call_later`` accept positional arguments for the callback so hot
+    paths never build closures::
+
+        scheduler.call_later(latency, host.receive, packet)
     """
+
+    __slots__ = ("clock", "_queue", "_seq", "_pending")
 
     def __init__(self, clock: Clock | None = None):
         self.clock = clock if clock is not None else Clock()
-        self._queue: list[_ScheduledCall] = []
-        self._seq = itertools.count()
+        self._queue: list[list] = []
+        self._seq = 0
+        self._pending = 0
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> TimerHandle:
-        """Schedule ``callback`` to run at absolute virtual time ``when``."""
-        if when < self.clock.now:
+    def call_at(self, when: float, callback: Callable[..., None],
+                *args) -> TimerHandle:
+        """Schedule ``callback(*args)`` to run at absolute time ``when``."""
+        if when < self.clock._now:
             raise ValueError(
-                f"cannot schedule in the past: now={self.clock.now}, when={when}"
+                f"cannot schedule in the past: now={self.clock._now},"
+                f" when={when}"
             )
-        entry = _ScheduledCall(when, next(self._seq), callback)
+        self._seq = seq = self._seq + 1
+        entry = [when, seq, callback, args, False]
         heapq.heappush(self._queue, entry)
-        return TimerHandle(entry)
+        self._pending += 1
+        return TimerHandle(entry, self)
 
-    def call_later(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
-        return self.call_at(self.clock.now + delay, callback)
+    def call_later(self, delay: float, callback: Callable[..., None],
+                   *args) -> TimerHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        return self.call_at(self.clock._now + delay, callback, *args)
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args) -> None:
+        """Fire-and-forget :meth:`call_later` without a handle.
+
+        The per-packet fast path: delivery events are never cancelled,
+        so skipping the :class:`TimerHandle` saves one allocation per
+        scheduled packet.
+        """
+        now = self.clock._now
+        when = now + delay
+        if when < now:
+            raise ValueError(
+                f"cannot schedule in the past: now={now}, when={when}")
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._queue, [when, seq, callback, args, False])
+        self._pending += 1
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._pending
 
     def run_next(self) -> bool:
         """Run the earliest pending event.  Returns False if queue is empty."""
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            if entry.cancelled:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            entry = pop(queue)
+            if entry[_CANCELLED]:
                 continue
-            self.clock.advance_to(entry.when)
-            entry.callback()
+            # Mark the entry consumed before invoking, so a handle
+            # cancelled from inside its own callback is a no-op.
+            callback = entry[_CALLBACK]
+            args = entry[_ARGS]
+            entry[_CALLBACK] = None
+            entry[_ARGS] = None
+            self._pending -= 1
+            # The heap pops in (when, seq) order and call_at refuses the
+            # past, so time is monotone here by construction.
+            self.clock._now = entry[_WHEN]
+            callback(*args)
             return True
         return False
 
     def run_until(self, deadline: float) -> None:
         """Run all events due at or before ``deadline``, then set time to it."""
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        clock = self.clock
+        while queue:
+            entry = queue[0]
+            if entry[_CANCELLED]:
+                pop(queue)
                 continue
-            if head.when > deadline:
+            if entry[_WHEN] > deadline:
                 break
-            self.run_next()
-        if deadline > self.clock.now:
-            self.clock.advance_to(deadline)
+            pop(queue)
+            callback = entry[_CALLBACK]
+            args = entry[_ARGS]
+            entry[_CALLBACK] = None
+            entry[_ARGS] = None
+            self._pending -= 1
+            clock._now = entry[_WHEN]
+            callback(*args)
+        if deadline > clock._now:
+            clock._now = deadline
 
     def run_until_idle(self, max_events: int = 1_000_000) -> int:
         """Run events until the queue drains.  Returns events executed.
@@ -132,7 +208,20 @@ class Scheduler:
         ping-ponging retransmissions forever); exceeding it raises.
         """
         executed = 0
-        while self.run_next():
+        queue = self._queue
+        pop = heapq.heappop
+        clock = self.clock
+        while queue:
+            entry = pop(queue)
+            if entry[_CANCELLED]:
+                continue
+            callback = entry[_CALLBACK]
+            args = entry[_ARGS]
+            entry[_CALLBACK] = None
+            entry[_ARGS] = None
+            self._pending -= 1
+            clock._now = entry[_WHEN]
+            callback(*args)
             executed += 1
             if executed > max_events:
                 raise RuntimeError(

@@ -5,6 +5,13 @@ The experiments in the paper are narrated as message sequence charts
 :class:`Event` entries into a shared :class:`EventLog`; the figure benches
 then render the log as an ASCII sequence diagram and the tests assert on
 the event structure instead of scraping stdout.
+
+Statistical runs — campaigns over thousands of seeds, atlas scans over
+millions of entities — never look at a trace, so they attach a
+:class:`NullLog` instead: it shares the :class:`EventLog` interface but
+``record()`` is a no-op and its ``enabled`` flag lets hot call sites
+skip even the *argument construction* (f-string details, data dicts)
+of a record call.  Tracing therefore costs nothing when it is off.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """One timestamped occurrence inside the simulation.
 
@@ -31,14 +38,36 @@ class Event:
     detail: str = ""
     data: dict[str, Any] = field(default_factory=dict)
 
+    # Explicit state protocol: frozen+slots dataclasses only gained
+    # working default pickling in Python 3.11, and events cross process
+    # boundaries in campaign workers on 3.10 too.
+    def __getstate__(self):
+        return (self.time, self.actor, self.kind, self.detail, self.data)
+
+    def __setstate__(self, state):
+        for name, value in zip(("time", "actor", "kind", "detail", "data"),
+                               state):
+            object.__setattr__(self, name, value)
+
 
 class EventLog:
-    """Append-only list of :class:`Event` with query helpers."""
+    """Append-only list of :class:`Event` with query helpers.
+
+    ``count()`` and ``of_kind()`` match an exact kind or any dotted
+    sub-kind (``"ip"`` matches ``"ip.df_drop"``).  A per-kind index is
+    maintained on record, so ``count()`` costs O(distinct kinds) no
+    matter how many events the log holds.
+    """
+
+    #: Hot call sites check this before building record() arguments.
+    enabled = True
 
     def __init__(self, capacity: int | None = None):
         self._events: list[Event] = []
         self._capacity = capacity
         self._subscribers: list[Callable[[Event], None]] = []
+        # kind -> number of *stored* events with exactly that kind.
+        self._kind_counts: dict[str, int] = {}
 
     def record(
         self,
@@ -49,9 +78,12 @@ class EventLog:
         **data: Any,
     ) -> Event:
         """Append an event and notify subscribers; returns the event."""
-        event = Event(time=time, actor=actor, kind=kind, detail=detail, data=data)
+        event = Event(time=time, actor=actor, kind=kind, detail=detail,
+                      data=data)
         if self._capacity is None or len(self._events) < self._capacity:
             self._events.append(event)
+            counts = self._kind_counts
+            counts[kind] = counts.get(kind, 0) + 1
         for subscriber in self._subscribers:
             subscriber(event)
         return event
@@ -71,9 +103,10 @@ class EventLog:
 
     def of_kind(self, kind: str) -> list[Event]:
         """All events whose kind equals or starts with ``kind``."""
+        prefix = kind + "."
         return [
             e for e in self._events
-            if e.kind == kind or e.kind.startswith(kind + ".")
+            if e.kind == kind or e.kind.startswith(prefix)
         ]
 
     def by_actor(self, actor: str) -> list[Event]:
@@ -81,12 +114,17 @@ class EventLog:
         return [e for e in self._events if e.actor == actor]
 
     def count(self, kind: str) -> int:
-        """Number of events matching :meth:`of_kind`."""
-        return len(self.of_kind(kind))
+        """Number of events matching :meth:`of_kind` (via the kind index)."""
+        prefix = kind + "."
+        return sum(
+            n for stored, n in self._kind_counts.items()
+            if stored == kind or stored.startswith(prefix)
+        )
 
     def clear(self) -> None:
         """Drop all stored events (subscribers stay registered)."""
         self._events.clear()
+        self._kind_counts.clear()
 
     def render_sequence(self, actors: list[str] | None = None) -> str:
         """Render the log as an ASCII message-sequence chart.
@@ -127,3 +165,21 @@ class EventLog:
             else:
                 lines.append(f"    {label}  ({event.actor})")
         return "\n".join(lines)
+
+
+class NullLog(EventLog):
+    """An :class:`EventLog` that stores nothing — the untraced fast path.
+
+    Campaign and atlas runs attach one of these so per-packet code pays
+    no :class:`Event` construction and no append.  The interface is the
+    full :class:`EventLog` one (queries return empty results) so code
+    holding a log never needs to branch — except hot paths, which check
+    ``log.enabled`` first and skip building the record arguments too.
+    """
+
+    enabled = False
+
+    def record(self, time: float, actor: str, kind: str, detail: str = "",
+               **data: Any) -> None:
+        """Drop the event without constructing it (returns ``None``)."""
+        return None

@@ -165,8 +165,41 @@ def _encode_opt(encoder: _Encoder, udp_size: int, dnssec_ok: bool) -> None:
     encoder.u16(0)                    # empty rdata
 
 
-def encode_message(message: DnsMessage) -> bytes:
-    """Serialise a :class:`DnsMessage` to wire bytes."""
+# Memoisation for the wire codecs.  Retransmission storms and TXID
+# floods move thousands of *value-identical* messages (modulo the 16-bit
+# TXID in the first two bytes), so both caches key on the message with
+# the TXID stripped: the remaining bytes are TXID-independent, and the
+# header word is spliced back per call.  Keys are built from the
+# messages' (frozen, hashable) questions and records by value, which
+# makes the caches immune to callers mutating section lists afterwards —
+# a mutated message simply produces a different key.
+_ENCODE_CACHE: dict[tuple, bytes] = {}
+_DECODE_CACHE: dict[bytes, DnsMessage] = {}
+_WIRE_CACHE_MAX = 2048
+
+
+def _message_cache_key(message: DnsMessage) -> tuple | None:
+    """Value key of everything but the TXID; None if rdata is unhashable."""
+    key = (
+        message.is_response, message.authoritative, message.truncated,
+        message.recursion_desired, message.recursion_available,
+        message.rcode, tuple(message.questions),
+        tuple(message.answers), tuple(message.authority),
+        tuple(message.additional), message.edns_udp_size,
+        message.dnssec_ok,
+    )
+    try:
+        # Building the tuple never hashes the records; force it here so
+        # unhashable rdata (e.g. list-valued data) degrades to the
+        # uncached encoder instead of blowing up at dict lookup.
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+def _encode_tail(message: DnsMessage) -> bytes:
+    """Encode everything after the TXID word (TXID-independent bytes)."""
     encoder = _Encoder()
     flags = 0
     if message.is_response:
@@ -182,8 +215,11 @@ def encode_message(message: DnsMessage) -> bytes:
     flags |= message.rcode & 0xF
     arcount = len(message.additional) \
         + (1 if message.edns_udp_size is not None else 0)
+    # The compression offset table must see offsets relative to the full
+    # message, so the encoder starts with a 2-byte placeholder where the
+    # TXID will be spliced in.
     encoder.raw(struct.pack(
-        "!HHHHHH", message.txid, flags, len(message.questions),
+        "!HHHHHH", 0, flags, len(message.questions),
         len(message.answers), len(message.authority), arcount,
     ))
     for question in message.questions:
@@ -198,7 +234,20 @@ def encode_message(message: DnsMessage) -> bytes:
         _encode_record(encoder, record)
     if message.edns_udp_size is not None:
         _encode_opt(encoder, message.edns_udp_size, message.dnssec_ok)
-    return bytes(encoder.buffer)
+    return bytes(encoder.buffer[2:])
+
+
+def encode_message(message: DnsMessage) -> bytes:
+    """Serialise a :class:`DnsMessage` to wire bytes (memoised)."""
+    key = _message_cache_key(message)
+    tail = _ENCODE_CACHE.get(key) if key is not None else None
+    if tail is None:
+        tail = _encode_tail(message)
+        if key is not None:
+            if len(_ENCODE_CACHE) >= _WIRE_CACHE_MAX:
+                _ENCODE_CACHE.clear()
+            _ENCODE_CACHE[key] = tail
+    return struct.pack("!H", message.txid) + tail
 
 
 class _Decoder:
@@ -342,13 +391,55 @@ def _decode_record(decoder: _Decoder) -> ResourceRecord | tuple[int, bool]:
     return ResourceRecord(name=name, rtype=rtype, ttl=ttl, data=data)
 
 
+def _copy_message(template: DnsMessage, txid: int) -> DnsMessage:
+    """Fresh message equal to ``template`` but for the TXID.
+
+    Handing out copies (fresh section lists over the same frozen
+    records) keeps the decode cache safe against callers mutating the
+    result.
+    """
+    message = DnsMessage(
+        txid=txid,
+        is_response=template.is_response,
+        authoritative=template.authoritative,
+        truncated=template.truncated,
+        recursion_desired=template.recursion_desired,
+        recursion_available=template.recursion_available,
+        rcode=template.rcode,
+        questions=list(template.questions),
+        answers=list(template.answers),
+        authority=list(template.authority),
+        additional=list(template.additional),
+        edns_udp_size=template.edns_udp_size,
+        dnssec_ok=template.dnssec_ok,
+    )
+    return message
+
+
 def decode_message(data: bytes) -> DnsMessage:
-    """Parse wire bytes into a :class:`DnsMessage`.
+    """Parse wire bytes into a :class:`DnsMessage` (memoised).
 
     Raises :class:`WireFormatError` on malformed input; resolvers treat
     that as a silent drop, which is what makes badly-spliced attack
     fragments fail harmlessly.
+
+    A TXID flood is 2^16 parses of the same bytes with a different
+    header word, so successful parses are cached keyed on ``data[2:]``
+    (compression offsets count from the message start, which the TXID
+    never shifts) and replayed as cheap copies.
     """
+    if len(data) >= 2:
+        template = _DECODE_CACHE.get(data[2:])
+        if template is not None:
+            return _copy_message(template, (data[0] << 8) | data[1])
+    message = _decode_message_uncached(data)
+    if len(_DECODE_CACHE) >= _WIRE_CACHE_MAX:
+        _DECODE_CACHE.clear()
+    _DECODE_CACHE[data[2:]] = _copy_message(message, 0)
+    return message
+
+
+def _decode_message_uncached(data: bytes) -> DnsMessage:
     decoder = _Decoder(data)
     txid = decoder.u16()
     flags = decoder.u16()

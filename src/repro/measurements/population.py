@@ -17,6 +17,7 @@ sampled population.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -44,7 +45,41 @@ def _prefix_length_distribution(slash24_mass: float,
     return mix
 
 
-def _draw_from_mix(rng: DeterministicRNG, mix: dict[int, float]) -> int:
+class MixSampler:
+    """Precompiled categorical sampler over a value -> mass mix.
+
+    The cumulative masses accumulate in the mix's iteration order with
+    the same float additions as the linear scan in
+    :func:`_draw_from_mix`, and ``point <= acc`` is exactly
+    ``bisect_left(cumulative, point)``, so draws are bit-identical —
+    just without re-walking the mix per entity.
+    """
+
+    __slots__ = ("values", "cumulative", "fallback")
+
+    def __init__(self, mix: dict[int, float]):
+        values = []
+        cumulative = []
+        acc = 0.0
+        for value, mass in mix.items():
+            acc += mass
+            values.append(value)
+            cumulative.append(acc)
+        self.values = values
+        self.cumulative = cumulative
+        self.fallback = max(mix)
+
+    def draw(self, rng: DeterministicRNG) -> int:
+        point = rng.random()
+        index = bisect_left(self.cumulative, point)
+        values = self.values
+        return values[index] if index < len(values) else self.fallback
+
+
+def _draw_from_mix(rng: DeterministicRNG,
+                   mix: dict[int, float] | MixSampler) -> int:
+    if type(mix) is MixSampler:
+        return mix.draw(rng)
     point = rng.random()
     acc = 0.0
     for value, mass in mix.items():
@@ -61,7 +96,7 @@ def _deterministic_burst_errors(rate: float, burst: float,
     return sum(1 for _ in range(n_probes) if bucket.allow(0.0))
 
 
-@dataclass
+@dataclass(slots=True)
 class IcmpBehaviour:
     """The ICMP error behaviour of one resolver's operating system.
 
@@ -85,16 +120,27 @@ class IcmpBehaviour:
             # the 51-probe replay once, not per resolver.
             return _deterministic_burst_errors(self.rate, self.burst,
                                                n_probes)
-        bucket = TokenBucket(rate=self.rate, burst=self.burst)
+        # Randomised-budget replay, inlined: a same-instant burst never
+        # refills the bucket, and ``1 + randint(0, 5)`` is CPython's
+        # ``_randbelow(6)`` rejection loop over 3-bit draws.  Same RNG
+        # consumption, same error count, none of the per-probe
+        # TokenBucket/randrange frame overhead — this is the inner loop
+        # of every population-scale resolver scan.
+        getrandbits = self.rng.getrandbits
+        tokens = self.burst
         errors = 0
         for _ in range(n_probes):
-            cost = 1 + self.rng.randint(0, 5)
-            if bucket.allow(0.0, cost=cost):
+            draw = getrandbits(3)
+            while draw >= 6:
+                draw = getrandbits(3)
+            cost = 1 + draw
+            if tokens >= cost:
+                tokens -= cost
                 errors += 1
         return errors
 
 
-@dataclass
+@dataclass(slots=True)
 class ResolverProfile:
     """Ground truth for one resolver back-end address."""
 
@@ -115,7 +161,7 @@ class ResolverProfile:
         return self.prefix_length < 24
 
 
-@dataclass
+@dataclass(slots=True)
 class FrontEnd:
     """A front-end system (SMTP server, web client, CA...) and its resolvers."""
 
@@ -123,7 +169,7 @@ class FrontEnd:
     resolvers: list[ResolverProfile]
 
 
-@dataclass
+@dataclass(slots=True)
 class NameserverProfile:
     """Ground truth for one authoritative nameserver."""
 
@@ -157,7 +203,7 @@ class NameserverProfile:
             self.response_size(qtype, qname_length) > self.min_frag_size
 
 
-@dataclass
+@dataclass(slots=True)
 class DomainProfile:
     """Ground truth for one domain under test."""
 
@@ -273,6 +319,13 @@ def resolver_prefix_mix(spec: ResolverDatasetSpec) -> dict[int, float]:
     return _prefix_length_distribution(1.0 - spec.expected_hijack / 100.0)
 
 
+# Shared choice lists: every draw site must use identical sequences so
+# the RNG consumption (and therefore the population) stays bit-stable —
+# and module-level constants also avoid a list build per entity.
+EDNS_MID_CHOICES = [1232, 1400, 2048]
+EDNS_BIG_CHOICES = [4000, 4096, 8192]
+
+
 def draw_edns_size(rng: DeterministicRNG,
                    mix: tuple[float, float, float]) -> int:
     """One advertised EDNS UDP payload size from a 512/mid/big mix."""
@@ -280,14 +333,53 @@ def draw_edns_size(rng: DeterministicRNG,
     if point < mix[0]:
         return 512
     if point < mix[0] + mix[1]:
-        return rng.choice([1232, 1400, 2048])
-    return rng.choice([4000, 4096, 8192])
+        return rng.choice(EDNS_MID_CHOICES)
+    return rng.choice(EDNS_BIG_CHOICES)
+
+
+@dataclass(frozen=True)
+class ResolverRates:
+    """Loop-invariant per-resolver draw rates for one Table 3 row.
+
+    Pure arithmetic on the spec — hoisting it out of
+    :func:`draw_resolver_profile` keeps the per-entity kernel free of
+    repeated derivations on million-entity atlas scans.  The expressions
+    mirror the historical inline computation exactly (same operations,
+    same floats).
+    """
+
+    conditional_saddns: float
+    p_accept_given_big: float
+    is_open: bool
+
+
+def resolver_rates(spec: ResolverDatasetSpec) -> ResolverRates:
+    """Compute the per-resolver calibration for one Table 3 row."""
+    # SadDNS ground truth: the paper's measured rate already reflects
+    # reachability losses, so the generator draws the *conditional* rate
+    # among reachable hosts.
+    reachable_mass = 1.0 - spec.rate_unreachable
+    saddns_target = spec.expected_saddns / 100.0
+    conditional = min(1.0, saddns_target / reachable_mass) \
+        if reachable_mass > 0 else 0.0
+    # Unreachable hosts fail the scan too, so the ground-truth rate
+    # among reachable hosts is scaled up.
+    frag_target = min(1.0, (spec.expected_frag / 100.0)
+                      / max(reachable_mass, 1e-9))
+    big_mass = spec.edns_mix[1] + spec.edns_mix[2]
+    return ResolverRates(
+        conditional_saddns=conditional,
+        p_accept_given_big=(min(1.0, frag_target / big_mass)
+                            if big_mass else 0.0),
+        is_open=spec.key == "open",
+    )
 
 
 def draw_resolver_profile(rng: DeterministicRNG, spec: ResolverDatasetSpec,
                           address: str,
                           prefix_mix: dict[int, float] | None = None,
-                          icmp_rng: DeterministicRNG | None = None
+                          icmp_rng: DeterministicRNG | None = None,
+                          rates: ResolverRates | None = None
                           ) -> ResolverProfile:
     """Draw one calibrated resolver.
 
@@ -299,41 +391,28 @@ def draw_resolver_profile(rng: DeterministicRNG, spec: ResolverDatasetSpec,
     """
     if prefix_mix is None:
         prefix_mix = resolver_prefix_mix(spec)
-    # SadDNS ground truth: the paper's measured rate already reflects
-    # reachability losses, so the generator draws the *conditional* rate
-    # among reachable hosts.
+    if rates is None:
+        rates = resolver_rates(spec)
     reachable = not rng.chance(spec.rate_unreachable)
-    reachable_mass = 1.0 - spec.rate_unreachable
-    saddns_target = spec.expected_saddns / 100.0
-    conditional = min(1.0, saddns_target / reachable_mass) \
-        if reachable_mass > 0 else 0.0
     icmp = IcmpBehaviour(
         rate_limited=True,
-        randomized=not rng.chance(conditional),
+        randomized=not rng.chance(rates.conditional_saddns),
         rng=icmp_rng if icmp_rng is not None else rng.derive("icmp"),
     )
-    # Unreachable hosts fail the scan too, so the ground-truth rate
-    # among reachable hosts is scaled up.
-    frag_target = min(1.0, (spec.expected_frag / 100.0)
-                      / max(reachable_mass, 1e-9))
     edns = draw_edns_size(rng, spec.edns_mix)
     # The fragmentation scan needs both fragment acceptance and an EDNS
     # buffer larger than the padded test response; draw acceptance
     # conditioned on buffer size so the joint rate matches the paper.
-    big_mass = spec.edns_mix[1] + spec.edns_mix[2]
-    big_edns = edns >= 1232
-    accepts = rng.chance(
-        min(1.0, frag_target / big_mass) if big_mass else 0.0
-    ) if big_edns else False
+    accepts = rng.chance(rates.p_accept_given_big) if edns >= 1232 else False
     return ResolverProfile(
         address=address,
-        asn=rng.randint(1, 60_000),
+        asn=rng.uniform_int(1, 60_000),
         prefix_length=_draw_from_mix(rng, prefix_mix),
         reachable=reachable,
         icmp=icmp,
         accepts_fragments=accepts,
         edns_size=edns,
-        open_resolver=spec.key == "open",
+        open_resolver=rates.is_open,
     )
 
 
@@ -384,7 +463,7 @@ def draw_nameserver_profile(rng: DeterministicRNG, rates: DomainRates,
     frag_capable = rng.chance(rates.p_frag_any)
     return NameserverProfile(
         address=address,
-        asn=rng.randint(1, 60_000),
+        asn=rng.uniform_int(1, 60_000),
         prefix_length=_draw_from_mix(rng, rates.prefix_mix),
         honours_ptb=frag_capable,
         min_frag_size=(

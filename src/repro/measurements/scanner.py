@@ -38,7 +38,7 @@ SADDNS_PROBE_BURST = 51         # 50 spoofed + 1 verification
 RRL_BURST = 4000                # queries in the muting test
 
 
-@dataclass
+@dataclass(slots=True)
 class ResolverScanResult:
     """Measured vulnerability flags for one front-end system."""
 
@@ -48,7 +48,7 @@ class ResolverScanResult:
     frag: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class DomainScanResult:
     """Measured vulnerability flags for one domain."""
 
@@ -60,9 +60,16 @@ class DomainScanResult:
     dnssec: bool = False
 
 
+# The Figure 3 criterion: announcements shorter than this are
+# sub-prefix hijackable.  The fused hot loops in the atlas aggregate
+# compare against this constant directly — keep it the single source
+# of truth.
+SUBPREFIX_HIJACKABLE_BELOW = 24
+
+
 def scan_subprefix_hijackable(prefix_length: int) -> bool:
     """The Figure 3 criterion: announcements shorter than /24."""
-    return prefix_length < 24
+    return prefix_length < SUBPREFIX_HIJACKABLE_BELOW
 
 
 def scan_saddns(resolver: ResolverProfile) -> bool:
@@ -79,6 +86,48 @@ def scan_saddns(resolver: ResolverProfile) -> bool:
     return errors == int(resolver.icmp.burst)
 
 
+def scan_saddns_verdict(resolver: ResolverProfile) -> bool:
+    """Verdict-only SadDNS probe for single-use (streaming) entities.
+
+    Returns exactly :func:`scan_saddns`'s boolean, but prunes the
+    randomised-budget replay as soon as the error count can no longer
+    reach the burst (the "exactly 50 errors" signature needs every
+    accepted probe to cost one token, so the first jittered draw almost
+    always decides it).  Pruning leaves the resolver's ICMP RNG stream
+    partially consumed — callers must not scan the entity again, which
+    is precisely the contract of the aggregate-only shard scans where
+    the producer re-seeds its scratch RNGs every entity.
+    """
+    if not resolver.reachable:
+        return False
+    icmp = resolver.icmp
+    target = int(icmp.burst)
+    if not icmp.rate_limited:
+        return SADDNS_PROBE_BURST == target
+    if not icmp.randomized:
+        # Dispatches to the memoised fixed-cost replay; no RNG involved.
+        return icmp.errors_for_burst(SADDNS_PROBE_BURST) == target
+    getrandbits = icmp.rng.getrandbits
+    tokens = icmp.burst
+    errors = 0
+    remaining = SADDNS_PROBE_BURST
+    while remaining:
+        draw = getrandbits(3)
+        while draw >= 6:
+            draw = getrandbits(3)
+        cost = 1 + draw
+        if tokens >= cost:
+            tokens -= cost
+            errors += 1
+        remaining -= 1
+        # Upper bound on the final count: every remaining probe accepted,
+        # each costing at least one whole token.
+        best = remaining if remaining < int(tokens) else int(tokens)
+        if errors + best < target:
+            return False
+    return errors == target
+
+
 def scan_fragmentation(resolver: ResolverProfile) -> bool:
     """The fragmented-CNAME-re-query test against one resolver."""
     if not resolver.reachable:
@@ -93,14 +142,22 @@ def scan_fragmentation(resolver: ResolverProfile) -> bool:
 
 
 def scan_front_end(front_end: FrontEnd) -> ResolverScanResult:
-    """Scan all of a front-end's resolvers; any vulnerable counts."""
-    result = ResolverScanResult(identifier=front_end.identifier)
+    """Scan all of a front-end's resolvers; any vulnerable counts.
+
+    Each probe fires only until its flag first turns true (exactly the
+    historical ``flag or scan(...)`` short-circuit, so the per-resolver
+    RNG consumption is unchanged).
+    """
+    hijack = saddns = frag = False
     for resolver in front_end.resolvers:
-        result.hijack = result.hijack or scan_subprefix_hijackable(
-            resolver.prefix_length)
-        result.saddns = result.saddns or scan_saddns(resolver)
-        result.frag = result.frag or scan_fragmentation(resolver)
-    return result
+        if not hijack and resolver.prefix_length < SUBPREFIX_HIJACKABLE_BELOW:
+            hijack = True
+        if not saddns and scan_saddns(resolver):
+            saddns = True
+        if not frag and scan_fragmentation(resolver):
+            frag = True
+    return ResolverScanResult(identifier=front_end.identifier,
+                              hijack=hijack, saddns=saddns, frag=frag)
 
 
 @lru_cache(maxsize=None)
@@ -135,17 +192,21 @@ def scan_nameserver_fragmentation(nameserver: NameserverProfile,
 
 def scan_domain(domain: DomainProfile) -> DomainScanResult:
     """Scan all nameservers of a domain; any vulnerable counts."""
-    result = DomainScanResult(name=domain.name, dnssec=domain.signed)
+    hijack = saddns = frag_any = frag_global = False
     for nameserver in domain.nameservers:
-        result.hijack = result.hijack or scan_subprefix_hijackable(
-            nameserver.prefix_length)
-        result.saddns = result.saddns or scan_nameserver_rrl(nameserver)
-        frag = scan_nameserver_fragmentation(nameserver, "ANY")
-        result.frag_any = result.frag_any or frag
-        result.frag_global = result.frag_global or (
-            frag and nameserver.ipid_global
-        )
-    return result
+        if not hijack and nameserver.prefix_length < SUBPREFIX_HIJACKABLE_BELOW:
+            hijack = True
+        if not saddns and scan_nameserver_rrl(nameserver):
+            saddns = True
+        # The fragmentation probe runs per nameserver regardless:
+        # frag_global needs the per-server verdict.
+        if nameserver.fragments_response("ANY"):
+            frag_any = True
+            if nameserver.ipid_global:
+                frag_global = True
+    return DomainScanResult(name=domain.name, dnssec=domain.signed,
+                            hijack=hijack, saddns=saddns,
+                            frag_any=frag_any, frag_global=frag_global)
 
 
 @dataclass

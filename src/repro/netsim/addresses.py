@@ -8,9 +8,16 @@ population-scale measurements.
 
 from __future__ import annotations
 
+from functools import lru_cache
 
+
+@lru_cache(maxsize=4096)
 def ip_to_int(address: str) -> int:
     """Convert ``"a.b.c.d"`` to its 32-bit integer value.
+
+    Cached: a simulation talks among a small, fixed set of addresses but
+    checksums every packet, so the same conversions repeat millions of
+    times on the hot path.
 
     >>> ip_to_int("10.0.0.1")
     167772161
@@ -35,7 +42,8 @@ def int_to_ip(value: int) -> str:
     """
     if not 0 <= value <= 0xFFFFFFFF:
         raise ValueError(f"value out of IPv4 range: {value}")
-    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+    return (f"{(value >> 24) & 0xFF}.{(value >> 16) & 0xFF}"
+            f".{(value >> 8) & 0xFF}.{value & 0xFF}")
 
 
 def prefix_mask(length: int) -> int:

@@ -15,7 +15,6 @@ reproduces the behaviours that matter:
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 
 from repro.netsim.packet import Ipv4Packet
@@ -120,9 +119,8 @@ class ReassemblyCache:
         assert template is not None
         del self._partials[key]
         self.reassembled += 1
-        return dataclasses.replace(
-            template, payload=payload, mf=False, frag_offset=0,
-            udp=None, icmp=None,
+        return template.evolve(
+            payload=payload, mf=False, frag_offset=0, udp=None, icmp=None,
         )
 
 
@@ -150,8 +148,7 @@ def fragment_packet(packet: Ipv4Packet, mtu: int) -> list[Ipv4Packet]:
     while offset < total:
         piece = packet.payload[offset:offset + chunk]
         last = offset + len(piece) >= total
-        fragments.append(dataclasses.replace(
-            packet,
+        fragments.append(packet.evolve(
             payload=piece,
             mf=not last or packet.mf,
             frag_offset=packet.frag_offset + offset // 8,

@@ -280,10 +280,12 @@ class Host:
         if packet.total_length > mtu:
             if packet.df:
                 self.stats.df_drops += 1
-                self.network.log.record(
-                    self.now, self.name, "ip.df_drop",
-                    f"DF packet {packet.total_length}B exceeds MTU {mtu}",
-                )
+                log = self.network.log
+                if log.enabled:
+                    log.record(
+                        self.now, self.name, "ip.df_drop",
+                        f"DF packet {packet.total_length}B exceeds MTU {mtu}",
+                    )
                 return
             pieces = fragment_packet(packet, mtu)
         else:
@@ -314,7 +316,7 @@ class Host:
                 packet = attach_transport(reassembled)
             except WireFormatError:
                 self.stats.checksum_drops += 1
-                if self.network is not None:
+                if self.network is not None and self.network.log.enabled:
                     self.network.log.record(
                         self.now, self.name, "ip.checksum_drop",
                         "reassembled datagram failed checksum",
@@ -396,7 +398,7 @@ class Host:
         current = self._pmtu_cache.get(victim_dst, self.config.mtu)
         if mtu < current:
             self._pmtu_cache[victim_dst] = mtu
-            if self.network is not None:
+            if self.network is not None and self.network.log.enabled:
                 self.network.log.record(
                     self.now, self.name, "ip.pmtu_update",
                     f"PMTU to {victim_dst} lowered to {mtu}",

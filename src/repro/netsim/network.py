@@ -10,6 +10,7 @@ response vs. genuine response) resolve deterministically by latency.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -23,19 +24,47 @@ from repro.netsim.packet import Ipv4Packet
 Interceptor = Callable[[Ipv4Packet, Host | None], "Host | None"]
 
 
+def interceptor_label(interceptor: Interceptor) -> str:
+    """Display name for an interceptor in the stats breakdown.
+
+    An explicit ``name`` attribute wins (set via
+    :meth:`Network.add_interceptor`); bound methods fall back to the
+    owning object's class, plain functions to their qualname.
+    """
+    name = getattr(interceptor, "name", None)
+    if name:
+        return str(name)
+    owner = getattr(interceptor, "__self__", None)
+    if owner is not None:
+        return type(owner).__name__
+    return getattr(interceptor, "__qualname__", repr(interceptor))
+
+
 @dataclass
 class NetworkStats:
-    """Fabric-wide packet accounting."""
+    """Fabric-wide packet accounting.
+
+    ``per_destination`` and ``intercepted_by`` are
+    :class:`collections.Counter` objects, so missing keys read as zero
+    and set-algebra (``most_common``, ``+``) works directly;
+    ``intercepted_by`` breaks the ``intercepted`` total down per
+    claiming interceptor (middleboxes, hijack campaigns...).
+    """
 
     transmitted: int = 0
     delivered: int = 0
     dropped_no_route: int = 0
     intercepted: int = 0
-    per_destination: dict[str, int] = field(default_factory=dict)
+    per_destination: Counter = field(default_factory=Counter)
+    intercepted_by: Counter = field(default_factory=Counter)
 
     def note_delivery(self, dst: str) -> None:
         self.delivered += 1
-        self.per_destination[dst] = self.per_destination.get(dst, 0) + 1
+        self.per_destination[dst] += 1
+
+    def note_interception(self, label: str) -> None:
+        self.intercepted += 1
+        self.intercepted_by[label] += 1
 
 
 class Network:
@@ -51,6 +80,7 @@ class Network:
         self._hosts: list[Host] = []
         self._by_address: dict[str, Host] = {}
         self._interceptors: list[Interceptor] = []
+        self._interceptor_names: dict[Interceptor, str] = {}
         self._latency_overrides: dict[tuple[str, str], float] = {}
         self._loss: Callable[[Ipv4Packet], bool] | None = None
         self.trace_packets = False
@@ -100,20 +130,28 @@ class Network:
         """Install a loss model; ``predicate(pkt) == True`` drops the packet."""
         self._loss = predicate
 
-    def add_interceptor(self, interceptor: Interceptor) -> None:
-        """Register a routing interceptor (first non-None claim wins)."""
+    def add_interceptor(self, interceptor: Interceptor,
+                        name: str | None = None) -> None:
+        """Register a routing interceptor (first non-None claim wins).
+
+        ``name`` labels the interceptor in ``stats.intercepted_by``;
+        unnamed interceptors are labelled from the callable itself.
+        """
+        if name is not None:
+            self._interceptor_names[interceptor] = name
         self._interceptors.append(interceptor)
 
     def remove_interceptor(self, interceptor: Interceptor) -> None:
         """Remove a previously registered interceptor."""
         self._interceptors.remove(interceptor)
+        self._interceptor_names.pop(interceptor, None)
 
     # -- data plane --------------------------------------------------------
 
     def transmit(self, packet: Ipv4Packet, origin: Host | None = None) -> None:
         """Accept a packet from ``origin`` and schedule its delivery."""
         self.stats.transmitted += 1
-        if self.trace_packets:
+        if self.trace_packets and self.log.enabled:
             self.log.record(
                 self.scheduler.clock.now,
                 origin.name if origin is not None else "?",
@@ -123,20 +161,25 @@ class Network:
             )
         if self._loss is not None and self._loss(packet):
             return
-        target = self._route(packet, origin)
+        if self._interceptors:
+            target = self._route(packet, origin)
+        else:
+            target = self._by_address.get(packet.dst)
         if target is None:
             self.stats.dropped_no_route += 1
             return
-        latency = self.latency_between(packet.src, packet.dst)
-        self.scheduler.call_later(
-            latency, lambda: self._deliver(packet, target)
-        )
+        latency = self._latency_overrides.get(
+            (packet.src, packet.dst), self.default_latency)
+        # No closure, no handle: deliveries are never cancelled.
+        self.scheduler.schedule(latency, self._deliver, packet, target)
 
     def _route(self, packet: Ipv4Packet, origin: Host | None) -> Host | None:
         for interceptor in self._interceptors:
             claimed = interceptor(packet, origin)
             if claimed is not None:
-                self.stats.intercepted += 1
+                self.stats.note_interception(
+                    self._interceptor_names.get(
+                        interceptor, interceptor_label(interceptor)))
                 return claimed
         return self._by_address.get(packet.dst)
 
@@ -161,15 +204,18 @@ class Network:
         """
         target = self._by_address.get(dst)
         latency = self.latency_between(src_host.address, dst)
+        self.scheduler.schedule(latency, self._stream_serve,
+                                target, port, payload, src_host.address,
+                                latency, callback)
 
-        def serve() -> None:
-            if target is None or port not in target.stream_handlers:
-                self.scheduler.call_later(latency, lambda: callback(None))
-                return
-            response = target.stream_handlers[port](payload, src_host.address)
-            self.scheduler.call_later(latency, lambda: callback(response))
-
-        self.scheduler.call_later(latency, serve)
+    def _stream_serve(self, target: Host | None, port: int, payload: bytes,
+                      client: str, latency: float,
+                      callback: Callable[[bytes | None], None]) -> None:
+        if target is None or port not in target.stream_handlers:
+            self.scheduler.schedule(latency, callback, None)
+            return
+        response = target.stream_handlers[port](payload, client)
+        self.scheduler.schedule(latency, callback, response)
 
     # -- simulation control -------------------------------------------------
 

@@ -2,13 +2,21 @@
 
 These dataclasses are the in-simulation representation; the byte encodings
 live in :mod:`repro.netsim.wire`.  Packets are treated as immutable once
-sent — mutation happens by building new packets (``dataclasses.replace``),
+sent — mutation happens by building new packets (see :meth:`Ipv4Packet.evolve`),
 which keeps traces trustworthy.
+
+All three classes carry ``__slots__``: volume attacks construct millions
+of packets per campaign, and slotted frozen dataclasses cut both the
+per-instance memory and the attribute-access cost on the receive path.
+Constructor validation lives in ``__post_init__`` and guards hand-built
+packets (tests, attack crafting); our own wire/fragmentation code reuses
+field values that were already validated, so it goes through
+:meth:`Ipv4Packet.evolve`, which skips re-validation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 PROTO_ICMP = 1
 PROTO_UDP = 17
@@ -27,7 +35,7 @@ MIN_IPV4_MTU = 68
 DEFAULT_MTU = 1500
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UdpDatagram:
     """A UDP segment: ports plus application payload bytes."""
 
@@ -45,8 +53,17 @@ class UdpDatagram:
         """UDP length field value (header + payload)."""
         return UDP_HEADER_LEN + len(self.payload)
 
+    # Frozen+slots dataclasses only pickle out of the box from Python
+    # 3.11; campaign workers ship packets on 3.10 too.
+    def __getstate__(self):
+        return (self.sport, self.dport, self.payload)
 
-@dataclass(frozen=True)
+    def __setstate__(self, state):
+        for name, value in zip(("sport", "dport", "payload"), state):
+            object.__setattr__(self, name, value)
+
+
+@dataclass(frozen=True, slots=True)
 class IcmpMessage:
     """An ICMP message.
 
@@ -79,8 +96,22 @@ class IcmpMessage:
             and self.code == ICMP_FRAG_NEEDED
         )
 
+    def __getstate__(self):
+        return (self.icmp_type, self.code, self.mtu, self.ident, self.seq,
+                self.embedded)
 
-@dataclass(frozen=True)
+    def __setstate__(self, state):
+        for name, value in zip(
+                ("icmp_type", "code", "mtu", "ident", "seq", "embedded"),
+                state):
+            object.__setattr__(self, name, value)
+
+
+_IPV4_FIELDS = ("src", "dst", "proto", "payload", "ident", "ttl", "df",
+                "mf", "frag_offset", "udp", "icmp")
+
+
+@dataclass(frozen=True, slots=True)
 class Ipv4Packet:
     """An IPv4 packet carrying either UDP bytes or an ICMP message.
 
@@ -124,9 +155,24 @@ class Ipv4Packet:
         """Reassembly cache key per RFC 791: (src, dst, proto, ident)."""
         return (self.src, self.dst, self.proto, self.ident)
 
+    def evolve(self, **changes) -> "Ipv4Packet":
+        """Copy of this packet with ``changes`` applied, skipping validation.
+
+        The fast-path replacement for :func:`dataclasses.replace` used by
+        the fragmentation and wire code: every field value either comes
+        from this (already validated) packet or from reassembly/slicing
+        arithmetic that cannot leave the valid range, so ``__post_init__``
+        is not re-run and no field introspection happens.
+        """
+        new = object.__new__(Ipv4Packet)
+        setattr_ = object.__setattr__
+        for name in _IPV4_FIELDS:
+            setattr_(new, name, changes.get(name, getattr(self, name)))
+        return new
+
     def with_payload(self, payload: bytes) -> "Ipv4Packet":
         """Copy of this packet with different payload bytes."""
-        return replace(self, payload=payload, udp=None, icmp=None)
+        return self.evolve(payload=payload, udp=None, icmp=None)
 
     def describe(self) -> str:
         """Short human-readable summary for event logs."""
@@ -142,3 +188,10 @@ class Ipv4Packet:
         else:
             base += f" proto={self.proto} len={len(self.payload)}"
         return base
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in _IPV4_FIELDS)
+
+    def __setstate__(self, state):
+        for name, value in zip(_IPV4_FIELDS, state):
+            object.__setattr__(self, name, value)

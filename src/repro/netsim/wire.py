@@ -180,14 +180,12 @@ def attach_transport(packet: Ipv4Packet) -> Ipv4Packet:
     :class:`WireFormatError` (the kernel would silently drop; callers in
     :mod:`repro.netsim.host` catch and account the drop).
     """
-    import dataclasses
-
     if packet.proto == PROTO_UDP:
         udp = decode_udp_payload(packet.src, packet.dst, packet.payload)
-        return dataclasses.replace(packet, udp=udp, icmp=None)
+        return packet.evolve(udp=udp, icmp=None)
     if packet.proto == PROTO_ICMP:
         icmp = decode_icmp(packet.payload)
-        return dataclasses.replace(packet, icmp=icmp, udp=None)
+        return packet.evolve(icmp=icmp, udp=None)
     return packet
 
 

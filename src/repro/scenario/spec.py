@@ -148,6 +148,11 @@ class AttackScenario:
     capture_possible: bool = True      # HijackDNS control-plane outcome
     label: str | None = None
     planner_notes: tuple[str, ...] = ()
+    # Scenario runs are statistical (campaigns sweep thousands of
+    # seeds), so worlds default to the untraced NullLog fast path.
+    # Instrumented runs — the Figure 1/2 sequence charts — set
+    # ``trace=True`` to get a recording EventLog back.
+    trace: bool = False
 
     # -- derived ---------------------------------------------------------------
 
@@ -200,7 +205,7 @@ class AttackScenario:
             if kwargs[key] is None:
                 kwargs[key] = value
         world = standard_testbed(seed=seed, signed_target=self.signed_target,
-                                 **kwargs)
+                                 trace=self.trace, **kwargs)
         for record in self.extra_target_records:
             world["target"].zone.add(record)
         return world

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.core.eventlog import EventLog
+from repro.core.eventlog import EventLog, NullLog
 from repro.core.rng import DeterministicRNG
 from repro.dns.dnssec import DnssecRegistry
 from repro.dns.nameserver import AuthoritativeServer, NameserverConfig
@@ -58,9 +58,13 @@ class Testbed:
 
     __test__ = False  # not a pytest collection target
 
-    def __init__(self, seed: int | str = 0, default_latency: float = 0.01):
+    def __init__(self, seed: int | str = 0, default_latency: float = 0.01,
+                 trace: bool = True):
         self.rng = DeterministicRNG(seed)
-        self.log = EventLog()
+        # Untraced testbeds (statistical campaigns, population scans) get
+        # the NullLog: the event-record fast path costs nothing and the
+        # log interface stays intact for any code that queries it.
+        self.log = EventLog() if trace else NullLog()
         self.network = Network(default_latency=default_latency, log=self.log)
         self.dnssec = DnssecRegistry()
         self.domains: dict[str, DomainSetup] = {}
@@ -206,14 +210,17 @@ def standard_testbed(seed: int | str = 0,
                      ns_config: NameserverConfig | None = None,
                      ns_host_config: HostConfig | None = None,
                      resolver_host_config: HostConfig | None = None,
-                     signed_target: bool = False) -> dict:
+                     signed_target: bool = False,
+                     trace: bool = True) -> dict:
     """The Figure 1 / Figure 2 world, ready for attacks.
 
     Returns a dict with the testbed and the named principals:
     ``testbed``, ``resolver``, ``service``, ``attacker``, ``target``
-    (the vict.im :class:`DomainSetup`).
+    (the vict.im :class:`DomainSetup`).  ``trace=False`` builds the
+    world with a :class:`repro.core.eventlog.NullLog` — the zero-cost
+    path statistical campaigns run on.
     """
-    bed = Testbed(seed=seed)
+    bed = Testbed(seed=seed, trace=trace)
     target = bed.add_domain(
         TARGET_DOMAIN, TARGET_NS_IP,
         records=[
