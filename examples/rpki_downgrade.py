@@ -7,7 +7,9 @@ Scenario (paper §1 and Table 1, "RPKI / Repository sync."):
    route origin validation (ROV).  A same/sub-prefix hijack therefore
    validates INVALID and is filtered — RPKI works.
 2. The relying party ("RPKI cache") locates its repository by DNS name.
-   The attacker poisons that name at the relying party's resolver.
+   The attacker poisons that name at the relying party's resolver —
+   here via the kill-chain API, whose "rpki" application stage stands
+   up the repository, the relying party and the attack in one scenario.
 3. The next synchronisation fails, the validated ROA set is empty, and
    the hijack announcement now validates UNKNOWN — which ROV does *not*
    filter, because most of the Internet is unknown.
@@ -17,42 +19,19 @@ Scenario (paper §1 and Table 1, "RPKI / Repository sync."):
 Run:  python examples/rpki_downgrade.py
 """
 
-from repro.attacks.base import plant_poison
-from repro.bgp import (
-    BgpSimulation,
-    Prefix,
-    RelyingParty,
-    Roa,
-    RpkiRepository,
-    generate_topology,
-    sameprefix_hijack,
-)
+from repro.apps.pki import RpkiDriver
+from repro.bgp import BgpSimulation, Prefix, generate_topology, \
+    sameprefix_hijack
 from repro.core.rng import DeterministicRNG
-from repro.dns.records import rr_a
-from repro.dns.stub import StubResolver
-from repro.testbed import Testbed
+from repro.scenario import AppSpec, AttackScenario, TriggerSpec
 
-VICTIM_ASN = 500
-ATTACKER_ASN = 666
-VICTIM_PREFIX = Prefix.parse("30.0.0.0/22")
-REPOSITORY_NAME = "rpki-repo.vict.im"
+VICTIM_ASN = RpkiDriver.VICTIM_ASN
+ATTACKER_ASN = RpkiDriver.ATTACKER_ASN
+VICTIM_PREFIX = Prefix.parse(RpkiDriver.VICTIM_PREFIX)
 
 
-def main() -> None:
-    # --- DNS side: repository, resolver, relying party ------------------
-    bed = Testbed(seed="rpki-downgrade")
-    repo_host = bed.make_host("repository", "123.9.0.10")
-    repository = RpkiRepository(repo_host, REPOSITORY_NAME)
-    repository.publish(Roa(prefix=VICTIM_PREFIX, max_length=23,
-                           origin=VICTIM_ASN))
-    bed.add_domain("vict.im", "123.0.0.53",
-                   records=[rr_a(REPOSITORY_NAME, "123.9.0.10")])
-    resolver = bed.make_resolver("30.0.0.1")
-    rp_host = bed.make_host("relying-party", "30.0.0.8")
-    relying_party = RelyingParty(rp_host, StubResolver(rp_host, "30.0.0.1"),
-                                 REPOSITORY_NAME)
-
-    # --- BGP side: topology with universal ROV --------------------------
+def hijack_with(relying_party) -> int:
+    """Run the same-prefix BGP hijack under the given ROV state."""
     topology = generate_topology(DeterministicRNG("rpki-topology"))
     simulation = BgpSimulation(topology)
     simulation.announce(VICTIM_PREFIX, VICTIM_ASN)
@@ -60,32 +39,51 @@ def main() -> None:
         simulation.set_rov_filter(asn, relying_party.as_rov_filter())
     sources = [asn for asn in topology.asns[:40]
                if asn not in (VICTIM_ASN, ATTACKER_ASN)]
-
-    # Phase 1: RPKI healthy — the hijack is filtered.
-    assert relying_party.synchronise()
-    print("ROAs validated:", len(relying_party.validated))
-    verdict = relying_party.validate(VICTIM_PREFIX, ATTACKER_ASN)
-    print(f"attacker announcement validates: {verdict}")
     outcome = sameprefix_hijack(simulation, ATTACKER_ASN, VICTIM_ASN,
                                 VICTIM_PREFIX, sources)
-    print(f"hijack with ROV enforced: captured "
-          f"{len(outcome.captured_sources)}/{len(sources)} sources")
-    assert not outcome.captured_sources
-
-    # Phase 2: poison the repository's DNS name, relying party resyncs.
-    plant_poison(resolver, [rr_a(REPOSITORY_NAME, "6.6.6.6", ttl=86400)])
-    assert not relying_party.synchronise()
-    print("\nafter DNS poisoning:", relying_party.log.last_error)
-    verdict = relying_party.validate(VICTIM_PREFIX, ATTACKER_ASN)
-    print(f"attacker announcement now validates: {verdict}")
-
-    # Phase 3: the very same hijack now succeeds.
-    outcome = sameprefix_hijack(simulation, ATTACKER_ASN, VICTIM_ASN,
-                                VICTIM_PREFIX, sources)
-    print(f"hijack with ROV downgraded: captured "
+    print(f"  same-prefix hijack captured "
           f"{len(outcome.captured_sources)}/{len(sources)} sources "
           f"({outcome.capture_rate:.0%})")
-    assert outcome.captured_sources
+    return len(outcome.captured_sources)
+
+
+def relying_party_world(seed: str, attack: bool):
+    """One kill-chain world; the attack phase runs only when asked."""
+    scenario = AttackScenario(
+        method="hijack",
+        app_spec=AppSpec(app="rpki"),
+        trigger=TriggerSpec(kind="app"),
+        capture_possible=attack,   # attack=False models no DNS attack
+    )
+    built = scenario.build(seed=seed)
+    return built, built.execute()
+
+
+def main() -> None:
+    # Phase 1: RPKI healthy — the relying party syncs, ROV filters.
+    print("phase 1: no DNS attack, RPKI enforced")
+    built, chain = relying_party_world("rpki-clean", attack=False)
+    relying_party = built.app_ctx["relying_party"]
+    assert not chain.impact_realized
+    print(f"  ROAs validated: {len(relying_party.validated)}")
+    verdict = relying_party.validate(VICTIM_PREFIX, ATTACKER_ASN)
+    print(f"  attacker announcement validates: {verdict}")
+    assert hijack_with(relying_party) == 0
+
+    # Phase 2: the cross-layer kill chain poisons the repository name.
+    print("\nphase 2: HijackDNS poisons the repository name")
+    built, chain = relying_party_world("rpki-attack", attack=True)
+    relying_party = built.app_ctx["relying_party"]
+    print(f"  {chain.describe()}")
+    assert chain.success and chain.impact_realized
+    sync = chain.app_result.outcomes[0]
+    print(f"  synchronisation: {sync.detail['error']}")
+    verdict = sync.detail["hijack_verdict"]
+    print(f"  attacker announcement now validates: {verdict}")
+
+    # Phase 3: the very same BGP hijack now succeeds.
+    print("\nphase 3: the same BGP hijack, ROV still 'enforced'")
+    assert hijack_with(relying_party) > 0
     print("\nRPKI was never broken — it was simply never consulted.")
 
 

@@ -15,7 +15,10 @@ The package implements, on a byte-accurate simulated Internet:
   fragmentation and rate limiting (:mod:`repro.netsim`), a full DNS
   ecosystem (:mod:`repro.dns`), and interdomain routing with RPKI
   (:mod:`repro.bgp`);
-* the application victims of Table 1 (:mod:`repro.apps`);
+* the application victims of Table 1 (:mod:`repro.apps`), each with a
+  kill-chain driver so any scenario can carry an :class:`AppSpec` stage
+  and measure *application impact* (fraudulent certificates, security
+  downgrades, account takeovers), not just cache state;
 * the Internet-scale measurement study of Section 5
   (:mod:`repro.measurements`) and the countermeasures of Section 6
   (:mod:`repro.countermeasures`);
@@ -47,6 +50,15 @@ Quickstart::
                             trigger_style="direct")
     print(plan_and_run(profile, seed=2).result.describe())
 
+    # The full kill chain: attack -> poisoned cache -> application.
+    from repro import AppSpec
+    chain = AttackScenario(method="hijack", app_spec=AppSpec(app="dv"),
+                           trigger=TriggerSpec(kind="app")).run(seed=3)
+    print(chain.app_result.describe())   # fraud. certificate issued
+    # Sweep all Table 1 applications: Campaign().run(
+    #     killchain_scenarios(), seeds=range(16)) — or from the shell:
+    # ``python -m repro.scenario sweep --apps all``.
+
 Atlas quickstart — Section 5 at the paper's full dataset sizes::
 
     from repro.atlas import AtlasStore, find_dataset, scan_dataset
@@ -69,11 +81,13 @@ for ``synth`` / ``calibrate`` / ``report``).
 
 from repro.attacks.planner import TargetProfile
 from repro.scenario import (
+    AppSpec,
     AttackScenario,
     Campaign,
     CampaignResult,
     ScenarioRun,
     TriggerSpec,
+    killchain_scenarios,
     plan_and_run,
     scenario_from_profile,
 )
@@ -82,6 +96,7 @@ from repro.testbed import Testbed, standard_testbed
 __version__ = "1.0.0"
 
 __all__ = [
+    "AppSpec",
     "AttackScenario",
     "Campaign",
     "CampaignResult",
@@ -90,6 +105,7 @@ __all__ = [
     "Testbed",
     "TriggerSpec",
     "__version__",
+    "killchain_scenarios",
     "plan_and_run",
     "scenario_from_profile",
     "standard_testbed",

@@ -1,5 +1,22 @@
-"""The nine application categories attacked in the paper (Table 1)."""
+"""The nine application categories attacked in the paper (Table 1).
 
+Importing this package also registers every application's kill-chain
+driver (see :mod:`repro.apps.driver`): each concrete module plugs its
+:class:`AppDriver` subclasses into the registry, which is what lets an
+``AttackScenario`` carry an :class:`AppSpec` stage by name.
+"""
+
+from repro.apps.driver import (
+    AppDriver,
+    AppSpec,
+    AppStageResult,
+    AppTrigger,
+    available_apps,
+    driver_for,
+    impact_class,
+    register_driver,
+    resolve_driver,
+)
 from repro.apps.base import (
     Application,
     AppOutcome,
@@ -79,6 +96,10 @@ __all__ = [
     "ALL_APPLICATIONS",
     "Account",
     "AliasProvider",
+    "AppDriver",
+    "AppSpec",
+    "AppStageResult",
+    "AppTrigger",
     "Application",
     "AppOutcome",
     "BitcoinNode",
@@ -119,6 +140,11 @@ __all__ = [
     "USE_FEDERATION",
     "USE_LOCATION",
     "VpnGateway",
+    "available_apps",
+    "driver_for",
+    "impact_class",
+    "register_driver",
+    "resolve_driver",
     "XmppMailbox",
     "XmppMessage",
     "XmppServer",

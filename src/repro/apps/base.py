@@ -31,9 +31,18 @@ QUERY_KNOWN = "known"     # name is public/well-known
 QUERY_CONFIG = "config"   # name is private configuration
 
 
-@dataclass
+_APP_OUTCOME_FIELDS = ("app", "action", "ok", "security_degraded",
+                       "used_address", "detail")
+
+
+@dataclass(frozen=True, slots=True)
 class AppOutcome:
-    """Result of one application-level operation under (or without) attack."""
+    """Result of one application-level operation under (or without) attack.
+
+    Frozen and slotted like the kernel value objects: kill-chain
+    campaigns ship thousands of outcomes back from worker processes, and
+    immutability keeps the impact statistics trustworthy.
+    """
 
     app: str
     action: str
@@ -49,6 +58,15 @@ class AppOutcome:
         return f"{self.app}.{self.action}: {status}{downgrade}" + (
             f" via {self.used_address}" if self.used_address else ""
         )
+
+    # Frozen+slots dataclasses only pickle out of the box from Python
+    # 3.11; campaign workers ship outcomes on 3.10 too.
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in _APP_OUTCOME_FIELDS)
+
+    def __setstate__(self, state):
+        for name, value in zip(_APP_OUTCOME_FIELDS, state):
+            object.__setattr__(self, name, value)
 
 
 @dataclass
@@ -87,17 +105,7 @@ class Application(ABC):
 
     def _base_profile(self, **infrastructure: bool) -> TargetProfile:
         """Shared profile fields derived from the Table 1 row."""
-        defaults = dict(
-            ns_prefix_longer_than_24=True,
-            resolver_prefix_longer_than_24=True,
-            resolver_global_icmp_limit=True,
-            ns_rate_limited=True,
-            ns_honours_ptb=True,
-            response_can_exceed_frag_limit=True,
-            resolver_edns_at_least_response=True,
-            resolver_accepts_fragments=True,
-            dnssec_validated=False,
-        )
+        defaults = TargetProfile.defaults()
         defaults.update(infrastructure)
         return TargetProfile(
             app_name=self.row.protocol,

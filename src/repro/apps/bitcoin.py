@@ -18,6 +18,7 @@ from repro.apps.base import (
     Table1Row,
     USE_LOCATION,
 )
+from repro.apps.driver import AppDriver, host_at, register_driver
 from repro.attacks.planner import TargetProfile
 from repro.dns.records import TYPE_A
 from repro.dns.stub import StubResolver
@@ -124,3 +125,42 @@ class BitcoinNode(Application):
                 "single_chain_view": eclipsed,
             },
         )
+
+
+# -- kill-chain driver ---------------------------------------------------------
+
+
+class BitcoinDriver(AppDriver):
+    """Seed poisoning eclipses the node onto the attacker's chain."""
+
+    name = "bitcoin"
+    application = BitcoinNode
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        BitcoinPeer(host_at(world, ctx["genuine_ip"], "btc-origin"),
+                    ChainTip(800_000, "main"))
+        BitcoinPeer(host_at(world, malicious_ip, "evil-btc"),
+                    ChainTip(800_001, "attacker-fork"))
+        ctx["node"] = BitcoinNode(ctx["app_host"], ctx["stub"],
+                                  seed_name=qname)
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        bootstrap = ctx["node"].bootstrap()
+        if not bootstrap.ok:
+            return (bootstrap,)
+        return (bootstrap, ctx["node"].sync_chain())
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        if len(outcomes) < 2 or not outcomes[1].ok:
+            return False
+        sync = outcomes[1]
+        # All peers came from the poisoned seed: the node sees a single,
+        # attacker-authored view of the chain.
+        return sync.detail.get("chain_id") == "attacker-fork" \
+            and sync.detail.get("single_chain_view", False)
+
+
+register_driver(BitcoinDriver())

@@ -26,6 +26,7 @@ from repro.apps.base import (
     USE_AUTHORISATION,
     USE_FEDERATION,
 )
+from repro.apps.driver import AppDriver, host_at, register_driver
 from repro.attacks.planner import TargetProfile
 from repro.dns.records import TYPE_MX, TYPE_TXT
 from repro.dns.stub import StubResolver
@@ -289,3 +290,143 @@ class DkimApplication(Application):
     def target_profile(self, **infrastructure: bool) -> TargetProfile:
         """Planner description of this application."""
         return self._base_profile(**infrastructure)
+
+
+# -- kill-chain drivers --------------------------------------------------------
+
+
+class SmtpDriver(AppDriver):
+    """Outgoing mail follows the poisoned (implicit-)MX route."""
+
+    name = "smtp"
+    application = SmtpServer
+
+    def _accept_all(self) -> SpamPolicy:
+        return SpamPolicy(check_spf=False, check_dkim=False,
+                          check_dmarc=False)
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        bed = ctx["testbed"]
+        ctx["sender"] = SmtpServer(ctx["app_host"], ctx["stub"],
+                                   "sender.example", users=["alice"],
+                                   policy=self._accept_all())
+        genuine_host = host_at(world, ctx["genuine_ip"], "mail-origin")
+        ctx["genuine_mail"] = SmtpServer(
+            genuine_host,
+            StubResolver(genuine_host, ctx["resolver_ip"],
+                         rng=bed.rng.derive("app-stub-genuine")),
+            qname, users=["bob"], policy=self._accept_all())
+        evil_host = host_at(world, malicious_ip, "evil-mail")
+        ctx["evil_mail"] = SmtpServer(
+            evil_host,
+            StubResolver(evil_host, ctx["resolver_ip"],
+                         rng=bed.rng.derive("app-stub-evil")),
+            qname, users=["bob"], policy=self._accept_all())
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        mail = Email(sender="alice@sender.example",
+                     recipient=f"bob@{ctx['qname']}",
+                     body="confidential contract")
+        return (ctx["sender"].send(mail),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        sent = outcomes[0]
+        # Interception: the sender believes delivery succeeded, but the
+        # mail sits in the attacker's inbox, not the genuine server's.
+        return sent.ok and sent.used_address == ctx["malicious_ip"] \
+            and bool(ctx["evil_mail"].inboxes.get("bob"))
+
+
+class SpfDriver(AppDriver):
+    """Poisoning away the SPF TXT record forces the fail-open path.
+
+    FragDNS can only rewrite A rdata, so the TXT replacement this
+    workload observes is plantable by HijackDNS and SadDNS forgeries
+    only.
+    """
+
+    name = "spf"
+    application = SpfApplication
+    methods = ("HijackDNS", "SadDNS")
+
+    def malicious_records(self, qname: str, attacker_ip: str):
+        from repro.dns.records import rr_a, rr_txt
+
+        return (rr_a(qname, attacker_ip, ttl=86400),
+                rr_txt(qname, "spf-record-replaced-by-attacker", ttl=86400))
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        from repro.dns.records import rr_txt
+
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        world["target"].zone.add(
+            rr_txt(qname, f"v=spf1 ip4:{ctx['genuine_ip']} -all", ttl=300))
+        ctx["receiver"] = SmtpServer(
+            ctx["app_host"], ctx["stub"], "corp.example", users=["alice"],
+            policy=SpamPolicy(check_spf=True, check_dkim=False,
+                              check_dmarc=False))
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        spoofed = Email(sender=f"ceo@{ctx['qname']}",
+                        recipient="alice@corp.example",
+                        body="please wire the money",
+                        source_address=ctx["malicious_ip"])
+        return (ctx["receiver"].filter_inbound(spoofed),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        verdict = outcomes[0]
+        # The spoofed mail passes because the check could not run — the
+        # fail-open downgrade, visible as ok + security_degraded.
+        return verdict.ok and verdict.security_degraded
+
+
+class DkimDriver(AppDriver):
+    """Substituting the published DKIM key makes forged signatures pass."""
+
+    name = "dkim"
+    application = DkimApplication
+    methods = ("HijackDNS", "SadDNS")
+
+    def malicious_records(self, qname: str, attacker_ip: str):
+        from repro.dns.records import rr_a, rr_txt
+
+        return (rr_a(qname, attacker_ip, ttl=86400),
+                rr_txt(f"default._domainkey.{qname}", "k=attacker-key",
+                       ttl=86400))
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        from repro.dns.records import rr_txt
+
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        world["target"].zone.add(
+            rr_txt(f"default._domainkey.{qname}", "k=genuine-key", ttl=300))
+        ctx["receiver"] = SmtpServer(
+            ctx["app_host"], ctx["stub"], "corp.example", users=["alice"],
+            policy=SpamPolicy(check_spf=False, check_dkim=True,
+                              check_dmarc=False))
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        forged = Email(sender=f"newsletter@{ctx['qname']}",
+                       recipient="alice@corp.example",
+                       body="forged but 'signed'",
+                       source_address=ctx["malicious_ip"],
+                       dkim_domain=ctx["qname"],
+                       dkim_key_id="attacker-key")
+        return (ctx["receiver"].filter_inbound(forged),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        # Integrity checking verified the attacker's signature against
+        # the attacker's planted key: the forged mail is accepted.
+        return outcomes[0].ok
+
+
+register_driver(SmtpDriver())
+register_driver(SpfDriver())
+register_driver(DkimDriver())

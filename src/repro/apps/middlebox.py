@@ -20,6 +20,7 @@ from repro.apps.base import (
     Table1Row,
     USE_LOCATION,
 )
+from repro.apps.driver import AppDriver, register_driver
 from repro.attacks.planner import TargetProfile
 from repro.dns.stub import StubResolver
 
@@ -280,3 +281,136 @@ class Proxy(Application):
         self.connections.append((hostname, address))
         return AppOutcome(app="proxy", action="connect", ok=True,
                           used_address=address)
+
+
+# -- kill-chain drivers --------------------------------------------------------
+
+
+class FirewallDriver(AppDriver):
+    """A hostname allow-rule resolving to the attacker admits its traffic."""
+
+    name = "firewall"
+    application = Firewall
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        profile = params.get("profile", TABLE2_PROFILES[0])  # pfSense
+        ctx["firewall"] = Firewall(ctx["stub"], profile,
+                                   allowed_name=qname)
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        firewall = ctx["firewall"]
+        admits_attacker = firewall.permits(ctx["malicious_ip"])
+        admits_genuine = firewall.permits(ctx["genuine_ip"])
+        return (AppOutcome(
+            app="firewall", action="filter", ok=not admits_attacker,
+            security_degraded=admits_attacker,
+            used_address=firewall.box.current_address,
+            detail={"admits_attacker": admits_attacker,
+                    "admits_genuine": admits_genuine},
+        ),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        # The rule meant to whitelist the genuine service now admits the
+        # attacker's host instead: the filter is effectively gone.
+        return outcomes[0].detail.get("admits_attacker", False)
+
+
+class LoadBalancerDriver(AppDriver):
+    """Client requests forwarded to the attacker's backend."""
+
+    name = "loadbalancer"
+    application = LoadBalancer
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        profile = params.get("profile", TABLE2_PROFILES[3])  # F5
+        ctx["balancer"] = LoadBalancer(ctx["stub"], profile,
+                                       backend_name=qname)
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        return (ctx["balancer"].route_request(),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        routed = outcomes[0]
+        return routed.ok and routed.used_address == ctx["malicious_ip"]
+
+
+class CdnDriver(AppDriver):
+    """Edge cache misses fetched from the attacker's "origin"."""
+
+    name = "cdn"
+    application = CdnEdge
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        profile = params.get("profile", TABLE2_PROFILES[6])  # AWS
+        ctx["edge"] = CdnEdge(ctx["stub"], profile, origin_name=qname)
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        return (ctx["edge"].fetch_from_origin("/index.html"),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        fetched = outcomes[0]
+        return fetched.ok and fetched.used_address == ctx["malicious_ip"]
+
+
+class AliasDriver(AppDriver):
+    """ALIAS flattening serves the attacker's address to every client."""
+
+    name = "alias"
+    application = AliasProvider
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        profile = params.get("profile", TABLE2_PROFILES[8])  # DNSimple
+        ctx["provider"] = AliasProvider(ctx["stub"], profile,
+                                        alias_target=qname)
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        served = ctx["provider"].answer_client()
+        return (AppOutcome(
+            app="alias", action="flatten", ok=served is not None,
+            used_address=served,
+            detail={"alias_target": ctx["qname"]},
+        ),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        served = outcomes[0]
+        return served.ok and served.used_address == ctx["malicious_ip"]
+
+
+class ProxyDriver(AppDriver):
+    """Per-request proxy resolution lands the upstream leg on the attacker."""
+
+    name = "proxy"
+    application = Proxy
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        ctx["proxy"] = Proxy(ctx["stub"])
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        return (ctx["proxy"].connect(ctx["qname"]),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        connected = outcomes[0]
+        return connected.ok \
+            and connected.used_address == ctx["malicious_ip"]
+
+
+register_driver(FirewallDriver())
+register_driver(LoadBalancerDriver())
+register_driver(CdnDriver())
+register_driver(AliasDriver())
+register_driver(ProxyDriver())

@@ -20,6 +20,7 @@ from repro.apps.base import (
     Table1Row,
     USE_LOCATION,
 )
+from repro.apps.driver import AppDriver, host_at, register_driver
 from repro.attacks.planner import TargetProfile
 from repro.dns.stub import StubResolver
 from repro.netsim.host import Host
@@ -110,3 +111,39 @@ class NtpClient(Application):
     def local_time(self) -> float:
         """The client's notion of current time."""
         return self.host.now + self.clock_offset
+
+
+# -- kill-chain driver ---------------------------------------------------------
+
+
+class NtpDriver(AppDriver):
+    """A poisoned pool name hands the clock to a lying server."""
+
+    name = "ntp"
+    application = NtpClient
+
+    #: the attacker server's clock error (one hour is plenty to break
+    #: certificate validity windows, Kerberos and DNSSEC signatures)
+    LIE_SECONDS = 3600.0
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        NtpServer(host_at(world, ctx["genuine_ip"], "ntp-origin"),
+                  time_offset=0.0)
+        NtpServer(host_at(world, malicious_ip, "evil-ntp"),
+                  time_offset=self.LIE_SECONDS)
+        ctx["client"] = NtpClient(ctx["app_host"], ctx["stub"],
+                                  pool_name=qname)
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        return (ctx["client"].synchronise(),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        sync = outcomes[0]
+        return sync.ok and sync.used_address == ctx["malicious_ip"] \
+            and abs(ctx["client"].clock_offset) >= self.LIE_SECONDS / 2
+
+
+register_driver(NtpDriver())

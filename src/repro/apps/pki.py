@@ -27,6 +27,7 @@ from repro.apps.base import (
     USE_AUTHORISATION,
     USE_LOCATION,
 )
+from repro.apps.driver import AppDriver, host_at, register_driver
 from repro.apps.tls import Certificate, TlsAuthority
 from repro.apps.web import HTTP_PORT
 from repro.attacks.planner import TargetProfile
@@ -211,3 +212,129 @@ class RpkiApplication(Application):
     def target_profile(self, **infrastructure: bool) -> TargetProfile:
         """Planner description of this application."""
         return self._base_profile(**infrastructure)
+
+
+# -- kill-chain drivers --------------------------------------------------------
+
+
+class DvDriver(AppDriver):
+    """Domain validation against a poisoned resolver: fraudulent issuance.
+
+    The CA's HTTP-01 challenge lands on the attacker's host, so the
+    attacker "proves" control of a domain it never owned and receives a
+    certificate that is cryptographically genuine — the paper's
+    strongest bypass of a cryptographic defence.
+    """
+
+    name = "dv"
+    application = CertificateAuthority
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        from repro.apps.web import HttpServer
+
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        tls = TlsAuthority()
+        # The incumbent certificate: the genuine owner already holds
+        # one, which is what makes the re-issuance fraudulent.
+        tls.issue(qname, ctx["genuine_ip"])
+        HttpServer(host_at(world, ctx["genuine_ip"], "dv-origin"))
+        ctx["evil_web"] = HttpServer(
+            host_at(world, malicious_ip, "evil-dv"))
+        ctx["tls"] = tls
+        ctx["ca"] = CertificateAuthority(ctx["app_host"], ctx["stub"],
+                                         tls, rng=ctx["app_rng"])
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        ca = ctx["ca"]
+        token = ca.begin_order(ctx["qname"])
+        # The attacker publishes the challenge on its own host — it
+        # requested the certificate and knows the token.
+        ctx["evil_web"].publish(
+            f"/.well-known/acme-challenge/{token}", token.encode("ascii"))
+        return (ca.validate_and_issue(ctx["qname"],
+                                      requester_address=ctx["malicious_ip"]),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        issued = outcomes[0]
+        return issued.ok and issued.security_degraded \
+            and issued.used_address == ctx["malicious_ip"]
+
+
+class OcspDriver(AppDriver):
+    """An unreachable (redirected) responder triggers the soft-fail."""
+
+    name = "ocsp"
+    application = OcspClient
+
+    REVOKED_SERIAL = "serial-1337"
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        OcspResponder(host_at(world, ctx["genuine_ip"], "ocsp-origin"),
+                      revoked={self.REVOKED_SERIAL})
+        ctx["client"] = OcspClient(ctx["app_host"], ctx["stub"],
+                                   responder_name=qname)
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        return (ctx["client"].check(self.REVOKED_SERIAL),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        check = outcomes[0]
+        # The genuine responder would answer "revoked"; the redirect
+        # made the check silently pass without running.
+        return check.ok and check.security_degraded \
+            and check.used_address == ctx["malicious_ip"]
+
+
+class RpkiDriver(AppDriver):
+    """Repository sync fails, ROAs expire, hijacks validate UNKNOWN."""
+
+    name = "rpki"
+    application = RpkiApplication
+
+    VICTIM_PREFIX = "30.0.0.0/22"
+    VICTIM_ASN = 500
+    ATTACKER_ASN = 666
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        from repro.bgp.rpki import RelyingParty, Roa, RpkiRepository
+        from repro.bgp.prefix import Prefix
+
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        repository = RpkiRepository(
+            host_at(world, ctx["genuine_ip"], "rpki-repo"), qname)
+        repository.publish(Roa(prefix=Prefix.parse(self.VICTIM_PREFIX),
+                               max_length=23, origin=self.VICTIM_ASN))
+        ctx["relying_party"] = RelyingParty(ctx["app_host"], ctx["stub"],
+                                            qname)
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        relying_party = ctx["relying_party"]
+        synced = relying_party.synchronise()
+        verdict = relying_party.validate(self.VICTIM_PREFIX,
+                                         self.ATTACKER_ASN)
+        return (AppOutcome(
+            app="rpki", action="sync", ok=synced,
+            security_degraded=not synced,
+            detail={"hijack_verdict": verdict,
+                    "validated_roas": len(relying_party.validated),
+                    "error": relying_party.log.last_error},
+        ),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        sync = outcomes[0]
+        # With the ROA set gone, the attacker's announcement validates
+        # UNKNOWN — which route origin validation does not filter.
+        return not sync.ok \
+            and sync.detail.get("hijack_verdict") == "unknown"
+
+
+register_driver(DvDriver())
+register_driver(OcspDriver())
+register_driver(RpkiDriver())

@@ -20,9 +20,10 @@ from repro.apps.base import (
     Table1Row,
     USE_FEDERATION,
 )
+from repro.apps.driver import AppDriver, register_driver
 from repro.apps.tls import TlsAuthority
 from repro.attacks.planner import TargetProfile
-from repro.dns.records import TYPE_NAPTR, TYPE_SRV
+from repro.dns.records import TYPE_NAPTR, TYPE_SRV, rr_srv
 from repro.dns.stub import StubResolver
 
 
@@ -111,3 +112,42 @@ class RadiusServer(Application):
             )
         return AppOutcome(app="radius", action="authenticate", ok=True,
                           used_address=peer.address)
+
+
+# -- kill-chain driver ---------------------------------------------------------
+
+
+class RadiusDriver(AppDriver):
+    """Eduroam peer discovery redirected to the attacker: RadSec DoS.
+
+    The realm (and so every queried name) comes from the roaming user
+    ID the attacker presents; the genuine SRV record points discovery
+    at the realm apex, whose poisoned A record lands the RadSec
+    connection on the attacker — where TLS fails and the user is denied
+    network access.
+    """
+
+    name = "radius"
+    application = RadiusServer
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        world["target"].zone.add(
+            rr_srv(f"_radsec._tcp.{qname}", 0, 0, 2083, qname, ttl=300))
+        tls = TlsAuthority()
+        tls.issue(qname, ctx["genuine_ip"])
+        ctx["server"] = RadiusServer(ctx["stub"], tls,
+                                     home_realm="campus.example")
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        return (ctx["server"].authenticate_roaming_user(
+            f"eve@{ctx['qname']}"),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        auth = outcomes[0]
+        return not auth.ok and auth.used_address == ctx["malicious_ip"]
+
+
+register_driver(RadiusDriver())

@@ -24,6 +24,7 @@ from repro.apps.base import (
     Table1Row,
     USE_LOCATION,
 )
+from repro.apps.driver import AppDriver, host_at, register_driver
 from repro.attacks.planner import TargetProfile
 from repro.dns.records import TYPE_IPSECKEY
 from repro.dns.stub import StubResolver
@@ -60,11 +61,12 @@ class OpenVpnClient(Application):
     )
 
     def __init__(self, host: Host, stub: StubResolver,
-                 gateway_name: str, psk: str):
+                 gateway_name: str, psk: str, port: int = OPENVPN_PORT):
         self.host = host
         self.stub = stub
         self.gateway_name = gateway_name
         self.psk = psk
+        self.port = port
         self.tunnel_up = False
 
     def target_profile(self, **infrastructure: bool) -> TargetProfile:
@@ -81,7 +83,7 @@ class OpenVpnClient(Application):
         network = self.host.network
         assert network is not None
         box: dict[str, bytes | None] = {}
-        network.stream_request(self.host, address, OPENVPN_PORT,
+        network.stream_request(self.host, address, self.port,
                                self.psk.encode("utf-8"),
                                lambda data: box.update(data=data))
         deadline = network.now + 3.0
@@ -158,3 +160,90 @@ class OpportunisticIpsecPeer(Application):
                 )
         return AppOutcome(app="ipsec", action="establish", ok=False,
                           detail={"error": "no IPSECKEY published"})
+
+
+# -- kill-chain drivers --------------------------------------------------------
+
+
+class _TunnelDoSDriver(AppDriver):
+    """Shared mechanics for the authenticated-tunnel DoS rows.
+
+    The gateway name resolves to the attacker, the mutually
+    authenticated handshake fails, and the client is locked out of its
+    VPN — Table 1's "DoS: no VPN access" for OpenVPN and IKE alike.
+    """
+
+    port = OPENVPN_PORT
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        VpnGateway(host_at(world, ctx["genuine_ip"], "vpn-origin"),
+                   psk="shared-secret", port=self.port)
+        ctx["client"] = OpenVpnClient(ctx["app_host"], ctx["stub"],
+                                      gateway_name=qname,
+                                      psk="shared-secret", port=self.port)
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        return (ctx["client"].connect(),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        connect = outcomes[0]
+        return not connect.ok \
+            and connect.used_address == ctx["malicious_ip"]
+
+
+class OpenVpnDriver(_TunnelDoSDriver):
+    name = "openvpn"
+    application = OpenVpnClient
+    port = OPENVPN_PORT
+
+
+class IkeDriver(_TunnelDoSDriver):
+    name = "ike"
+    application = IkeApplication
+    port = IKE_PORT
+
+
+class IpsecDriver(AppDriver):
+    """Opportunistic IPsec keys come straight from (poisoned) DNS.
+
+    The planted IPSECKEY record rides along in the HijackDNS/SadDNS
+    forgery; FragDNS only rewrites A rdata, so it cannot plant one.
+    """
+
+    name = "ipsec"
+    application = OpportunisticIpsecPeer
+    methods = ("HijackDNS", "SadDNS")
+
+    def malicious_records(self, qname: str, attacker_ip: str):
+        from repro.dns.records import rr_a, rr_ipseckey
+
+        return (rr_a(qname, attacker_ip, ttl=86400),
+                rr_ipseckey(qname, attacker_ip, "attacker-key", ttl=86400))
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        from repro.dns.records import rr_ipseckey
+
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        world["target"].zone.add(
+            rr_ipseckey(qname, ctx["genuine_ip"], "genuine-key", ttl=300))
+        ctx["peer"] = OpportunisticIpsecPeer(ctx["app_host"], ctx["stub"])
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        return (ctx["peer"].establish(ctx["qname"]),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        session = outcomes[0]
+        # "Encryption" is now to the attacker's key and gateway: silent
+        # interception, not a failure the peer could notice.
+        return session.ok and session.used_address == ctx["malicious_ip"] \
+            and session.detail.get("key") == "attacker-key"
+
+
+register_driver(OpenVpnDriver())
+register_driver(IkeDriver())
+register_driver(IpsecDriver())

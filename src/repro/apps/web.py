@@ -22,7 +22,8 @@ from repro.apps.base import (
     Table1Row,
     USE_LOCATION,
 )
-from repro.apps.email_ import Email, SmtpServer
+from repro.apps.driver import AppDriver, host_at, register_driver
+from repro.apps.email_ import Email, SmtpServer, SpamPolicy
 from repro.apps.tls import TlsAuthority
 from repro.attacks.planner import TargetProfile
 from repro.core.rng import DeterministicRNG
@@ -192,3 +193,91 @@ class PasswordRecoveryService(Application):
         """Password check — what the attacker ultimately wants to pass."""
         account = self.accounts.get(username)
         return account is not None and account.password == password
+
+
+# -- kill-chain drivers --------------------------------------------------------
+
+
+class HttpDriver(AppDriver):
+    """Plain HTTP fetch: a poisoned A record serves the attacker's page."""
+
+    name = "http"
+    application = HttpClient
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        HttpServer(host_at(world, ctx["genuine_ip"], "web-origin"),
+                   {"/": b"genuine page"})
+        HttpServer(host_at(world, malicious_ip, "evil-web"),
+                   {"/": b"attacker page"})
+        ctx["client"] = HttpClient(ctx["app_host"], ctx["stub"])
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        return (ctx["client"].fetch(ctx["qname"]),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        fetch = outcomes[0]
+        return fetch.ok and fetch.used_address == ctx["malicious_ip"] \
+            and fetch.detail.get("body") == "attacker page"
+
+
+class RecoveryDriver(AppDriver):
+    """The §4.5 account takeover: poisoned MX route steals the token."""
+
+    name = "recovery"
+    application = PasswordRecoveryService
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        bed = ctx["testbed"]
+        # Spam filtering is a separate Table 1 row (the spf/dkim
+        # drivers); here every hop accepts so the routing is the story.
+        accept_all = SpamPolicy(check_spf=False, check_dkim=False,
+                                check_dmarc=False)
+        portal_mail = SmtpServer(ctx["app_host"], ctx["stub"],
+                                 "portal.example", users=[],
+                                 policy=accept_all)
+        genuine_host = host_at(world, ctx["genuine_ip"], "mail-origin")
+        ctx["genuine_mail"] = SmtpServer(
+            genuine_host,
+            StubResolver(genuine_host, ctx["resolver_ip"],
+                         rng=bed.rng.derive("app-stub-genuine")),
+            qname, users=["bob"], policy=accept_all)
+        evil_host = host_at(world, malicious_ip, "evil-mail")
+        ctx["evil_mail"] = SmtpServer(
+            evil_host,
+            StubResolver(evil_host, ctx["resolver_ip"],
+                         rng=bed.rng.derive("app-stub-evil")),
+            qname, users=["bob"], policy=accept_all)
+        service = PasswordRecoveryService(portal_mail, rng=ctx["app_rng"])
+        service.register(Account("bob-account", f"bob@{qname}",
+                                 "correct-horse"))
+        ctx["service"] = service
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        service = ctx["service"]
+        outcomes = [service.request_recovery("bob-account")]
+        stolen = ctx["evil_mail"].inboxes.get("bob")
+        if stolen:
+            token = stolen[-1].body.rsplit(": ", 1)[-1]
+            outcomes.append(service.redeem("bob-account", token,
+                                           "attacker-pw"))
+            outcomes.append(AppOutcome(
+                app="recovery", action="login",
+                ok=service.login("bob-account", "attacker-pw"),
+                detail={"username": "bob-account"},
+            ))
+        return tuple(outcomes)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        # Takeover means the stolen token redeemed AND the new password
+        # logs in — not merely that the recovery mail was misrouted.
+        return len(outcomes) == 3 and outcomes[1].ok and outcomes[2].ok
+
+
+register_driver(HttpDriver())
+register_driver(RecoveryDriver())

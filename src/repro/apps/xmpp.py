@@ -19,9 +19,10 @@ from repro.apps.base import (
     Table1Row,
     USE_FEDERATION,
 )
+from repro.apps.driver import AppDriver, host_at, register_driver
 from repro.apps.tls import TlsAuthority
 from repro.attacks.planner import TargetProfile
-from repro.dns.records import TYPE_SRV
+from repro.dns.records import TYPE_SRV, rr_srv
 from repro.dns.stub import StubResolver
 from repro.netsim.host import Host
 
@@ -127,3 +128,42 @@ class XmppServer(Application):
         )
         self.delivery_log.append(outcome)
         return outcome
+
+
+# -- kill-chain driver ---------------------------------------------------------
+
+
+class XmppDriver(AppDriver):
+    """Federated chat delivered to the attacker's server (legacy s2s)."""
+
+    name = "xmpp"
+    application = XmppServer
+
+    def setup(self, world: dict, qname: str, malicious_ip: str,
+              **params) -> dict:
+        ctx = self.base_ctx(world, qname, malicious_ip)
+        world["target"].zone.add(
+            rr_srv(f"_xmpp-server._tcp.{qname}", 0, 0, XMPP_S2S_PORT,
+                   qname, ttl=300))
+        XmppMailbox(host_at(world, ctx["genuine_ip"], "xmpp-origin"))
+        ctx["evil_mailbox"] = XmppMailbox(
+            host_at(world, malicious_ip, "evil-xmpp"))
+        # Legacy server-to-server links run without verified TLS — the
+        # configuration Table 1 scores as interception.
+        ctx["server"] = XmppServer(ctx["app_host"], ctx["stub"])
+        return ctx
+
+    def workload(self, ctx: dict) -> tuple[AppOutcome, ...]:
+        message = XmppMessage(sender="alice@campus.example",
+                              recipient=f"bob@{ctx['qname']}",
+                              body="meet at the usual place")
+        return (ctx["server"].deliver(message),)
+
+    def realized(self, ctx: dict, outcomes: tuple[AppOutcome, ...]) -> bool:
+        delivered = outcomes[0]
+        return delivered.ok \
+            and delivered.used_address == ctx["malicious_ip"] \
+            and bool(ctx["evil_mailbox"].received)
+
+
+register_driver(XmppDriver())

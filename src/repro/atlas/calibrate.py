@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro.apps.driver import AppSpec, resolve_driver
 from repro.attacks.fragdns import FragDnsConfig
 from repro.attacks.planner import (
     METHOD_PREFERENCE,
@@ -39,7 +40,7 @@ from repro.core.errors import NotApplicableError
 from repro.scenario.bridge import profile_world_kwargs, scenario_from_profile
 from repro.scenario.campaign import Campaign
 from repro.scenario.presets import FAST_SADDNS_PORTS
-from repro.scenario.spec import AttackScenario
+from repro.scenario.spec import AttackScenario, TriggerSpec
 
 #: Scan flag -> the methodology whose prerequisite it measures.
 FLAG_METHODS = {"hijack": "HijackDNS", "saddns": "SadDNS",
@@ -57,11 +58,11 @@ def profile_for_stratum(stratum: str) -> TargetProfile:
     unknown = flags - set(STRATUM_FLAGS)
     if unknown:
         raise ValueError(f"unknown stratum flags: {sorted(unknown)}")
-    return TargetProfile(
-        app_name=f"atlas-{stratum}",
-        query_name_known=True,
-        query_name_choosable=True,
-        trigger_style="direct",
+    # Start from the canonical standard-infrastructure assumption and
+    # overwrite every fact a scan flag measures; only the facts no scan
+    # covers (here: dnssec_validated) keep their default.
+    facts = TargetProfile.defaults()
+    facts.update(
         resolver_prefix_longer_than_24="hijack" in flags,
         ns_prefix_longer_than_24="hijack" in flags,
         resolver_global_icmp_limit="saddns" in flags,
@@ -70,6 +71,13 @@ def profile_for_stratum(stratum: str) -> TargetProfile:
         response_can_exceed_frag_limit="frag" in flags,
         resolver_edns_at_least_response="frag" in flags,
         resolver_accepts_fragments="frag" in flags,
+    )
+    return TargetProfile(
+        app_name=f"atlas-{stratum}",
+        query_name_known=True,
+        query_name_choosable=True,
+        trigger_style="direct",
+        **facts,
     )
 
 
@@ -110,10 +118,20 @@ class StratumCalibration:
     successes: int = 0
     validated: bool = False
     note: str = ""
+    app: str | None = None
+    app_note: str = ""          # app-stage caveat, rendered after note
+    app_runs: int = 0
+    impacts_realized: int = 0
 
     @property
     def success_rate(self) -> float:
         return self.successes / self.runs if self.runs else 0.0
+
+    @property
+    def impact_rate(self) -> float:
+        """Realized application impact across this stratum's sub-sample."""
+        return self.impacts_realized / self.app_runs if self.app_runs \
+            else 0.0
 
 
 @dataclass
@@ -129,6 +147,7 @@ class CalibrationReport:
     executor: str = "serial"
     workers: int = 1
     notes: list[str] = field(default_factory=list)
+    app: str | None = None
 
     @property
     def validated_fraction(self) -> float:
@@ -138,14 +157,31 @@ class CalibrationReport:
             return 0.0
         return sum(s.weight for s in self.strata if s.validated) / total
 
+    @property
+    def impact_projection(self) -> float:
+        """Population-weighted realized-impact rate for the chosen app.
+
+        Each stratum's measured impact rate (from its stratified
+        sub-sample) is weighted by the stratum's share of the full
+        scanned population — the §4.5 quantitative story: what fraction
+        of the real dataset would yield this application impact if
+        attacked with the best applicable methodology.
+        """
+        total = sum(s.weight for s in self.strata)
+        if not total:
+            return 0.0
+        return sum(s.weight * s.impact_rate for s in self.strata) / total
+
     def describe(self) -> str:
         from repro.measurements.report import render_table
 
         headers = ["Stratum", "Entities", "Weight", "Method",
                    "Runs", "Success", "Validated", "Note"]
+        if self.app is not None:
+            headers.insert(6, "Impact")
         rows = []
         for stratum in sorted(self.strata, key=lambda s: -s.count):
-            rows.append([
+            row = [
                 stratum.stratum, f"{stratum.count:,}",
                 f"{stratum.weight * 100:.1f}%",
                 stratum.chosen_method or "-",
@@ -153,8 +189,12 @@ class CalibrationReport:
                 f"{stratum.success_rate * 100:.0f}%"
                 if stratum.runs else "-",
                 "yes" if stratum.validated else "NO",
-                stratum.note,
-            ])
+                stratum.note + stratum.app_note,
+            ]
+            if self.app is not None:
+                row.insert(6, f"{stratum.impact_rate * 100:.0f}%"
+                           if stratum.app_runs else "-")
+            rows.append(row)
         table = render_table(
             headers, rows,
             title=f"Campaign calibration: {self.dataset} "
@@ -164,6 +204,13 @@ class CalibrationReport:
                   f" attack runs in {self.wall_clock:.1f}s"
                   f" ({self.executor}, workers={self.workers})")
         lines = [table, footer]
+        if self.app is not None:
+            driver = resolve_driver(self.app)
+            lines.append(
+                f"population-weighted impact projection for "
+                f"{self.app!r} ({driver.impact}): "
+                f"{self.impact_projection * 100:.1f}% of "
+                f"{self.entities:,} entities")
         lines.extend(f"note: {note}" for note in self.notes)
         return "\n".join(lines)
 
@@ -171,7 +218,8 @@ class CalibrationReport:
 def calibrate_population(aggregate: ScanAggregate, dataset: str,
                          seed: Any = 0, sample_budget: int = 24,
                          workers: int | None = None,
-                         executor: str | None = None) -> CalibrationReport:
+                         executor: str | None = None,
+                         app: str | None = None) -> CalibrationReport:
     """Validate planner verdicts against a stratified attack sub-sample.
 
     ``sample_budget`` caps the total number of end-to-end attack runs;
@@ -180,10 +228,17 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
     All cells run on one campaign pool, so ``workers`` parallelises the
     validation exactly like any other campaign (``executor`` defaults
     to the process pool whenever more than one worker is requested).
+
+    ``app`` names a Table 1 application driver: every stratum's attack
+    runs then carry that application's kill-chain stage (restricted to
+    the methodologies whose planted records the workload can observe),
+    and the report weights the measured impact rates by population
+    share into :attr:`CalibrationReport.impact_projection`.
     """
     if executor is None:
         executor = "process" if workers is not None and workers > 1 \
             else "serial"
+    app_driver = resolve_driver(app) if app is not None else None
     planner = AttackPlanner()
     total = sum(aggregate.strata.values())
     strata: list[StratumCalibration] = []
@@ -228,8 +283,20 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
                 record.validated = negatives_hold
             strata.append(record)
             continue
+        scenario_candidates = candidates
+        attach_app = False
+        if app_driver is not None:
+            executable = tuple(method for method in candidates
+                               if method in app_driver.methods)
+            if executable:
+                scenario_candidates = executable
+                attach_app = True
+            else:
+                record.app_note = (
+                    f"; {app_driver.name} workload not executable"
+                    f" under {'/'.join(candidates)}")
         scenario = scenario_from_profile(
-            profile, planner=planner, candidates=candidates,
+            profile, planner=planner, candidates=scenario_candidates,
             label=f"atlas/{stratum}",
         )
         record.chosen_method = scenario.canonical_method
@@ -237,12 +304,17 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
         overrides = _budget_overrides(record.chosen_method, profile)
         if overrides:
             scenario = replace(scenario, **overrides)
+        if attach_app:
+            record.app = app_driver.name
+            scenario = replace(scenario,
+                               app_spec=AppSpec(app=app_driver.name),
+                               trigger=TriggerSpec(kind="app"))
         runs = max(1, round(sample_budget * weight))
         seeds = [f"{seed}/{stratum}/{index}" for index in range(runs)]
         pairs.extend((scenario, run_seed) for run_seed in seeds)
         record.runs = runs
-        record.note = "planner verdicts mirror scan flags" if negatives_hold \
-            else "planner/scan disagreement"
+        record.note = "planner verdicts mirror scan flags" \
+            if negatives_hold else "planner/scan disagreement"
         record.validated = negatives_hold
         strata.append(record)
 
@@ -257,6 +329,8 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
             if summary is None:
                 continue
             record.successes = summary.successes
+            record.app_runs = summary.app_runs
+            record.impacts_realized = summary.impacts_realized
             if record.chosen_method == "HijackDNS":
                 # Control-plane interception is deterministic: the
                 # simulated outcome must match the scan flag exactly.
@@ -280,5 +354,6 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
         executor=outcome.executor if outcome else "serial",
         workers=outcome.workers if outcome else 1,
         notes=list(outcome.notes) if outcome else [],
+        app=app_driver.name if app_driver is not None else None,
     )
     return report

@@ -251,6 +251,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
         calibration = calibrate_population(
             report.aggregate, dataset=report.dataset, seed=args.seed,
             sample_budget=args.sample_budget, workers=args.workers,
+            app=args.app,
         )
         print()
         print(calibration.describe())
@@ -358,6 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
     common(calibrate, "open")
     calibrate.add_argument("--sample-budget", type=int, default=24,
                            help="total end-to-end attack runs to allocate")
+    calibrate.add_argument("--app", default=None,
+                           help="Table 1 application driver: weight its "
+                                "kill-chain impact across the population")
     calibrate.set_defaults(fn=_cmd_calibrate)
 
     report = sub.add_parser(

@@ -19,7 +19,7 @@ from repro.attacks.trigger import QueryTrigger
 from repro.bgp.hijack import HijackCampaign
 from repro.bgp.prefix import Prefix
 from repro.dns import names
-from repro.dns.records import ResourceRecord, rr_a
+from repro.dns.records import ResourceRecord, TYPE_A, rr_a
 from repro.dns.resolver import RecursiveResolver
 from repro.dns.wire import decode_message
 from repro.netsim.network import Network
@@ -102,13 +102,30 @@ class HijackDnsAttack:
         self._answered += 1
         return True
 
+    def _planted_ip(self, qname: str) -> str:
+        """The address the forged answers map ``qname`` to.
+
+        Success must be judged against what the attack actually plants:
+        custom malicious records may point somewhere other than the
+        attacker's own host.
+        """
+        for record in self.malicious_records:
+            if record.rtype == TYPE_A and names.same_name(record.name,
+                                                          qname):
+                return record.data
+        return self.attacker.address
+
     def _records_for(self, qname: str) -> list[ResourceRecord]:
-        exact = [
+        # The attacker authors the entire forged response, so once the
+        # raced question is answered it plants every in-domain record it
+        # brought along (a replacement TXT, an IPSECKEY, ...) in the
+        # same answer — the resolver's bailiwick check accepts them all.
+        related = [
             r for r in self.malicious_records
-            if names.same_name(r.name, qname)
+            if names.is_subdomain(r.name, self.target_domain)
         ]
-        if exact:
-            return exact
+        if any(names.same_name(r.name, qname) for r in related):
+            return related
         return [rr_a(qname, self.attacker.address, ttl=86400)]
 
     # -- execution ----------------------------------------------------------------
@@ -141,7 +158,7 @@ class HijackDnsAttack:
                     result.queries_triggered += 1
                     self.network.run(self.config.hijack_duration)
                     if cache_poisoned(self.resolver, qname,
-                                      self.attacker.address):
+                                      self._planted_ip(qname)):
                         result.success = True
                         break
         finally:

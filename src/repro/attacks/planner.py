@@ -42,6 +42,28 @@ class TargetProfile:
     resolver_accepts_fragments: bool = True
     dnssec_validated: bool = False
 
+    @classmethod
+    def defaults(cls) -> dict[str, bool]:
+        """The paper's standard-infrastructure assumption, in one place.
+
+        These are the flag values Table 1 assumes for a typical target
+        (Sections 4.4/5): announcements longer than /24, rate-limited
+        nameservers, PMTUD honoured, fragmentable responses, no DNSSEC.
+        ``Application._base_profile`` and the atlas calibration bridge
+        both start from this dict instead of keeping private copies.
+        """
+        return dict(
+            ns_prefix_longer_than_24=True,
+            resolver_prefix_longer_than_24=True,
+            resolver_global_icmp_limit=True,
+            ns_rate_limited=True,
+            ns_honours_ptb=True,
+            response_can_exceed_frag_limit=True,
+            resolver_edns_at_least_response=True,
+            resolver_accepts_fragments=True,
+            dnssec_validated=False,
+        )
+
 
 @dataclass
 class MethodChoice:

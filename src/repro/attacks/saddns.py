@@ -89,6 +89,19 @@ class SadDnsAttack:
 
     # -- step 1: mute the nameserver -------------------------------------------
 
+    def _planted_ip(self, qname: str) -> str:
+        """The address the forged answers map ``qname`` to.
+
+        Success must be judged against what the attack actually plants:
+        custom malicious records may point somewhere other than the
+        attacker's own host.
+        """
+        for record in self.malicious_records:
+            if record.rtype == TYPE_A and names.same_name(record.name,
+                                                          qname):
+                return record.data
+        return self.attacker.address
+
     def mute_nameserver(self) -> int:
         """Keep the nameserver's RRL budget exhausted for the window.
 
@@ -232,10 +245,11 @@ class SadDnsAttack:
                 ))
             # Give the chunk a full propagation delay before checking.
             self.network.run(0.012)
-            if cache_poisoned(self.resolver, qname, attacker.address):
+            if cache_poisoned(self.resolver, qname,
+                              self._planted_ip(qname)):
                 return True
         self.network.run(0.05)
-        return cache_poisoned(self.resolver, qname, attacker.address)
+        return cache_poisoned(self.resolver, qname, self._planted_ip(qname))
 
     # -- full attack -----------------------------------------------------------------
 

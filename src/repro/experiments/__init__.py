@@ -11,6 +11,7 @@ from repro.experiments import (
     figure3,
     figure4,
     figure5,
+    impact,
     section4,
     section5,
     table1,
@@ -34,6 +35,7 @@ ALL_EXPERIMENTS = {
     "figure3": figure3,
     "figure4": figure4,
     "figure5": figure5,
+    "impact": impact,
     "section4": section4,
     "section5": section5,
     "ablation": ablation,

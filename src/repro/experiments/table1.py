@@ -68,7 +68,7 @@ PAPER_METHOD_CELLS: dict[str, tuple[str, str, str]] = {
 }
 
 
-def _application_key(app_class) -> str:
+def application_key(app_class) -> str:
     row = app_class.row
     if row.use_case == "Password recovery":
         return "SMTP (PW-recovery)"
@@ -97,7 +97,7 @@ def run(seed: int = 0) -> ExperimentResult:
     matches = 0
     comparisons = 0
     for app_class in ALL_APPLICATIONS:
-        key = _application_key(app_class)
+        key = application_key(app_class)
         overrides = INFRASTRUCTURE_OVERRIDES.get(key, {})
         instance = app_class.__new__(app_class)  # row metadata only
         profile = instance.target_profile(**overrides)

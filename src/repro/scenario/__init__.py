@@ -10,15 +10,25 @@ Three layers, one surface:
   bridge the Table 1 planner's verdicts to executable scenarios.
 * **Sweep** — :class:`Campaign` runs scenarios across seeds and config
   grids on worker processes and aggregates a :class:`CampaignResult`.
+* **Impact** — an :class:`AppSpec` stage turns any scenario into a full
+  kill chain: after the attack, the named Table 1 application runs its
+  workload against the poisoned world and the run reports whether the
+  paper's impact (fraudulent certificate, downgrade, takeover, ...)
+  was actually realized.
 
 Quickstart::
 
-    from repro.scenario import AttackScenario, Campaign
+    from repro.scenario import AppSpec, AttackScenario, Campaign, TriggerSpec
 
     result = AttackScenario(method="hijack").run(seed=1)
+    chain = AttackScenario(method="hijack", app_spec=AppSpec(app="dv"),
+                           trigger=TriggerSpec(kind="app")).run(seed=1)
+    print(chain.app_result.describe())   # fraud. certificate issued?
     sweep = Campaign().run(AttackScenario(method="frag"),
                            seeds=range(32), workers=8)
     print(sweep.describe())
+
+There is also a command line: ``python -m repro.scenario run|sweep|report``.
 """
 
 from repro.scenario.bridge import (
@@ -34,7 +44,12 @@ from repro.scenario.campaign import (
     MethodSummary,
     percentile,
 )
-from repro.scenario.presets import sweep_scenarios, table6_scenarios
+from repro.apps.driver import AppSpec, AppStageResult
+from repro.scenario.presets import (
+    killchain_scenarios,
+    sweep_scenarios,
+    table6_scenarios,
+)
 from repro.scenario.registry import (
     MethodSpec,
     available_methods,
@@ -49,6 +64,8 @@ from repro.scenario.spec import (
 )
 
 __all__ = [
+    "AppSpec",
+    "AppStageResult",
     "AttackScenario",
     "BuiltScenario",
     "Campaign",
@@ -60,6 +77,7 @@ __all__ = [
     "TriggerSpec",
     "available_methods",
     "choose_method",
+    "killchain_scenarios",
     "percentile",
     "plan_and_run",
     "profile_world_kwargs",

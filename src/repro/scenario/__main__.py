@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.scenario``."""
+
+import sys
+
+from repro.scenario.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,7 +88,13 @@ def _batch_tasks(tasks: list[tuple[AttackScenario, Any]],
 
 @dataclass
 class MethodSummary:
-    """Aggregates for one methodology (or one scenario label)."""
+    """Aggregates for one methodology (or one scenario label / app).
+
+    Beyond the attack-phase statistics, kill-chain runs contribute
+    application-impact aggregates: how often the Table 1 impact was
+    actually realized, split by impact class (the §4.5 story —
+    fraudulent certificates, downgrades, account takeovers).
+    """
 
     key: str
     runs: int = 0
@@ -96,6 +102,15 @@ class MethodSummary:
     packets: list[int] = field(default_factory=list)
     queries: list[int] = field(default_factory=list)
     durations: list[float] = field(default_factory=list)
+    # -- application impact ----------------------------------------------------
+    app_runs: int = 0
+    impact: str = ""            # the group's Table 1 impact cell
+    impacts_realized: int = 0
+    hijacks: int = 0
+    downgrades: int = 0
+    denials: int = 0
+    fraud_certs: int = 0
+    takeovers: int = 0
 
     def note(self, run: ScenarioRun) -> None:
         self.runs += 1
@@ -103,10 +118,48 @@ class MethodSummary:
         self.packets.append(run.packets_sent)
         self.queries.append(run.queries_triggered)
         self.durations.append(run.duration)
+        # Table 6's MethodStats feeds bare AttackResults through here,
+        # which carry no application stage.
+        stage = getattr(run, "app_result", None)
+        if stage is None:
+            return
+        self.app_runs += 1
+        self.impact = stage.impact
+        if not stage.realized:
+            return
+        self.impacts_realized += 1
+        if stage.impact_class == "Hijack":
+            self.hijacks += 1
+        elif stage.impact_class == "Downgrade":
+            self.downgrades += 1
+        elif stage.impact_class == "DoS":
+            self.denials += 1
+        if stage.fraud_certificate:
+            self.fraud_certs += 1
+        if stage.takeover:
+            self.takeovers += 1
 
     @property
     def success_rate(self) -> float:
         return self.successes / self.runs if self.runs else 0.0
+
+    @property
+    def impact_rate(self) -> float:
+        """Realized-impact fraction across this group's app stages."""
+        return self.impacts_realized / self.app_runs if self.app_runs \
+            else 0.0
+
+    @property
+    def fraud_cert_rate(self) -> float:
+        return self.fraud_certs / self.app_runs if self.app_runs else 0.0
+
+    @property
+    def downgrade_rate(self) -> float:
+        return self.downgrades / self.app_runs if self.app_runs else 0.0
+
+    @property
+    def takeover_rate(self) -> float:
+        return self.takeovers / self.app_runs if self.app_runs else 0.0
 
     @property
     def hitrate(self) -> float:
@@ -162,6 +215,31 @@ class CampaignResult:
         """Per-scenario breakdown (distinguishes grid points)."""
         return self._group(lambda run: run.label)
 
+    def by_app(self) -> dict[str, MethodSummary]:
+        """Per-application impact breakdown (kill-chain runs only)."""
+        groups: dict[str, MethodSummary] = {}
+        for run in self.runs:
+            if run.app_result is None:
+                continue
+            key = run.app_result.app
+            groups.setdefault(key, MethodSummary(key=key)).note(run)
+        return groups
+
+    @property
+    def app_runs(self) -> int:
+        """How many runs carried an application stage."""
+        return sum(1 for run in self.runs if run.app_result is not None)
+
+    @property
+    def impacts_realized(self) -> int:
+        return sum(1 for run in self.runs if run.impact_realized)
+
+    @property
+    def impact_rate(self) -> float:
+        """Realized-impact fraction across all app stages in the sweep."""
+        app_runs = self.app_runs
+        return self.impacts_realized / app_runs if app_runs else 0.0
+
     def duration_percentiles(self) -> dict[str, float]:
         values = [run.duration for run in self.runs]
         return {"p50": percentile(values, 0.50),
@@ -196,11 +274,29 @@ class CampaignResult:
                 f"{summary.duration_percentile(0.99):.1f}",
             ])
         table = render_table(headers, rows, title="Campaign summary")
+        sections = [table]
+        by_app = self.by_app()
+        if by_app:
+            impact_headers = ["Application", "Impact", "Stages",
+                              "Realized", "Fraud certs", "Downgrades",
+                              "Takeovers"]
+            impact_rows = []
+            for key in sorted(by_app):
+                summary = by_app[key]
+                impact_rows.append([
+                    key, summary.impact, summary.app_runs,
+                    f"{summary.impact_rate * 100:.0f}%",
+                    summary.fraud_certs, summary.downgrades,
+                    summary.takeovers,
+                ])
+            sections.append(render_table(impact_headers, impact_rows,
+                                         title="Application impact"))
         footer = (f"{len(self.runs)} runs in {self.wall_clock:.1f}s wall"
                   f" ({self.executor}, workers={self.workers})")
         if self.notes:
             footer += "\n" + "\n".join(f"note: {note}" for note in self.notes)
-        return f"{table}\n{footer}"
+        sections.append(footer)
+        return "\n".join(sections)
 
 
 class Campaign:

@@ -15,10 +15,14 @@ Two families:
 
 from __future__ import annotations
 
+from typing import Iterable
+
+from repro.apps.driver import AppSpec, resolve_driver
 from repro.attacks.fragdns import FragDnsConfig
 from repro.attacks.saddns import SadDnsConfig
+from repro.core.errors import ScenarioError
 from repro.netsim.host import HostConfig
-from repro.scenario.spec import AttackScenario
+from repro.scenario.spec import AttackScenario, TriggerSpec
 
 #: Ephemeral-port window used by the fast SadDNS variants: 1,000
 #: candidate ports keep the side-channel scan inside a test budget
@@ -74,3 +78,57 @@ def sweep_scenarios() -> list[AttackScenario]:
                                        scan_batches_per_iteration=2),
         ),
     ]
+
+
+def budget_capped_overrides(method: str) -> dict:
+    """The sweep-style budget caps for one methodology (see above)."""
+    if method == "FragDNS":
+        return {"attack_config": FragDnsConfig(max_attempts=3,
+                                               attempt_spacing=0.2)}
+    if method == "SadDNS":
+        return {
+            "resolver_host_config": HostConfig(
+                ephemeral_low=FAST_SADDNS_PORTS[0],
+                ephemeral_high=FAST_SADDNS_PORTS[1],
+            ),
+            "attack_config": SadDnsConfig(max_iterations=1,
+                                          scan_batches_per_iteration=2),
+        }
+    return {}
+
+
+def killchain_scenarios(apps: Iterable[str] | None = None,
+                        methods: Iterable[str] = ("hijack",),
+                        ) -> list[AttackScenario]:
+    """Budget-capped end-to-end kill chains: attack + application stage.
+
+    One scenario per (application, methodology) cell the driver can
+    execute — the query is triggered by the application itself
+    (``TriggerSpec(kind="app")``), the attack plants whatever records
+    the app's workload consumes, and the run reports the Table 1 impact
+    alongside the attack statistics.  Probabilistic methods get the
+    same budget caps as :func:`sweep_scenarios`.
+    """
+    from repro.apps.driver import available_apps
+    from repro.scenario.registry import resolve_method
+
+    names = list(apps) if apps is not None else available_apps()
+    canonical = [resolve_method(m).name for m in methods]
+    scenarios = []
+    for name in names:
+        driver = resolve_driver(name)
+        for method in canonical:
+            if method not in driver.methods:
+                continue
+            scenarios.append(AttackScenario(
+                method=method,
+                app_spec=AppSpec(app=name),
+                trigger=TriggerSpec(kind="app"),
+                label=f"killchain/{name}/{method}",
+                **budget_capped_overrides(method),
+            ))
+    if not scenarios:
+        raise ScenarioError(
+            f"no (app, method) cell is executable for apps={names} "
+            f"methods={canonical}")
+    return scenarios

@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Iterable
 
+from repro.apps.driver import AppDriver, AppSpec, AppStageResult
 from repro.attacks.base import AttackResult, OffPathAttacker
 from repro.attacks.trigger import (
     CallableTrigger,
@@ -26,7 +27,7 @@ from repro.attacks.trigger import (
 )
 from repro.core.errors import ScenarioError
 from repro.dns.nameserver import NameserverConfig
-from repro.dns.records import ResourceRecord
+from repro.dns.records import TYPE_A, ResourceRecord
 from repro.dns.resolver import ResolverConfig
 from repro.netsim.host import HostConfig
 from repro.testbed import SERVICE_IP, TARGET_DOMAIN, standard_testbed
@@ -46,10 +47,14 @@ class TriggerSpec:
       resolver's ACL (the Figure 1 trigger; the default).
     * ``"open-resolver"`` — query the resolver directly from the
       attacker's own address (Section 4.3.3 open forwarders).
+    * ``"app"`` — the scenario's application stage fires the query in
+      its own style (bounce, discovery, fetch); needs an ``app_spec``
+      on the scenario.  Fully declarative, so app scenarios pickle to
+      process workers like any other.
     * ``"callable"`` — an application-provided function whose side
-      effect is the query (email bounce, web fetch, ...).  Callables are
-      generally not picklable; campaigns fall back to in-process
-      execution for them.
+      effect is the query.  Callables are generally not picklable;
+      campaigns fall back to in-process execution for them.  App
+      scenarios use ``"app"`` instead — no fallback on that path.
     """
 
     kind: str = "spoofed-client"
@@ -58,7 +63,9 @@ class TriggerSpec:
     style: str = "application"
     cadence_seconds: float | None = None
 
-    def build(self, world: dict, attacker: OffPathAttacker) -> QueryTrigger:
+    def build(self, world: dict, attacker: OffPathAttacker,
+              app_stage: tuple[AppDriver, dict] | None = None
+              ) -> QueryTrigger:
         """Instantiate the live trigger against a built world."""
         resolver_ip = world["resolver"].address
         if self.kind == "spoofed-client":
@@ -71,6 +78,12 @@ class TriggerSpec:
                 world["attacker"], resolver_ip,
                 rng=attacker.rng.derive("trigger"),
             )
+        if self.kind == "app":
+            if app_stage is None:
+                raise ScenarioError(
+                    "trigger kind 'app' needs an app_spec on the scenario")
+            driver, ctx = app_stage
+            return driver.query_trigger(ctx)
         if self.kind == "callable":
             if self.fn is None:
                 raise ScenarioError(
@@ -82,13 +95,18 @@ class TriggerSpec:
 
 @dataclass
 class ScenarioRun:
-    """One scenario executed on one seed."""
+    """One scenario executed on one seed.
+
+    ``app_result`` carries the application stage of a kill-chain
+    scenario (None when the scenario had no ``app_spec``).
+    """
 
     label: str
     method: str
     seed: Any
     result: AttackResult
     wall_time: float = 0.0
+    app_result: AppStageResult | None = None
 
     # -- flattened conveniences for aggregation --------------------------------
 
@@ -113,8 +131,16 @@ class ScenarioRun:
     def iterations(self) -> int:
         return self.result.iterations
 
+    @property
+    def impact_realized(self) -> bool:
+        """Did the application stage demonstrate its Table 1 impact?"""
+        return self.app_result is not None and self.app_result.realized
+
     def describe(self) -> str:
-        return f"[seed={self.seed}] {self.result.describe()}"
+        line = f"[seed={self.seed}] {self.result.describe()}"
+        if self.app_result is not None:
+            line += f"\n  app stage: {self.app_result.describe()}"
+        return line
 
 
 @dataclass
@@ -143,6 +169,11 @@ class AttackScenario:
     resolver_host_config: HostConfig | None = None
     signed_target: bool = False
     extra_target_records: tuple[ResourceRecord, ...] = ()
+    # -- the application stage of the kill chain -------------------------------
+    # When set, build() wires the named app driver into the world before
+    # the attack and execute() runs its workload after it, so the run
+    # measures application impact, not just cache state.
+    app_spec: AppSpec | None = None
     # -- metadata --------------------------------------------------------------
     app: str | None = None             # application victim (Table 1 row)
     capture_possible: bool = True      # HijackDNS control-plane outcome
@@ -164,11 +195,29 @@ class AttackScenario:
         return resolve_method(self.method).name
 
     @property
+    def app_name(self) -> str | None:
+        """The application this scenario attacks, if any."""
+        if self.app is not None:
+            return self.app
+        return self.app_spec.app if self.app_spec is not None else None
+
+    @property
     def display_label(self) -> str:
         return self.label if self.label is not None else (
             f"{self.canonical_method}:{self.target_domain}"
-            + (f" [{self.app}]" if self.app else "")
+            + (f" [{self.app_name}]" if self.app_name else "")
         )
+
+    def planted_address(self, attacker_address: str) -> str:
+        """The address the attack's planted A record maps the qname to."""
+        from repro.dns import names
+
+        qname = self.effective_qname()
+        for record in self.malicious_records:
+            if record.rtype == TYPE_A and names.same_name(record.name,
+                                                          qname):
+                return record.data
+        return attacker_address
 
     def effective_qname(self) -> str:
         """The name the attack races (method default when unset)."""
@@ -228,11 +277,37 @@ class AttackScenario:
         if world is None:
             world = self.make_world(seed=seed)
         attacker = OffPathAttacker(world["attacker"])
-        trigger = self.trigger.build(world, attacker)
-        attack = spec.attack_factory(self, world, attacker)
+        app_driver = None
+        app_ctx = None
+        runtime = self
+        if self.app_spec is not None:
+            from repro.apps.driver import resolve_driver
+
+            app_driver = resolve_driver(self.app_spec.app)
+            if spec.name not in app_driver.methods:
+                raise ScenarioError(
+                    f"app {self.app_spec.app!r} cannot observe records "
+                    f"planted by {spec.name} (its workload needs "
+                    f"{', '.join(app_driver.methods)})")
+            qname = self.effective_qname()
+            if not self.malicious_records:
+                # The driver knows which records its workload consumes
+                # (the A mapping plus any TXT/IPSECKEY extras); the
+                # attack plants exactly that set.
+                runtime = replace(self, malicious_records=tuple(
+                    app_driver.malicious_records(qname, attacker.address)))
+            app_ctx = app_driver.setup(
+                world, qname, runtime.planted_address(attacker.address),
+                **self.app_spec.kwargs())
+        trigger = self.trigger.build(
+            world, attacker,
+            app_stage=(app_driver, app_ctx)
+            if app_driver is not None else None)
+        attack = spec.attack_factory(runtime, world, attacker)
         return BuiltScenario(scenario=self, seed=seed, world=world,
                              attacker=attacker, trigger=trigger,
-                             attack=attack)
+                             attack=attack, app_driver=app_driver,
+                             app_ctx=app_ctx)
 
     def run(self, seed: Any = 0) -> ScenarioRun:
         """Build a fresh world for ``seed`` and execute the attack."""
@@ -277,6 +352,8 @@ class BuiltScenario:
     attacker: OffPathAttacker
     trigger: QueryTrigger
     attack: Any
+    app_driver: AppDriver | None = None
+    app_ctx: dict | None = None
 
     @property
     def testbed(self):
@@ -295,14 +372,28 @@ class BuiltScenario:
         return self.world["target"]
 
     def execute(self) -> ScenarioRun:
-        """Run the attack to completion and wrap the outcome."""
+        """Run the kill chain: attack phase, then the app stage."""
         started = time.perf_counter()
         result = self.attack.execute(
             self.trigger, qname=self.scenario.effective_qname())
+        app_result = None
+        if self.app_driver is not None:
+            # The victim application operates against whatever world the
+            # attack left behind — poisoned cache or not, the workload
+            # and its impact classification run identically.  First let
+            # the network settle past the kernel reassembly timeout so
+            # planted-but-unused fragments age out of reassembly caches
+            # (Linux keeps partials ~30s) instead of corrupting the
+            # app's own fragmented responses.
+            from repro.netsim.fragmentation import LINUX_FRAG_TIMEOUT
+
+            self.network.run(LINUX_FRAG_TIMEOUT + 1.0)
+            app_result = self.app_driver.run_stage(self.app_ctx)
         return ScenarioRun(
             label=self.scenario.display_label,
             method=self.scenario.canonical_method,
             seed=self.seed,
             result=result,
             wall_time=time.perf_counter() - started,
+            app_result=app_result,
         )

@@ -27,7 +27,7 @@ class TestRegistry:
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "figure1", "figure2", "figure3", "figure4", "figure5",
-            "section4", "section5", "ablation",
+            "section4", "section5", "ablation", "impact",
         }
 
     def test_every_module_has_run(self):

@@ -21,7 +21,7 @@ from repro.attacks import (
 )
 from repro.attacks.hijackdns import HijackDnsConfig
 from repro.core.errors import NotApplicableError, ScenarioError
-from repro.experiments.table1 import INFRASTRUCTURE_OVERRIDES, _application_key
+from repro.experiments.table1 import INFRASTRUCTURE_OVERRIDES, application_key
 from repro.netsim.host import HostConfig
 from repro.scenario import (
     AttackScenario,
@@ -44,7 +44,7 @@ def table1_profiles() -> list[tuple[str, TargetProfile]]:
     """Every Table 1 application profile, with the paper's overrides."""
     profiles = []
     for app_class in ALL_APPLICATIONS:
-        key = _application_key(app_class)
+        key = application_key(app_class)
         overrides = INFRASTRUCTURE_OVERRIDES.get(key, {})
         instance = app_class.__new__(app_class)  # row metadata only
         profiles.append((key, instance.target_profile(**overrides)))
