@@ -40,6 +40,7 @@ FULL_SIZES = {
     "campaign_seeds": 32,
     "killchain_seeds": 8,
     "atlas_entities": 20_000,
+    "defense_pairs": 28,     # the full pairwise Section 6 grid
 }
 
 QUICK_SIZES = {
@@ -49,6 +50,7 @@ QUICK_SIZES = {
     "campaign_seeds": 8,
     "killchain_seeds": 3,
     "atlas_entities": 5_000,
+    "defense_pairs": 4,      # singles + the showcase pairs
 }
 
 REGRESSION_THRESHOLD = 0.25
@@ -204,6 +206,30 @@ def bench_killchain(seeds: int) -> dict:
                    impact_rate=round(result.impact_rate, 4))
 
 
+def defense_grid_checksum(result) -> str:
+    flat = [(cell.attack, cell.defense, cell.attack_succeeded,
+             cell.expected_defeated)
+            for cell in result.data["cells"] + result.data["pair_cells"]]
+    return hashlib.sha256(repr(flat).encode()).hexdigest()
+
+
+def bench_defense_grid(pairs: int) -> dict:
+    """The Section 6 ablation on the defense-stack API: the 8x3
+    single-defense grid plus ``pairs`` pairwise stacks, serial.  The
+    checksum covers every cell verdict, so a perf win can never hide a
+    flipped Section 6 expectation."""
+    from repro.experiments import ablation
+
+    started = time.perf_counter()
+    result = ablation.run(seed=0, pairs=pairs)
+    wall = time.perf_counter() - started
+    assert result.data["agreement"] == result.data["total"], \
+        "defense grid disagrees with Section 6 expectations"
+    cells = result.data["total"]
+    return _result("defense_grid", wall, cells, "cells/s",
+                   checksum=defense_grid_checksum(result), pairs=pairs)
+
+
 def aggregate_checksum(report) -> str:
     payload = json.dumps(report.aggregate.to_json(), sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
@@ -241,6 +267,7 @@ def run_all(sizes: dict, mode: str, repeats: int) -> dict:
         lambda: bench_killchain(sizes["killchain_seeds"]),
         lambda: bench_atlas(sizes["atlas_entities"], "open"),
         lambda: bench_atlas(sizes["atlas_entities"], "alexa"),
+        lambda: bench_defense_grid(sizes["defense_pairs"]),
     ]
     benches = {}
     for thunk in thunks:

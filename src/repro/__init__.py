@@ -20,8 +20,13 @@ The package implements, on a byte-accurate simulated Internet:
   and measure *application impact* (fraudulent certificates, security
   downgrades, account takeovers), not just cache state;
 * the Internet-scale measurement study of Section 5
-  (:mod:`repro.measurements`) and the countermeasures of Section 6
-  (:mod:`repro.countermeasures`);
+  (:mod:`repro.measurements`) and the Section 6 mitigations as a
+  composable defense-stack API (:mod:`repro.defenses`): picklable
+  :class:`Defense` specs with pure world-config transforms, stackable
+  across layers (``ip``/``transport``/``dns``/``bgp``/``app``) into a
+  :class:`DefenseStack` that any scenario, campaign, planner verdict or
+  atlas calibration consumes (:mod:`repro.countermeasures` remains as a
+  thin deprecation shim);
 * an experiment registry regenerating every table and figure
   (:mod:`repro.experiments`);
 * the attack-surface atlas (:mod:`repro.atlas`): sharded synthesis and
@@ -59,6 +64,20 @@ Quickstart::
     #     killchain_scenarios(), seeds=range(16)) — or from the shell:
     # ``python -m repro.scenario sweep --apps all``.
 
+    # Defenses are first-class, stackable scenario citizens: the same
+    # scenario, defended, measures the *residual* attack surface.
+    from repro import DefenseStack
+    stack = DefenseStack.of("0x20-encoding", "rpki-rov")
+    defended = AttackScenario(method="hijack", defenses=stack).run(seed=3)
+    print(defended.success)              # False: ROV filtered the hijack
+    grid = Campaign().run_defended(killchain_scenarios(apps=("dv",)),
+                                   stacks=[stack, "dnssec"],
+                                   seeds=range(8))
+    print(grid.describe())               # residual success/impact per stack
+    # Shell: ``python -m repro.scenario run --defend rpki-rov`` and
+    # ``python -m repro.atlas calibrate --defend dnssec`` (deployment
+    # projection at population scale).
+
 Atlas quickstart — Section 5 at the paper's full dataset sizes::
 
     from repro.atlas import AtlasStore, find_dataset, scan_dataset
@@ -80,6 +99,7 @@ for ``synth`` / ``calibrate`` / ``report``).
 """
 
 from repro.attacks.planner import TargetProfile
+from repro.defenses import Defense, DefenseStack
 from repro.scenario import (
     AppSpec,
     AttackScenario,
@@ -100,6 +120,8 @@ __all__ = [
     "AttackScenario",
     "Campaign",
     "CampaignResult",
+    "Defense",
+    "DefenseStack",
     "ScenarioRun",
     "TargetProfile",
     "Testbed",

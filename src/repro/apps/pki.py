@@ -28,6 +28,7 @@ from repro.apps.base import (
     USE_LOCATION,
 )
 from repro.apps.driver import AppDriver, host_at, register_driver
+from repro.bgp.hijack import ATTACKER_ASN as HIJACKER_ASN
 from repro.apps.tls import Certificate, TlsAuthority
 from repro.apps.web import HTTP_PORT
 from repro.attacks.planner import TargetProfile
@@ -298,7 +299,9 @@ class RpkiDriver(AppDriver):
 
     VICTIM_PREFIX = "30.0.0.0/22"
     VICTIM_ASN = 500
-    ATTACKER_ASN = 666
+    # The shared testbed adversary AS: ROV verdicts everywhere depend
+    # on this one origin story.
+    ATTACKER_ASN = HIJACKER_ASN
 
     def setup(self, world: dict, qname: str, malicious_ip: str,
               **params) -> dict:

@@ -50,9 +50,12 @@ or from the shell::
 from repro.atlas.aggregate import ScanAggregate, stratum_key
 from repro.atlas.calibrate import (
     CalibrationReport,
+    DeploymentProjection,
     StratumCalibration,
+    StratumProjection,
     calibrate_population,
     profile_for_stratum,
+    project_deployment,
 )
 from repro.atlas.pipeline import (
     AtlasScanReport,
@@ -80,12 +83,15 @@ __all__ = [
     "AtlasScanReport",
     "AtlasStore",
     "CalibrationReport",
+    "DeploymentProjection",
     "ScanAggregate",
     "ShardRange",
     "ShardRecord",
     "StratumCalibration",
+    "StratumProjection",
     "all_dataset_specs",
     "calibrate_population",
+    "project_deployment",
     "dataset_kind",
     "find_dataset",
     "iter_domains",

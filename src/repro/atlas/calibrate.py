@@ -37,6 +37,7 @@ from repro.attacks.planner import (
 from repro.attacks.saddns import SadDnsConfig
 from repro.atlas.aggregate import STRATUM_FLAGS, ScanAggregate
 from repro.core.errors import NotApplicableError
+from repro.defenses.base import DefenseStack
 from repro.scenario.bridge import profile_world_kwargs, scenario_from_profile
 from repro.scenario.campaign import Campaign
 from repro.scenario.presets import FAST_SADDNS_PORTS
@@ -148,6 +149,7 @@ class CalibrationReport:
     workers: int = 1
     notes: list[str] = field(default_factory=list)
     app: str | None = None
+    defenses: str = "none"      # deployed defense-stack key
 
     @property
     def validated_fraction(self) -> float:
@@ -195,10 +197,12 @@ class CalibrationReport:
                 row.insert(6, f"{stratum.impact_rate * 100:.0f}%"
                            if stratum.app_runs else "-")
             rows.append(row)
+        defended = f", defended by {self.defenses}" \
+            if self.defenses != "none" else ""
         table = render_table(
             headers, rows,
             title=f"Campaign calibration: {self.dataset} "
-                  f"({self.entities:,} scanned entities)")
+                  f"({self.entities:,} scanned entities{defended})")
         footer = (f"{self.validated_fraction * 100:.1f}% of the population "
                   f"sits in validated strata; {sum(s.runs for s in self.strata)}"
                   f" attack runs in {self.wall_clock:.1f}s"
@@ -219,7 +223,9 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
                          seed: Any = 0, sample_budget: int = 24,
                          workers: int | None = None,
                          executor: str | None = None,
-                         app: str | None = None) -> CalibrationReport:
+                         app: str | None = None,
+                         defenses: DefenseStack | None = None
+                         ) -> CalibrationReport:
     """Validate planner verdicts against a stratified attack sub-sample.
 
     ``sample_budget`` caps the total number of end-to-end attack runs;
@@ -234,6 +240,14 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
     the methodologies whose planted records the workload can observe),
     and the report weights the measured impact rates by population
     share into :attr:`CalibrationReport.impact_projection`.
+
+    ``defenses`` deploys a :class:`repro.defenses.DefenseStack` across
+    the whole population: each stratum's verdict becomes defense-aware
+    (methodologies the stack kills are planner-rejected) and the
+    sub-sample runs against *defended* worlds, measuring the residual
+    success the stack leaves.  Strata the stack fully neutralizes run
+    nothing and are validated through the planner's rejection — the
+    campaign counterpart of :func:`project_deployment`.
     """
     if executor is None:
         executor = "process" if workers is not None and workers > 1 \
@@ -295,10 +309,20 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
                 record.app_note = (
                     f"; {app_driver.name} workload not executable"
                     f" under {'/'.join(candidates)}")
-        scenario = scenario_from_profile(
-            profile, planner=planner, candidates=scenario_candidates,
-            label=f"atlas/{stratum}",
-        )
+        try:
+            scenario = scenario_from_profile(
+                profile, planner=planner, candidates=scenario_candidates,
+                defenses=defenses, label=f"atlas/{stratum}",
+            )
+        except NotApplicableError:
+            # Only reachable with a defense stack: the scan flags made
+            # the undefended candidates applicable, so a rejection here
+            # means the stack neutralizes this stratum outright.
+            record.note = ("defense stack neutralizes this stratum "
+                           "(planner rejects every scanned methodology)")
+            record.validated = negatives_hold
+            strata.append(record)
+            continue
         record.chosen_method = scenario.canonical_method
         record.planner_applicable = True
         overrides = _budget_overrides(record.chosen_method, profile)
@@ -355,5 +379,158 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
         workers=outcome.workers if outcome else 1,
         notes=list(outcome.notes) if outcome else [],
         app=app_driver.name if app_driver is not None else None,
+        defenses=defenses.key if defenses is not None else "none",
     )
     return report
+
+
+# -- deployment projection ------------------------------------------------------
+
+
+@dataclass
+class StratumProjection:
+    """One stratum's undefended/defended best-methodology verdicts."""
+
+    stratum: str
+    count: int
+    weight: float
+    undefended: str | None            # best applicable method, if any
+    residual: dict[str, str | None] = field(default_factory=dict)
+
+    def neutralized_by(self, stack_key: str) -> bool:
+        """Whether the stack removes every applicable methodology.
+
+        Raises ``KeyError`` for a stack that was never projected — a
+        missing key must not read as "neutralized".
+        """
+        return self.undefended is not None \
+            and self.residual[stack_key] is None
+
+
+@dataclass
+class DeploymentProjection:
+    """What each defense stack neutralizes, at population scale.
+
+    The quantitative table the paper's Section 6 only gestures at: for
+    every vulnerability stratum of a scanned population (weights sum to
+    100%), which methodology the planner would use undefended, and what
+    — if anything — remains once each candidate defense stack is
+    deployed.  Verdicts are planner-level, so the projection covers the
+    *entire* scanned population (millions of entities), not a
+    sub-sample; :func:`calibrate_population` with ``defenses=`` is the
+    simulation-backed counterpart on the stratified sub-sample.
+    """
+
+    dataset: str
+    kind: str
+    entities: int
+    stacks: list[str]
+    strata: list[StratumProjection]
+
+    @property
+    def attackable_weight(self) -> float:
+        """Population fraction with any applicable methodology."""
+        return sum(s.weight for s in self.strata
+                   if s.undefended is not None)
+
+    def neutralized_weight(self, stack_key: str) -> float:
+        """Population fraction the stack fully neutralizes."""
+        if stack_key not in self.stacks:
+            raise KeyError(
+                f"stack {stack_key!r} was not projected; "
+                f"projected stacks: {self.stacks}")
+        return sum(s.weight for s in self.strata
+                   if s.neutralized_by(stack_key))
+
+    def neutralized_surface(self, stack_key: str) -> float:
+        """Fraction of the *attackable* surface the stack neutralizes."""
+        attackable = self.attackable_weight
+        if not attackable:
+            return 0.0
+        return self.neutralized_weight(stack_key) / attackable
+
+    def describe(self) -> str:
+        from repro.measurements.report import render_table
+
+        headers = (["Stratum", "Entities", "Weight", "Undefended"]
+                   + [f"vs {key}" for key in self.stacks])
+        rows = []
+        for stratum in sorted(self.strata, key=lambda s: -s.count):
+            row = [
+                stratum.stratum, f"{stratum.count:,}",
+                f"{stratum.weight * 100:.1f}%",
+                stratum.undefended or "-",
+            ]
+            for key in self.stacks:
+                residual = stratum.residual.get(key)
+                if stratum.undefended is None:
+                    row.append("-")
+                else:
+                    row.append(residual if residual is not None
+                               else "neutralized")
+            rows.append(row)
+        total = sum(s.weight for s in self.strata)
+        rows.append(["TOTAL", f"{self.entities:,}",
+                     f"{total * 100:.1f}%",
+                     f"{self.attackable_weight * 100:.1f}% attackable",
+                     *[f"{self.neutralized_weight(key) * 100:.1f}% "
+                       "neutralized" for key in self.stacks]])
+        table = render_table(
+            headers, rows,
+            title=f"Deployment projection: {self.dataset} "
+                  f"({self.entities:,} entities)")
+        lines = [table]
+        for key in self.stacks:
+            lines.append(
+                f"stack {key}: neutralizes "
+                f"{self.neutralized_weight(key) * 100:.1f}% of the "
+                f"population ({self.neutralized_surface(key) * 100:.1f}%"
+                " of the attackable surface)")
+        return "\n".join(lines)
+
+
+def project_deployment(aggregate: ScanAggregate, dataset: str,
+                       stacks: list[DefenseStack]) -> DeploymentProjection:
+    """Project defense stacks over a scanned population's strata.
+
+    For every stratum the (defense-aware) planner picks the best still-
+    applicable methodology among the ones the scan flagged — exactly the
+    candidate rule :func:`calibrate_population` uses — so the table
+    reports, per stack, the residual methodology per stratum and the
+    population weight it fully neutralizes.  Planner verdicts are pure
+    rule evaluation: the projection runs at full population scale for
+    free, weights summing to 100% over all strata.
+    """
+    planner = AttackPlanner()
+    total = sum(aggregate.strata.values())
+    strata: list[StratumProjection] = []
+    for stratum, count in sorted(aggregate.strata.items(),
+                                 key=lambda item: -item[1]):
+        if count <= 0:
+            continue
+        flags = set() if stratum == "none" else set(stratum.split("+"))
+        candidates = {FLAG_METHODS[flag] for flag in flags}
+        profile = profile_for_stratum(stratum)
+
+        def best(verdict) -> str | None:
+            for method in METHOD_PREFERENCE:
+                if method not in candidates:
+                    continue
+                choice = verdict.choices.get(method)
+                if choice is not None and choice.applicable:
+                    return method
+            return None
+
+        projection = StratumProjection(
+            stratum=stratum, count=count,
+            weight=count / total if total else 0.0,
+            undefended=best(planner.assess(profile)),
+        )
+        for stack in stacks:
+            projection.residual[stack.key] = best(
+                planner.plan(profile, defenses=stack))
+        strata.append(projection)
+    return DeploymentProjection(
+        dataset=dataset, kind=aggregate.kind, entities=aggregate.count,
+        stacks=[stack.key for stack in stacks], strata=strata,
+    )

@@ -23,7 +23,7 @@ import sys
 import time
 
 from repro.atlas.aggregate import DOMAIN_FLAGS, RESOLVER_FLAGS, ScanAggregate
-from repro.atlas.calibrate import calibrate_population
+from repro.atlas.calibrate import calibrate_population, project_deployment
 from repro.atlas.pipeline import AtlasScanReport, scan_dataset
 from repro.atlas.shards import find_dataset, shard_ranges
 from repro.atlas.store import AtlasStore
@@ -245,18 +245,29 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
 
 def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.defenses import DefenseStack
+
+    stacks = [DefenseStack.parse(text) for text in (args.defend or [])]
     reports, _wall = _run_scan(args)
     status = 0
     for report in reports:
-        calibration = calibrate_population(
-            report.aggregate, dataset=report.dataset, seed=args.seed,
-            sample_budget=args.sample_budget, workers=args.workers,
-            app=args.app,
-        )
-        print()
-        print(calibration.describe())
-        if calibration.validated_fraction < 1.0:
-            status = 1
+        for stack in (stacks or [None]):
+            calibration = calibrate_population(
+                report.aggregate, dataset=report.dataset, seed=args.seed,
+                sample_budget=args.sample_budget, workers=args.workers,
+                app=args.app, defenses=stack,
+            )
+            print()
+            print(calibration.describe())
+            if calibration.validated_fraction < 1.0:
+                status = 1
+        if stacks:
+            # The quantitative Section 6 table: per-stratum residual
+            # methodology and neutralized population weight per stack,
+            # projected over the full scanned population.
+            print()
+            print(project_deployment(report.aggregate, report.dataset,
+                                     stacks).describe())
     return status
 
 
@@ -362,6 +373,12 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--app", default=None,
                            help="Table 1 application driver: weight its "
                                 "kill-chain impact across the population")
+    calibrate.add_argument("--defend", action="append", default=None,
+                           metavar="STACK",
+                           help="defense stack to deploy, e.g. 'dnssec' or"
+                                " '0x20-encoding+rpki-rov' (repeatable; "
+                                "also emits the deployment-projection "
+                                "table across all given stacks)")
     calibrate.set_defaults(fn=_cmd_calibrate)
 
     report = sub.add_parser(

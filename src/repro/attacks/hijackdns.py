@@ -16,8 +16,9 @@ from dataclasses import dataclass, field
 
 from repro.attacks.base import AttackResult, OffPathAttacker, cache_poisoned
 from repro.attacks.trigger import QueryTrigger
-from repro.bgp.hijack import HijackCampaign
+from repro.bgp.hijack import ATTACKER_ASN, HijackCampaign
 from repro.bgp.prefix import Prefix
+from repro.bgp.rpki import INVALID
 from repro.dns import names
 from repro.dns.records import ResourceRecord, TYPE_A, rr_a
 from repro.dns.resolver import RecursiveResolver
@@ -36,6 +37,9 @@ class HijackDnsConfig:
     relay_other_traffic: bool = True
     hijack_duration: float = 5.0  # keep the announcement short-lived
     max_iterations: int = 3
+    # The AS the malicious announcement claims to originate from; ROV
+    # deployments validate (prefix, origin) pairs against their ROAs.
+    attacker_asn: int = ATTACKER_ASN
 
 
 class HijackDnsAttack:
@@ -47,7 +51,8 @@ class HijackDnsAttack:
                  resolver: RecursiveResolver, target_domain: str,
                  nameserver_ip: str, malicious_records: list[ResourceRecord],
                  config: HijackDnsConfig | None = None,
-                 capture_possible: bool = True):
+                 capture_possible: bool = True,
+                 rov_filter=None):
         self.attacker = attacker
         self.network = network
         self.resolver = resolver
@@ -60,6 +65,13 @@ class HijackDnsAttack:
         # >/24-announced space capture everyone; same-prefix capture is
         # topology-dependent and decided by the BGP simulation upstream.
         self.capture_possible = capture_possible
+        # Deployed route-origin validation (a
+        # :class:`repro.defenses.rov.RovFilter` or anything with its
+        # ``validate(prefix, origin) -> str`` surface).  The paper's
+        # point survives intact: only an *invalid* verdict filters the
+        # announcement — ``unknown`` (no covering ROA, or a poisoned
+        # relying party with an empty cache) propagates.
+        self.rov_filter = rov_filter
         self._campaign: HijackCampaign | None = None
         self._answered = 0
 
@@ -144,6 +156,21 @@ class HijackDnsAttack:
             )
             return result
         prefix = Prefix.parse(f"{self.nameserver_ip}/24")
+        if self.rov_filter is not None:
+            state = self.rov_filter.validate(prefix,
+                                             self.config.attacker_asn)
+            result.detail["rov_state"] = state
+            if state == INVALID:
+                # RFC 6811 origin validation rejects the announcement
+                # before it propagates: the one control-plane packet was
+                # sent, but the data-plane capture never happens.
+                result.detail["reason"] = (
+                    f"ROV: announcement {prefix} from AS"
+                    f"{self.config.attacker_asn} validates invalid "
+                    "against the published ROAs and is filtered"
+                )
+                result.packets_sent = 1
+                return result
         self._campaign = HijackCampaign(
             self.network, self.attacker.host, prefix,
         )

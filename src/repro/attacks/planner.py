@@ -41,6 +41,11 @@ class TargetProfile:
     resolver_edns_at_least_response: bool = True
     resolver_accepts_fragments: bool = True
     dnssec_validated: bool = False
+    # -- deployed defenses (repro.defenses hardens these via
+    # ``DefenseStack.harden_profile``) ----------------------------------------
+    resolver_uses_0x20: bool = False
+    ns_randomizes_record_order: bool = False
+    rov_protects_prefixes: bool = False
 
     @classmethod
     def defaults(cls) -> dict[str, bool]:
@@ -62,6 +67,9 @@ class TargetProfile:
             resolver_edns_at_least_response=True,
             resolver_accepts_fragments=True,
             dnssec_validated=False,
+            resolver_uses_0x20=False,
+            ns_randomizes_record_order=False,
+            rov_protects_prefixes=False,
         )
 
 
@@ -113,6 +121,20 @@ class AttackPlanner:
         verdict.choices["FragDNS"] = self._assess_fragdns(target)
         return verdict
 
+    def plan(self, target: TargetProfile,
+             defenses=None) -> ApplicabilityVerdict:
+        """Defense-aware assessment: harden the profile, then assess.
+
+        ``defenses`` is a :class:`repro.defenses.DefenseStack` (or
+        anything with its ``harden_profile`` surface); the Table 1
+        verdicts then answer "which methodology still applies once this
+        stack is deployed?" — the question Section 6 argues must be
+        asked of the whole chain, not per layer.
+        """
+        if defenses is not None:
+            target = defenses.harden_profile(target)
+        return self.assess(target)
+
     @staticmethod
     def _style(target: TargetProfile) -> str:
         """Normalised trigger style ('connection DoS' -> 'connection')."""
@@ -156,6 +178,11 @@ class AttackPlanner:
             choice.reasons.append(
                 "both prefixes announced at /24: sub-prefix filtered, "
                 "same-prefix hijack still possible (topology dependent)")
+        if target.rov_protects_prefixes:
+            choice.applicable = False
+            choice.reasons.append(
+                "ROV deployed with covering ROAs: the origin-invalid "
+                "announcement is filtered")
         if target.dnssec_validated:
             choice.applicable = False
             choice.reasons.append("DNSSEC-validated domain: forgery rejected")
@@ -185,6 +212,11 @@ class AttackPlanner:
             choice.applicable = False
             choice.reasons.append(
                 "nameserver not rate-limited: cannot mute the race")
+        if target.resolver_uses_0x20:
+            choice.applicable = False
+            choice.reasons.append(
+                "0x20 query-case encoding: forged responses miss the "
+                "case challenge")
         if target.dnssec_validated:
             choice.applicable = False
             choice.reasons.append("DNSSEC-validated domain: forgery rejected")
@@ -214,6 +246,11 @@ class AttackPlanner:
         if not target.resolver_accepts_fragments:
             choice.applicable = False
             choice.reasons.append("resolver firewall drops fragments")
+        if target.ns_randomizes_record_order:
+            choice.applicable = False
+            choice.reasons.append(
+                "record-order randomisation: second-fragment checksum "
+                "unpredictable")
         if target.dnssec_validated:
             choice.applicable = False
             choice.reasons.append("DNSSEC-validated domain: forgery rejected")

@@ -23,6 +23,12 @@ from repro.netsim.host import Host
 from repro.netsim.network import Network
 from repro.netsim.packet import Ipv4Packet
 
+#: The AS number the testbed's adversary announces hijacks from — the
+#: single source of truth shared by the HijackDNS attack config, the
+#: RPKI-ROV defense (repro.defenses.rov) and the rpki app driver: ROV
+#: verdicts depend on the announcement origin matching this story.
+ATTACKER_ASN = 666
+
 
 @dataclass
 class HijackOutcome:

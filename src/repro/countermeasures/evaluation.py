@@ -1,118 +1,54 @@
-"""Run the attacks with and without each mitigation (the §6 ablation).
+"""Legacy entry points for the §6 ablation, on the defense-stack API.
 
-The paper recommends countermeasures without a quantitative table; this
-module turns the recommendations into an executable ablation: every
-(attack, mitigation) pair is run on a fresh standard testbed and the
-outcome compared against the mitigation's stated expectation.
+.. deprecated::
+    Kept so pre-defense-stack callers (and the old-vs-new parity tests)
+    continue to work: every function delegates to
+    :mod:`repro.defenses.ablation`, mapping each :class:`Mitigation`
+    onto its registered :class:`repro.defenses.Defense` by key.  The
+    delegation also removed this module's RPKI-ROV special case — ROV
+    now filters the hijacked announcement through real
+    :mod:`repro.bgp.rpki` origin validation instead of a
+    ``capture_possible`` flag.
+
+Cell seeds keep the old derivation (``{seed}-{attack}-{mitigation.key}``);
+the SadDNS cells now race the long testbed name so the 0x20 verdict is
+categorical rather than a per-seed coin flip.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.attacks.fragdns import FragDnsConfig
-from repro.attacks.saddns import SadDnsConfig
 from repro.countermeasures.policies import ALL_MITIGATIONS, Mitigation
-from repro.dns.nameserver import NameserverConfig
-from repro.dns.records import rr_a
-from repro.netsim.host import HostConfig
+from repro.defenses.ablation import (
+    ATTACK_NAMES,
+    AblationCell,
+    defended_scenario,
+    evaluate_defense_matrix,
+)
+from repro.defenses.base import DefenseStack
 from repro.scenario.spec import AttackScenario
-from repro.testbed import FRAG_TARGET_NAME
 
-ATTACK_NAMES = ("HijackDNS", "SadDNS", "FragDNS")
-
-
-@dataclass
-class AblationCell:
-    """Outcome of one (attack, mitigation) pair."""
-
-    attack: str
-    mitigation: str
-    attack_succeeded: bool
-    expected_defeated: bool
-
-    @property
-    def matches_expectation(self) -> bool:
-        """True when reality agrees with the Section 6 claim."""
-        return self.attack_succeeded != self.expected_defeated
+__all__ = [
+    "ATTACK_NAMES",
+    "AblationCell",
+    "evaluate_mitigation_matrix",
+    "mitigated_scenario",
+    "run_attack_under_mitigation",
+]
 
 
-def _attack_friendly_bases(attack: str) -> dict:
-    """Base configs that make the given attack succeed un-mitigated.
-
-    The resolver's ephemeral port range is narrowed so the probabilistic
-    attacks converge in seconds: the mitigations under test are
-    categorical (they reduce the success probability to zero), so the
-    smaller search space does not change any verdict.
-    """
-    resolver_host = HostConfig(ephemeral_low=20000, ephemeral_high=24095)
-    if attack == "SadDNS":
-        return {"base_ns": NameserverConfig(rrl_enabled=True),
-                "base_resolver_host": resolver_host}
-    if attack == "FragDNS":
-        return {"base_ns_host": HostConfig(ipid_policy="global",
-                                           min_accepted_mtu=68),
-                "base_resolver_host": resolver_host}
-    return {"base_resolver_host": resolver_host}
+def _stack_for(mitigation: Mitigation | None) -> DefenseStack:
+    return DefenseStack() if mitigation is None \
+        else DefenseStack.of(mitigation.as_defense())
 
 
 def mitigated_scenario(attack: str, mitigation: Mitigation | None,
                        saddns_iterations: int = 400,
                        frag_attempts: int = 120) -> AttackScenario:
     """Declare one (attack, mitigation) cell as an executable scenario."""
-    bases = _attack_friendly_bases(attack)
-    if mitigation is not None:
-        kwargs = mitigation.testbed_kwargs(
-            base_ns=bases.get("base_ns"),
-            base_ns_host=bases.get("base_ns_host"),
-            base_resolver_host=bases.get("base_resolver_host"),
-        )
-        world_overrides = dict(
-            resolver_config=kwargs["resolver_config"],
-            ns_config=kwargs["ns_config"],
-            ns_host_config=kwargs["ns_host_config"],
-            resolver_host_config=kwargs["host_config"],
-            signed_target=kwargs["signed_target"],
-        )
-    else:
-        world_overrides = dict(
-            ns_config=bases.get("base_ns"),
-            ns_host_config=bases.get("base_ns_host"),
-            resolver_host_config=bases.get("base_resolver_host"),
-        )
     label = mitigation.key if mitigation is not None else "none"
-    if attack == "HijackDNS":
-        capture_possible = mitigation is None or "HijackDNS" not in (
-            mitigation.defeats if mitigation.key == "rpki-rov" else ()
-        )
-        return AttackScenario(
-            method="HijackDNS", label=f"HijackDNS vs {label}",
-            capture_possible=capture_possible, **world_overrides,
-        )
-    if attack == "SadDNS":
-        return AttackScenario(
-            method="SadDNS", label=f"SadDNS vs {label}",
-            attack_config=SadDnsConfig(max_iterations=saddns_iterations),
-            **world_overrides,
-        )
-    if attack == "FragDNS":
-        # A multi-address answer (a multi-homed service) gives the
-        # record-order randomisation countermeasure something to
-        # shuffle: with six records there are 720 possible second
-        # fragments, taking the per-attempt checksum-match probability
-        # far below the attempt budget.
-        return AttackScenario(
-            method="FragDNS", label=f"FragDNS vs {label}",
-            qname=FRAG_TARGET_NAME,
-            extra_target_records=tuple(
-                rr_a(FRAG_TARGET_NAME, f"123.0.0.{81 + index}", ttl=300)
-                for index in range(5)
-            ),
-            attack_config=FragDnsConfig(max_attempts=frag_attempts,
-                                        attempt_spacing=0.2),
-            **world_overrides,
-        )
-    raise ValueError(f"unknown attack {attack!r}")
+    return defended_scenario(attack, _stack_for(mitigation), label=label,
+                             saddns_iterations=saddns_iterations,
+                             frag_attempts=frag_attempts)
 
 
 def run_attack_under_mitigation(attack: str,
@@ -140,18 +76,10 @@ def evaluate_mitigation_matrix(mitigations: list[Mitigation] | None = None,
                                frag_attempts: int = 120
                                ) -> list[AblationCell]:
     """The full (attack x mitigation) ablation grid."""
-    cells: list[AblationCell] = []
     chosen = mitigations if mitigations is not None else ALL_MITIGATIONS
-    for attack in ATTACK_NAMES:
-        for mitigation in chosen:
-            succeeded = run_attack_under_mitigation(
-                attack, mitigation, seed=seed,
-                saddns_iterations=saddns_iterations,
-                frag_attempts=frag_attempts,
-            )
-            cells.append(AblationCell(
-                attack=attack, mitigation=mitigation.key,
-                attack_succeeded=succeeded,
-                expected_defeated=attack in mitigation.defeats,
-            ))
-    return cells
+    return evaluate_defense_matrix(
+        [_stack_for(mitigation) for mitigation in chosen],
+        seed=seed,
+        saddns_iterations=saddns_iterations,
+        frag_attempts=frag_attempts,
+    )

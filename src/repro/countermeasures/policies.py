@@ -1,24 +1,32 @@
 """The Section 6 mitigations as testbed configuration bundles.
 
-Each :class:`Mitigation` knows how to reconfigure the standard testbed:
-which resolver/nameserver/host switches it flips, and which methodology
-it is expected to stop.  The ablation bench then verifies the
-expectation by actually running the attacks.
+.. deprecated::
+    This module predates :mod:`repro.defenses` and is kept as a thin
+    compatibility shim: each :class:`Mitigation` maps onto the
+    registered :class:`repro.defenses.Defense` of the same key
+    (:meth:`Mitigation.as_defense`), and the evaluation entry points in
+    :mod:`repro.countermeasures.evaluation` delegate to the defense-
+    stack grid.  New code should build
+    :class:`repro.defenses.DefenseStack` objects and attach them to
+    scenarios (``AttackScenario(defenses=...)``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
 
 from repro.dns.nameserver import NameserverConfig
 from repro.dns.resolver import ResolverConfig
 from repro.netsim.host import LINUX_MIN_PMTU, HostConfig
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.defenses import Defense
+
 
 @dataclass(frozen=True)
 class Mitigation:
-    """One deployable countermeasure from Section 6."""
+    """One deployable countermeasure from Section 6 (legacy surface)."""
 
     key: str
     description: str
@@ -36,28 +44,38 @@ class Mitigation:
                        base_ns: NameserverConfig | None = None,
                        base_resolver_host: HostConfig | None = None,
                        base_ns_host: HostConfig | None = None) -> dict:
-        """Keyword arguments for :func:`repro.testbed.standard_testbed`."""
-        resolver_config = base_resolver if base_resolver is not None \
-            else ResolverConfig(allowed_clients=["30.0.0.0/24"])
-        for key, value in self.resolver_overrides.items():
-            setattr(resolver_config, key, value)
-        ns_config = base_ns if base_ns is not None else NameserverConfig()
-        for key, value in self.ns_config_overrides.items():
-            setattr(ns_config, key, value)
-        resolver_host = base_resolver_host if base_resolver_host is not None \
+        """Keyword arguments for :func:`repro.testbed.standard_testbed`.
+
+        The base configs are *never mutated*: overrides are applied to
+        copies, so one config object can safely parameterise many
+        testbeds or scenario sweeps (the same contract as
+        ``Testbed.make_host`` and ``Defense.apply``).
+        """
+        from repro.testbed import default_resolver_config
+
+        resolver_base = base_resolver if base_resolver is not None \
+            else default_resolver_config()
+        ns_base = base_ns if base_ns is not None else NameserverConfig()
+        resolver_host_base = base_resolver_host \
+            if base_resolver_host is not None else HostConfig()
+        ns_host_base = base_ns_host if base_ns_host is not None \
             else HostConfig()
-        for key, value in self.resolver_host_overrides.items():
-            setattr(resolver_host, key, value)
-        ns_host = base_ns_host if base_ns_host is not None else HostConfig()
-        for key, value in self.ns_host_overrides.items():
-            setattr(ns_host, key, value)
         return {
-            "resolver_config": resolver_config,
-            "ns_config": ns_config,
-            "host_config": resolver_host,
-            "ns_host_config": ns_host,
+            "resolver_config": replace(resolver_base,
+                                       **self.resolver_overrides),
+            "ns_config": replace(ns_base, **self.ns_config_overrides),
+            "host_config": replace(resolver_host_base,
+                                   **self.resolver_host_overrides),
+            "ns_host_config": replace(ns_host_base,
+                                      **self.ns_host_overrides),
             "signed_target": self.signed_target,
         }
+
+    def as_defense(self) -> "Defense":
+        """The first-class :mod:`repro.defenses` equivalent."""
+        from repro.defenses import resolve_defense
+
+        return resolve_defense(self.key)
 
 
 MITIGATION_0X20 = Mitigation(

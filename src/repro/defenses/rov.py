@@ -1,0 +1,88 @@
+"""ROV as a real BGP-layer defense: ROAs + RFC 6811 origin validation.
+
+The old countermeasure module faked RPKI-ROV with a ``capture_possible``
+flag on the hijack scenario.  Here the defense is the real thing: a
+:class:`RovDeployment` declares which ROAs the networks' relying parties
+have validated (by default, a ROA protecting the built world's target
+nameserver prefix), and the deployed :class:`RovFilter` runs every
+hijack announcement through :func:`repro.bgp.rpki.validate_origin`.  An
+``invalid`` announcement is filtered before it propagates — the
+HijackDNS attack consults the filter and never captures the path.
+
+The deliberate limit of the defense is the paper's headline point: ROV
+only filters *invalid* announcements.  If the relying parties' ROA set
+does not cover the hijacked prefix (or was emptied by poisoning the
+repository's DNS name — the ``rpki`` kill-chain app), the announcement
+validates ``unknown`` and sails through.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.bgp.hijack import ATTACKER_ASN as HIJACKER_ASN
+from repro.bgp.prefix import Prefix
+from repro.bgp.rpki import INVALID, Roa, validate_origin
+
+#: ``vict.im``'s nameserver prefix (``123.0.0.0/24``) is originated by
+#: AS 123; the attacker announces from :data:`HIJACKER_ASN` (the shared
+#: ``repro.bgp.hijack.ATTACKER_ASN``).
+TARGET_ORIGIN_ASN = 123
+
+
+@dataclass(frozen=True, slots=True)
+class RovFilter:
+    """A deployed validated-ROA cache routers consult before importing.
+
+    This models relying parties with a *healthy* validated cache (the
+    state the ``rpki`` app driver's attack destroys): validation is the
+    genuine RFC 6811 procedure over the published ROAs.
+    """
+
+    roas: tuple[Roa, ...]
+
+    def validate(self, prefix: Prefix | str, origin: int) -> str:
+        """RFC 6811 state of one announcement: valid/invalid/unknown."""
+        if isinstance(prefix, str):
+            prefix = Prefix.parse(prefix)
+        return validate_origin(list(self.roas), prefix, origin)
+
+    def filters(self, prefix: Prefix | str, origin: int) -> bool:
+        """Whether ROV drops the announcement (only ``invalid`` is)."""
+        return self.validate(prefix, origin) == INVALID
+
+    def __getstate__(self):
+        return (self.roas,)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "roas", state[0])
+
+
+@dataclass(frozen=True, slots=True)
+class RovDeployment:
+    """Declarative ROV: which ROAs exist, resolved against a world.
+
+    An empty ``roas`` tuple means "protect the built world's target
+    nameserver prefix" — the common case, resolved at deploy time so
+    one spec works for any testbed layout.
+    """
+
+    roas: tuple[Roa, ...] = ()
+
+    def deploy(self, world: dict) -> RovFilter:
+        """Materialise the filter against a built testbed world."""
+        roas = self.roas
+        if not roas:
+            ns_prefix = Prefix.parse(f"{world['target'].ns_ip}/24")
+            roas = (Roa(prefix=ns_prefix, max_length=ns_prefix.length,
+                        origin=TARGET_ORIGIN_ASN),)
+        return RovFilter(roas=roas)
+
+    def __getstate__(self):
+        return tuple(getattr(self, f.name)
+                     for f in dataclasses.fields(self))
+
+    def __setstate__(self, state):
+        for f, value in zip(dataclasses.fields(self), state):
+            object.__setattr__(self, f.name, value)

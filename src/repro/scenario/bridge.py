@@ -90,18 +90,23 @@ def scenario_from_profile(profile: TargetProfile,
                           method: str | None = None,
                           planner: AttackPlanner | None = None,
                           candidates: Iterable[str] | None = None,
+                          defenses=None,
                           **overrides: Any) -> AttackScenario:
     """Bridge one Table 1 profile to an executable scenario.
 
     Picks ``method`` if given (raising when the planner marks it
     inapplicable), otherwise the best applicable methodology among
-    ``candidates`` (default: all three).  Extra keyword arguments
-    override scenario fields — e.g. a narrowed
-    ``resolver_host_config`` so probabilistic attacks converge inside a
-    test budget.
+    ``candidates`` (default: all three).  ``defenses`` — a
+    :class:`repro.defenses.DefenseStack` — makes the verdict
+    defense-aware *and* deploys the stack on the scenario's world, so a
+    methodology the stack kills raises
+    :class:`~repro.core.errors.NotApplicableError` instead of silently
+    running doomed.  Extra keyword arguments override scenario fields —
+    e.g. a narrowed ``resolver_host_config`` so probabilistic attacks
+    converge inside a test budget.
     """
     planner = planner if planner is not None else AttackPlanner()
-    verdict = planner.assess(profile)
+    verdict = planner.plan(profile, defenses=defenses)
     if method is not None:
         from repro.scenario.registry import resolve_method
 
@@ -134,6 +139,7 @@ def scenario_from_profile(profile: TargetProfile,
         app=profile.app_name,
         label=f"{profile.app_name}/{choice.method}",
         planner_notes=tuple(choice.reasons),
+        defenses=defenses if defenses else None,
         **kwargs,
     )
     if overrides:
@@ -145,8 +151,10 @@ def plan_and_run(profile: TargetProfile, seed: Any = 0,
                  method: str | None = None,
                  planner: AttackPlanner | None = None,
                  candidates: Iterable[str] | None = None,
+                 defenses=None,
                  **overrides: Any) -> ScenarioRun:
     """Assess, bridge and execute in one call (planner -> simulation)."""
     scenario = scenario_from_profile(profile, method=method, planner=planner,
-                                     candidates=candidates, **overrides)
+                                     candidates=candidates,
+                                     defenses=defenses, **overrides)
     return scenario.run(seed=seed)

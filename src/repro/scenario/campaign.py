@@ -19,10 +19,11 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Sequence
 
 from repro.core.errors import ScenarioError
+from repro.defenses.base import DefenseStack
 from repro.scenario.spec import AttackScenario, ScenarioRun
 
 EXECUTORS = ("process", "thread", "serial")
@@ -225,6 +226,32 @@ class CampaignResult:
             groups.setdefault(key, MethodSummary(key=key)).note(run)
         return groups
 
+    def by_defense(self) -> dict[str, MethodSummary]:
+        """Per-defense-stack breakdown across all methods and seeds."""
+        return self._group(lambda run: run.defense)
+
+    def defense_matrix(self) -> dict[tuple[str, str], MethodSummary]:
+        """The (defense stack, method) grid of residual statistics.
+
+        Keys are ``(stack_key, method)``; each summary's
+        ``success_rate`` is the *residual* success the stack leaves that
+        methodology, and ``impact_rate`` the residual kill-chain impact
+        (when the runs carried an application stage).  The ``"none"``
+        row is the undefended baseline to read the residuals against.
+        """
+        groups: dict[tuple[str, str], MethodSummary] = {}
+        for run in self.runs:
+            key = (run.defense, run.method)
+            groups.setdefault(
+                key, MethodSummary(key=f"{run.method} vs {run.defense}")
+            ).note(run)
+        return groups
+
+    @property
+    def defended(self) -> bool:
+        """Whether any run in the campaign deployed a defense stack."""
+        return any(run.defense != "none" for run in self.runs)
+
     @property
     def app_runs(self) -> int:
         """How many runs carried an application stage."""
@@ -275,6 +302,22 @@ class CampaignResult:
             ])
         table = render_table(headers, rows, title="Campaign summary")
         sections = [table]
+        if self.defended:
+            matrix = self.defense_matrix()
+            defense_rows = []
+            ordered = sorted(matrix,
+                             key=lambda key: (key[0] != "none", key))
+            for stack_key, method in ordered:
+                summary = matrix[(stack_key, method)]
+                row = [stack_key, method, summary.runs,
+                       f"{summary.success_rate * 100:.0f}%"]
+                row.append(f"{summary.impact_rate * 100:.0f}%"
+                           if summary.app_runs else "-")
+                defense_rows.append(row)
+            sections.append(render_table(
+                ["Defense stack", "Method", "Runs", "Residual success",
+                 "Residual impact"],
+                defense_rows, title="Defense residuals"))
         by_app = self.by_app()
         if by_app:
             impact_headers = ["Application", "Impact", "Stages",
@@ -398,6 +441,56 @@ class Campaign:
         """Sweep a config grid: every axis combination times every seed."""
         return self.run(base.variants(**axes), seeds=seeds,
                         workers=workers, executor=executor)
+
+    def run_defended(self,
+                     scenarios: AttackScenario | Iterable[AttackScenario],
+                     stacks: Iterable[Any],
+                     seeds: Iterable[Any] = range(8),
+                     include_undefended: bool = True,
+                     workers: int | None = None,
+                     executor: str | None = None) -> CampaignResult:
+        """Sweep a (scenario x defense-stack x seed) grid on one pool.
+
+        ``stacks`` may hold :class:`repro.defenses.DefenseStack`
+        objects, single defenses, or names (``"dnssec"``); each becomes
+        one column of the grid.  ``include_undefended`` prepends the
+        empty stack so every residual reads against its baseline.  The
+        result's :meth:`CampaignResult.defense_matrix` then reports
+        residual success and residual kill-chain impact per stack —
+        bit-identically across the serial/thread/process executors,
+        like every other campaign.
+        """
+        if isinstance(scenarios, AttackScenario):
+            scenarios = [scenarios]
+        scenarios = list(scenarios)
+        if isinstance(stacks, (str, DefenseStack)):
+            # A lone "dnssec" must not be iterated character by
+            # character (mirrors run()'s single-scenario guard).
+            stacks = [stacks]
+        resolved = []
+        for stack in stacks:
+            if isinstance(stack, DefenseStack):
+                resolved.append(stack)
+            elif isinstance(stack, str):
+                # parse() accepts the canonical composite spelling
+                # ("dnssec+rpki-rov", "none"), so stack keys read off a
+                # defense_matrix() or a ScenarioRun round-trip.
+                resolved.append(DefenseStack.parse(stack))
+            else:
+                resolved.append(DefenseStack.of(stack))
+        if not resolved:
+            raise ScenarioError("no defense stacks to sweep")
+        if include_undefended and not any(not stack for stack in resolved):
+            resolved.insert(0, DefenseStack())
+        cells = [
+            replace(scenario,
+                    defenses=stack if stack else None,
+                    label=f"{scenario.display_label} vs {stack.key}")
+            for scenario in scenarios
+            for stack in resolved
+        ]
+        return self.run(cells, seeds=seeds, workers=workers,
+                        executor=executor)
 
 
 def _picklable(tasks: list[tuple[AttackScenario, Any]]) -> bool:

@@ -19,6 +19,7 @@ import json
 import sys
 
 from repro.apps.driver import AppSpec, available_apps, resolve_driver
+from repro.defenses import DefenseStack
 from repro.measurements.report import render_table
 from repro.scenario.campaign import Campaign, CampaignResult
 from repro.scenario.presets import budget_capped_overrides, killchain_scenarios
@@ -56,9 +57,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         app_spec = AppSpec(app=args.app)
         trigger = TriggerSpec(kind="app")
+    defenses = DefenseStack.parse(args.defend) if args.defend else None
     overrides = {} if args.full_budget else budget_capped_overrides(method)
     scenario = AttackScenario(method=method, app_spec=app_spec,
-                              trigger=trigger, **overrides)
+                              trigger=trigger, defenses=defenses,
+                              **overrides)
+    if defenses:
+        print(defenses.describe())
     chain = scenario.run(seed=args.seed)
     print(chain.describe())
     if chain.app_result is not None:
@@ -80,6 +85,7 @@ def _sweep_payload(result: CampaignResult, seeds: int) -> dict:
                 "label": run.label,
                 "method": run.method,
                 "seed": run.seed,
+                "defense": run.defense,
                 "success": run.success,
                 "packets_sent": run.packets_sent,
                 "queries_triggered": run.queries_triggered,
@@ -146,7 +152,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         methods = available_methods()
     scenarios = killchain_scenarios(apps=apps, methods=methods)
     campaign = Campaign(workers=args.workers, executor=args.executor)
-    result = campaign.run(scenarios, seeds=range(args.seeds))
+    if args.defend:
+        stacks = [DefenseStack.parse(text) for text in args.defend]
+        result = campaign.run_defended(scenarios, stacks=stacks,
+                                       seeds=range(args.seeds))
+    else:
+        result = campaign.run(scenarios, seeds=range(args.seeds))
     print(result.describe())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -188,6 +199,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--full-budget", action="store_true",
                      help="full attack budgets for probabilistic methods "
                           "(default: sweep-style caps)")
+    run.add_argument("--defend", default=None, metavar="STACK",
+                     help="deploy a defense stack, e.g. 'dnssec' or "
+                          "'0x20-encoding+rpki-rov'")
     run.set_defaults(fn=_cmd_run)
 
     sweep = sub.add_parser(
@@ -202,6 +216,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=None)
     sweep.add_argument("--executor", default="process",
                        choices=("process", "thread", "serial"))
+    sweep.add_argument("--defend", action="append", default=None,
+                       metavar="STACK",
+                       help="defense stack to add to the grid (repeatable;"
+                            " the undefended baseline is always included)")
     sweep.add_argument("--json", default=None,
                        help="write the machine-readable sweep record here")
     sweep.set_defaults(fn=_cmd_sweep)

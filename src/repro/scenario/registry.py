@@ -119,6 +119,9 @@ def _build_hijackdns(scenario: "AttackScenario", world: dict,
         malicious_records=list(scenario.malicious_records),
         config=scenario.attack_config,
         capture_possible=scenario.capture_possible,
+        # Deployed by a BGP-layer defense (AttackScenario.make_world):
+        # the announcement must pass real origin validation to divert.
+        rov_filter=world.get("rov"),
     )
 
 

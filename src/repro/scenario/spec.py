@@ -26,6 +26,7 @@ from repro.attacks.trigger import (
     SpoofedClientTrigger,
 )
 from repro.core.errors import ScenarioError
+from repro.defenses.base import DefenseStack, WorldConfig
 from repro.dns.nameserver import NameserverConfig
 from repro.dns.records import TYPE_A, ResourceRecord
 from repro.dns.resolver import ResolverConfig
@@ -107,6 +108,9 @@ class ScenarioRun:
     result: AttackResult
     wall_time: float = 0.0
     app_result: AppStageResult | None = None
+    # The scenario's deployed defense-stack key ("none" when undefended)
+    # — what lets campaign aggregation pivot on (method x defense).
+    defense: str = "none"
 
     # -- flattened conveniences for aggregation --------------------------------
 
@@ -169,6 +173,12 @@ class AttackScenario:
     resolver_host_config: HostConfig | None = None
     signed_target: bool = False
     extra_target_records: tuple[ResourceRecord, ...] = ()
+    # -- deployed defenses -----------------------------------------------------
+    # A DefenseStack applied to the world config after the method
+    # defaults fill in: pure transforms, so the scenario's own config
+    # objects are never mutated.  A BGP-layer ROV member additionally
+    # deploys real RPKI validation onto the built world.
+    defenses: DefenseStack | None = None
     # -- the application stage of the kill chain -------------------------------
     # When set, build() wires the named app driver into the world before
     # the attack and execute() runs its workload after it, so the run
@@ -193,6 +203,16 @@ class AttackScenario:
         from repro.scenario.registry import resolve_method
 
         return resolve_method(self.method).name
+
+    @property
+    def defense_key(self) -> str:
+        """Canonical key of the deployed stack (``"none"`` if none)."""
+        return self.defenses.key if self.defenses is not None else "none"
+
+    def with_defenses(self, *defenses: Any) -> "AttackScenario":
+        """A copy defended by exactly the given defenses (names or
+        instances) — any previously attached stack is replaced."""
+        return replace(self, defenses=DefenseStack.of(*defenses))
 
     @property
     def app_name(self) -> str | None:
@@ -253,8 +273,18 @@ class AttackScenario:
                     " method")
             if kwargs[key] is None:
                 kwargs[key] = value
-        world = standard_testbed(seed=seed, signed_target=self.signed_target,
-                                 trace=self.trace, **kwargs)
+        config = WorldConfig(signed_target=self.signed_target, **kwargs)
+        if self.defenses is not None:
+            # Pure transforms: the scenario's own config objects (and
+            # anything the caller shared into them) stay untouched.
+            config = self.defenses.apply(config)
+        world = standard_testbed(seed=seed, trace=self.trace,
+                                 **config.testbed_kwargs())
+        if config.rov is not None:
+            # BGP-layer defense: relying parties hold validated ROAs
+            # covering the target; the hijack announcement is origin-
+            # validated for real (repro.bgp.rpki) before it can divert.
+            world["rov"] = config.rov.deploy(world)
         for record in self.extra_target_records:
             world["target"].zone.add(record)
         return world
@@ -396,4 +426,5 @@ class BuiltScenario:
             result=result,
             wall_time=time.perf_counter() - started,
             app_result=app_result,
+            defense=self.scenario.defense_key,
         )

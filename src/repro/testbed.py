@@ -42,6 +42,18 @@ TARGET_DOMAIN = "vict.im"
 FRAG_TARGET_NAME = "secure-login.vict.im"
 
 
+def default_resolver_config() -> ResolverConfig:
+    """The victim resolver config a testbed builds when none is given.
+
+    The single source of truth for "unconfigured resolver": the
+    defense-stack transforms (:mod:`repro.defenses.base`) and the
+    legacy mitigation shim materialise this same default before
+    rewriting a knob, so a defended world differs from its baseline
+    only in what the defense actually writes.
+    """
+    return ResolverConfig(allowed_clients=[VICTIM_PREFIX])
+
+
 @dataclass
 class DomainSetup:
     """Bookkeeping for one domain added to the testbed."""
@@ -160,7 +172,7 @@ class Testbed:
                       name: str | None = None) -> RecursiveResolver:
         """Attach a recursive resolver host serving the victim network."""
         if config is None:
-            config = ResolverConfig(allowed_clients=[VICTIM_PREFIX])
+            config = default_resolver_config()
         host = self.network.attach(Host(
             name if name is not None else f"resolver-{address}",
             address,
