@@ -1,0 +1,72 @@
+"""Bench: the workload engine (benign load riding behind an attack).
+
+Sweeps a loaded HijackDNS campaign — the synthetic client population
+querying the resolver at 40 qps while the attack runs — and asserts
+the subsystem's invariants: the process pool reproduces the serial
+loop bit-for-bit including every LoadReport checksum, a qps=0 workload
+is a strict no-op (identical to the unloaded scenario), and benign
+clients of successful runs actually consume poisoned answers.
+"""
+
+from dataclasses import replace
+
+from _helpers import publish  # noqa: F401  (keeps the bench harness import style)
+
+from repro.scenario import AttackScenario, Campaign
+from repro.workload import WorkloadSpec
+
+SEEDS = range(8)
+
+LOAD = WorkloadSpec(clients=8, qps=40.0, duration=10.0, warmup=2.0,
+                    domains=20, victim_ttl=6, label="bench")
+
+
+def _flat(result):
+    return [(r.label, r.seed, r.success, r.packets_sent,
+             r.queries_triggered, r.duration,
+             r.load_report.checksum() if r.load_report else None)
+            for r in result.runs]
+
+
+def test_loaded_campaign(benchmark):
+    scenario = AttackScenario(method="HijackDNS", label="HijackDNS@40qps",
+                              workload=LOAD)
+    serial = Campaign(executor="serial").run(scenario, seeds=SEEDS)
+    result = benchmark.pedantic(
+        lambda: Campaign(workers=8).run(scenario, seeds=SEEDS),
+        rounds=1, iterations=1,
+    )
+    import sys
+    sys.stdout.write("\n" + result.describe() + "\n")
+    merged = result.load_report()
+    benchmark.extra_info["serial_wall_clock"] = serial.wall_clock
+    benchmark.extra_info["parallel_wall_clock"] = result.wall_clock
+    benchmark.extra_info["offered_queries"] = merged.offered
+    benchmark.extra_info["answer_rate"] = merged.answer_rate
+    benchmark.extra_info["window_fraction"] = merged.window_fraction
+    # Bit-identical across executors, benign-load statistics included.
+    assert _flat(result) == _flat(serial)
+    assert result.loaded
+    # The population was actually measured, and served mostly on time.
+    assert merged.offered > 0
+    assert merged.answer_rate > 0.9
+    # HijackDNS lands every seed; under churned TTLs the poisoned entry
+    # is live while benign victim queries arrive, so clients consume it.
+    assert result.success_rate == 1.0
+    assert merged.poisoned_answers > 0
+    # Benign load keeps the victim name mostly cached: the window of
+    # opportunity is a strict minority of the run at 40 qps.
+    assert merged.window_fraction < 0.5
+
+
+def test_zero_qps_is_idle_baseline():
+    """qps=0 workload == no workload, bit-for-bit (no bench timer)."""
+    idle = AttackScenario(method="FragDNS", label="frag")
+    loaded = replace(idle, workload=LOAD.with_qps(0.0))
+    for seed in range(3):
+        a = idle.run(seed=seed)
+        b = loaded.run(seed=seed)
+        assert (a.success, a.packets_sent, a.queries_triggered,
+                a.duration) == (b.success, b.packets_sent,
+                                b.queries_triggered, b.duration)
+        assert b.load_report is None

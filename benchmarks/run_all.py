@@ -39,6 +39,7 @@ FULL_SIZES = {
     "dns_wire_ops": 30_000,
     "campaign_seeds": 32,
     "killchain_seeds": 8,
+    "workload_seeds": 8,
     "atlas_entities": 20_000,
     "defense_pairs": 28,     # the full pairwise Section 6 grid
 }
@@ -49,6 +50,7 @@ QUICK_SIZES = {
     "dns_wire_ops": 20_000,
     "campaign_seeds": 8,
     "killchain_seeds": 3,
+    "workload_seeds": 3,
     "atlas_entities": 5_000,
     "defense_pairs": 4,      # singles + the showcase pairs
 }
@@ -206,6 +208,37 @@ def bench_killchain(seeds: int) -> dict:
                    impact_rate=round(result.impact_rate, 4))
 
 
+def workload_checksum(result) -> str:
+    flat = [(run.label, run.seed, run.success, run.packets_sent,
+             run.queries_triggered, run.duration,
+             run.load_report.checksum() if run.load_report else None)
+            for run in result.runs]
+    return hashlib.sha256(repr(flat).encode()).hexdigest()
+
+
+def bench_workload(seeds: int) -> dict:
+    """A loaded campaign: HijackDNS with the synthetic client population
+    at 40 qps riding behind it — the workload engine's hot loop
+    (per-arrival sockets, PASTA window sampling, latency accounting).
+    The checksum covers every run's LoadReport, so the benign-traffic
+    statistics are gated bit-for-bit alongside the rates."""
+    from repro.scenario import AttackScenario, Campaign
+    from repro.workload import WorkloadSpec
+
+    spec = WorkloadSpec(clients=8, qps=40.0, duration=10.0, warmup=2.0,
+                        domains=20, victim_ttl=6, label="bench")
+    scenario = AttackScenario(method="HijackDNS", label="HijackDNS@40qps",
+                              workload=spec)
+    started = time.perf_counter()
+    result = Campaign(executor="serial").run(scenario, seeds=range(seeds))
+    wall = time.perf_counter() - started
+    merged = result.load_report()
+    assert merged is not None and merged.answer_rate > 0.9
+    queries = merged.offered + merged.warmup_queries
+    return _result("workload", wall, queries, "queries/s",
+                   checksum=workload_checksum(result), seeds=seeds)
+
+
 def defense_grid_checksum(result) -> str:
     flat = [(cell.attack, cell.defense, cell.attack_succeeded,
              cell.expected_defeated)
@@ -265,6 +298,7 @@ def run_all(sizes: dict, mode: str, repeats: int) -> dict:
         lambda: bench_dns_wire(sizes["dns_wire_ops"]),
         lambda: bench_campaign(sizes["campaign_seeds"]),
         lambda: bench_killchain(sizes["killchain_seeds"]),
+        lambda: bench_workload(sizes["workload_seeds"]),
         lambda: bench_atlas(sizes["atlas_entities"], "open"),
         lambda: bench_atlas(sizes["atlas_entities"], "alexa"),
         lambda: bench_defense_grid(sizes["defense_pairs"]),

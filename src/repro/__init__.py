@@ -32,7 +32,12 @@ The package implements, on a byte-accurate simulated Internet:
 * the attack-surface atlas (:mod:`repro.atlas`): sharded synthesis and
   parallel scanning of the *full* paper populations (1.58M open
   resolvers, 1M domains) with a resumable on-disk result store and a
-  campaign bridge validating planner verdicts at population scale.
+  campaign bridge validating planner verdicts at population scale;
+* a traffic-workload engine (:mod:`repro.workload`): a deterministic
+  benign client population (Zipf-ranked domains, Poisson arrivals,
+  trace replay) querying the victim resolver *during* the attack, so
+  every scenario can measure cache churn, the window of opportunity,
+  benign-client latency, and poisoned answers actually served.
 
 Quickstart::
 
@@ -77,6 +82,17 @@ Quickstart::
     # Shell: ``python -m repro.scenario run --defend rpki-rov`` and
     # ``python -m repro.atlas calibrate --defend dnssec`` (deployment
     # projection at population scale).
+
+    # Under load: a benign client population shares the resolver with
+    # the attack, and the run reports what those clients experienced.
+    from repro.workload import WorkloadSpec
+    loaded = AttackScenario(
+        method="frag",
+        workload=WorkloadSpec(qps=40, victim_ttl=6)).run(seed=4)
+    print(loaded.load_report.describe())  # latency, hit rate, window,
+    #                                       poisoned answers served
+    # Shell: ``python -m repro.workload replay --method frag --qps 40``
+    # (plus ``synth`` / ``inspect`` / ``report`` for query traces).
 
 Atlas quickstart — Section 5 at the paper's full dataset sizes::
 

@@ -10,6 +10,7 @@ arbitrary names.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.dns import names
@@ -40,6 +41,7 @@ class CacheStats:
     insertions: int = 0
     bailiwick_rejects: int = 0
     expirations: int = 0
+    evictions: int = 0      # live entries displaced by a full cache
 
 
 class DnsCache:
@@ -49,6 +51,9 @@ class DnsCache:
         self.max_entries = max_entries
         self._entries: dict[tuple[str, int], CacheEntry] = {}
         self.stats = CacheStats()
+        # Earliest expiry across current entries: lets a full insert
+        # know whether an expired-entry sweep can free room at all.
+        self._min_expiry = math.inf
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -99,37 +104,67 @@ class DnsCache:
                 self.stats.bailiwick_rejects += 1
                 continue
             if len(self._entries) >= self.max_entries:
-                self._evict_oldest()
+                self._make_room(now)
             key = self._key(rrset.name, rrset.rtype)
+            expires_at = now + rrset.ttl
             self._entries[key] = CacheEntry(
                 records=list(rrset.records),
-                expires_at=now + rrset.ttl,
+                expires_at=expires_at,
                 inserted_at=now,
                 source=source,
                 poisoned=poisoned,
             )
+            if expires_at < self._min_expiry:
+                self._min_expiry = expires_at
             self.stats.insertions += 1
             accepted += 1
         return accepted
 
-    def _evict_oldest(self) -> None:
-        oldest = min(self._entries, key=lambda k: self._entries[k].inserted_at)
+    def _make_room(self, now: float) -> None:
+        """Free at least one slot: sweep expired entries, else evict.
+
+        The sweep runs only when the earliest expiry has passed, so a
+        loaded cache pays O(n) once per expiry wave instead of per
+        insert; when nothing is expired, the longest-resident entry is
+        evicted in O(1) (dicts preserve insertion order).
+        """
+        if now >= self._min_expiry:
+            expired = [key for key, entry in self._entries.items()
+                       if not entry.alive(now)]
+            for key in expired:
+                del self._entries[key]
+            self.stats.expirations += len(expired)
+            self._min_expiry = min(
+                (entry.expires_at for entry in self._entries.values()),
+                default=math.inf)
+            if expired:
+                return
+        oldest = next(iter(self._entries))
         del self._entries[oldest]
+        self.stats.evictions += 1
 
     def entry(self, name: str, rtype: int) -> CacheEntry | None:
         """Raw entry access for tests and forensics (ignores TTL)."""
         return self._entries.get(self._key(name, rtype))
 
-    def contains_poison(self) -> bool:
-        """True if any live entry was inserted by an attack harness."""
-        return any(e.poisoned for e in self._entries.values())
+    def contains_poison(self, now: float) -> bool:
+        """True if any live entry was inserted by an attack harness.
 
-    def poisoned_names(self) -> set[str]:
-        """Owner names of poisoned entries (for measurement harnesses)."""
+        Expired poison is spent ammunition — under TTL churn a planted
+        record that already aged out must not count as a live
+        compromise, so liveness is checked against ``now``.
+        """
+        return any(e.poisoned and e.alive(now)
+                   for e in self._entries.values())
+
+    def poisoned_names(self, now: float) -> set[str]:
+        """Owner names of live poisoned entries (for measurement harnesses)."""
         return {
-            key[0] for key, entry in self._entries.items() if entry.poisoned
+            key[0] for key, entry in self._entries.items()
+            if entry.poisoned and entry.alive(now)
         }
 
     def flush(self) -> None:
         """Drop everything (operator remediation)."""
         self._entries.clear()
+        self._min_expiry = math.inf

@@ -20,6 +20,7 @@ from repro.experiments import (
     table4,
     table5,
     table6,
+    underload,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -39,6 +40,7 @@ ALL_EXPERIMENTS = {
     "section4": section4,
     "section5": section5,
     "ablation": ablation,
+    "underload": underload,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"] + sorted(ALL_EXPERIMENTS)

@@ -25,6 +25,7 @@ from typing import Any, Iterable, Sequence
 from repro.core.errors import ScenarioError
 from repro.defenses.base import DefenseStack
 from repro.scenario.spec import AttackScenario, ScenarioRun
+from repro.workload.report import LoadReport
 
 EXECUTORS = ("process", "thread", "serial")
 
@@ -112,6 +113,8 @@ class MethodSummary:
     denials: int = 0
     fraud_certs: int = 0
     takeovers: int = 0
+    # -- benign load -----------------------------------------------------------
+    loads: list[LoadReport] = field(default_factory=list)
 
     def note(self, run: ScenarioRun) -> None:
         self.runs += 1
@@ -119,6 +122,9 @@ class MethodSummary:
         self.packets.append(run.packets_sent)
         self.queries.append(run.queries_triggered)
         self.durations.append(run.duration)
+        report = getattr(run, "load_report", None)
+        if report is not None:
+            self.loads.append(report)
         # Table 6's MethodStats feeds bare AttackResults through here,
         # which carry no application stage.
         stage = getattr(run, "app_result", None)
@@ -161,6 +167,13 @@ class MethodSummary:
     @property
     def takeover_rate(self) -> float:
         return self.takeovers / self.app_runs if self.app_runs else 0.0
+
+    @property
+    def load(self) -> LoadReport | None:
+        """This group's merged benign-load report (None when unloaded)."""
+        if not self.loads:
+            return None
+        return LoadReport.merge(self.loads, label=self.key)
 
     @property
     def hitrate(self) -> float:
@@ -253,6 +266,19 @@ class CampaignResult:
         return any(run.defense != "none" for run in self.runs)
 
     @property
+    def loaded(self) -> bool:
+        """Whether any run carried a benign-traffic workload."""
+        return any(run.load_report is not None for run in self.runs)
+
+    def load_report(self) -> LoadReport | None:
+        """All runs' benign-load experience merged (None when unloaded)."""
+        reports = [run.load_report for run in self.runs
+                   if run.load_report is not None]
+        if not reports:
+            return None
+        return LoadReport.merge(reports, label="campaign")
+
+    @property
     def app_runs(self) -> int:
         """How many runs carried an application stage."""
         return sum(1 for run in self.runs if run.app_result is not None)
@@ -334,6 +360,16 @@ class CampaignResult:
                 ])
             sections.append(render_table(impact_headers, impact_rows,
                                          title="Application impact"))
+        if self.loaded:
+            load_rows = []
+            for key in sorted(by_label):
+                merged = by_label[key].load
+                if merged is None:
+                    continue
+                load_rows.append([key] + merged.summary_row())
+            sections.append(render_table(
+                ["Scenario"] + LoadReport.summary_headers(), load_rows,
+                title="Benign load during the attack"))
         footer = (f"{len(self.runs)} runs in {self.wall_clock:.1f}s wall"
                   f" ({self.executor}, workers={self.workers})")
         if self.notes:

@@ -32,6 +32,8 @@ from repro.dns.records import TYPE_A, ResourceRecord
 from repro.dns.resolver import ResolverConfig
 from repro.netsim.host import HostConfig
 from repro.testbed import SERVICE_IP, TARGET_DOMAIN, standard_testbed
+from repro.workload.population import WorkloadSpec
+from repro.workload.report import LoadReport
 
 
 @dataclass
@@ -111,6 +113,9 @@ class ScenarioRun:
     # The scenario's deployed defense-stack key ("none" when undefended)
     # — what lets campaign aggregation pivot on (method x defense).
     defense: str = "none"
+    # What the benign client population experienced during the run
+    # (None when the scenario carried no workload, or its qps was 0).
+    load_report: LoadReport | None = None
 
     # -- flattened conveniences for aggregation --------------------------------
 
@@ -144,6 +149,14 @@ class ScenarioRun:
         line = f"[seed={self.seed}] {self.result.describe()}"
         if self.app_result is not None:
             line += f"\n  app stage: {self.app_result.describe()}"
+        if self.load_report is not None:
+            report = self.load_report
+            line += (
+                f"\n  load: {report.offered} queries at"
+                f" {report.offered_qps:.1f} qps, p50"
+                f" {report.latency_percentile_ms(0.50):.1f} ms, window"
+                f" open {report.window_fraction * 100:.1f}%,"
+                f" {report.poisoned_answers} poisoned answers")
         return line
 
 
@@ -184,6 +197,13 @@ class AttackScenario:
     # the attack and execute() runs its workload after it, so the run
     # measures application impact, not just cache state.
     app_spec: AppSpec | None = None
+    # -- benign traffic load ---------------------------------------------------
+    # When set, build() compiles the client population into scheduler
+    # events on the world's clock and execute() runs the load around the
+    # attack: warmup primes the cache, arrivals interleave with attack
+    # traffic, and the run carries a LoadReport.  A qps=0 workload
+    # compiles to an empty trace and reproduces the idle world exactly.
+    workload: WorkloadSpec | None = None
     # -- metadata --------------------------------------------------------------
     app: str | None = None             # application victim (Table 1 row)
     capture_possible: bool = True      # HijackDNS control-plane outcome
@@ -334,10 +354,17 @@ class AttackScenario:
             app_stage=(app_driver, app_ctx)
             if app_driver is not None else None)
         attack = spec.attack_factory(runtime, world, attacker)
+        load_engine = None
+        if self.workload is not None:
+            from repro.workload.engine import WorkloadEngine
+
+            load_engine = WorkloadEngine(self.workload, world,
+                                         self.effective_qname())
+            load_engine.install()
         return BuiltScenario(scenario=self, seed=seed, world=world,
                              attacker=attacker, trigger=trigger,
                              attack=attack, app_driver=app_driver,
-                             app_ctx=app_ctx)
+                             app_ctx=app_ctx, load_engine=load_engine)
 
     def run(self, seed: Any = 0) -> ScenarioRun:
         """Build a fresh world for ``seed`` and execute the attack."""
@@ -384,6 +411,7 @@ class BuiltScenario:
     attack: Any
     app_driver: AppDriver | None = None
     app_ctx: dict | None = None
+    load_engine: Any = None
 
     @property
     def testbed(self):
@@ -402,8 +430,13 @@ class BuiltScenario:
         return self.world["target"]
 
     def execute(self) -> ScenarioRun:
-        """Run the kill chain: attack phase, then the app stage."""
+        """Run the kill chain: load warmup, attack phase, app stage."""
         started = time.perf_counter()
+        if self.load_engine is not None:
+            # Prime the cache and start the benign arrivals before the
+            # attack fires: load and attack traffic share the scheduler,
+            # so they interleave exactly as on a busy resolver.
+            self.load_engine.begin()
         result = self.attack.execute(
             self.trigger, qname=self.scenario.effective_qname())
         app_result = None
@@ -419,6 +452,15 @@ class BuiltScenario:
 
             self.network.run(LINUX_FRAG_TIMEOUT + 1.0)
             app_result = self.app_driver.run_stage(self.app_ctx)
+        load_report = None
+        if self.load_engine is not None:
+            # Drain the remaining arrivals (plus the client-timeout
+            # tail) and collect what the benign population experienced.
+            # An empty trace (qps=0) yields no report: the run is the
+            # idle-world baseline, bit for bit.
+            report = self.load_engine.finish()
+            if self.load_engine.active:
+                load_report = report
         return ScenarioRun(
             label=self.scenario.display_label,
             method=self.scenario.canonical_method,
@@ -427,4 +469,5 @@ class BuiltScenario:
             wall_time=time.perf_counter() - started,
             app_result=app_result,
             defense=self.scenario.defense_key,
+            load_report=load_report,
         )

@@ -1,0 +1,53 @@
+"""repro.workload — benign traffic load for attack scenarios.
+
+Attacks against an idle resolver overstate the adversary: a busy cache
+keeps the victim name resident (closing the poisoning window) and a
+busy network means benign clients *feel* the attack (latency, timeouts,
+poisoned answers).  This package models the busy resolver:
+
+* :class:`WorkloadSpec` — a deterministic client population (Zipf
+  domain popularity, Poisson per-client arrivals, query-type mix) as
+  plain picklable data;
+* :class:`QueryTrace` / :func:`synthesize_trace` — the compiled query
+  log, with a JSONL reader/writer so real logs replay as workloads;
+* :class:`WorkloadEngine` — schedules the trace onto a testbed's
+  virtual clock so benign load and attack traffic interleave;
+* :class:`LoadReport` — what the benign population experienced: latency
+  histograms, cache hit/expiry curves, and the window-of-opportunity
+  fraction (share of time the victim name is cache-absent).
+
+Scenario integration: ``AttackScenario(workload=WorkloadSpec(...))``
+runs the load around the attack and attaches the report as
+``ScenarioRun.load_report``; campaigns merge reports per label.  A
+``python -m repro.workload`` CLI synthesizes, replays and re-renders
+traces from the shell.
+"""
+
+from repro.workload.engine import WorkloadEngine
+from repro.workload.population import (
+    CatalogEntry,
+    MixSampler,
+    WorkloadSpec,
+    zipf_weights,
+)
+from repro.workload.report import CurvePoint, LoadReport
+from repro.workload.trace import (
+    QueryTrace,
+    TraceQuery,
+    load_or_synthesize,
+    synthesize_trace,
+)
+
+__all__ = [
+    "CatalogEntry",
+    "CurvePoint",
+    "LoadReport",
+    "MixSampler",
+    "QueryTrace",
+    "TraceQuery",
+    "WorkloadEngine",
+    "WorkloadSpec",
+    "load_or_synthesize",
+    "synthesize_trace",
+    "zipf_weights",
+]

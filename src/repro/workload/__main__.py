@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.workload``."""
+
+from repro.workload.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,283 @@
+"""LoadReport: what the benign population experienced during a run.
+
+The workload engine feeds one :class:`LoadReport` per scenario run;
+campaigns merge them across seeds.  Three families of measurements:
+
+* **benign-client latency** — a fixed-edge histogram (ms) of answered
+  queries plus a timeout count, because degraded benign traffic is
+  itself an attack outcome (Herzberg & Shulman's Stealth-MITM DoS);
+* **cache behaviour** — hit/miss/expiration deltas over the measured
+  window, plus a time-bucketed curve of hit rate and victim-name
+  absence;
+* **window of opportunity** — the fraction of arrival instants at
+  which the victim name was cache-absent.  Arrivals are Poisson, so by
+  PASTA this estimates the fraction of wall-clock the poisoning window
+  was open, with zero extra scheduler events.
+
+Everything is plain data: JSON round-trip, deterministic checksum,
+and a :func:`LoadReport.merge` that campaign aggregation leans on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+#: Histogram bin upper edges in milliseconds; the last bin is open.
+LATENCY_EDGES_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                    500.0, 1000.0, 2000.0, 5000.0, 10000.0)
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One time bucket of the cache-behaviour curve."""
+
+    start: float          # bucket start, virtual seconds from run start
+    queries: int          # benign arrivals in the bucket
+    cache_hits: int       # of which the resolver answered from cache
+    window_absent: int    # arrivals that found the victim name absent
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    @property
+    def window_fraction(self) -> float:
+        return self.window_absent / self.queries if self.queries else 1.0
+
+    def to_json(self) -> dict:
+        return {"start": self.start, "queries": self.queries,
+                "cache_hits": self.cache_hits,
+                "window_absent": self.window_absent}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CurvePoint":
+        return cls(start=float(payload["start"]),
+                   queries=int(payload["queries"]),
+                   cache_hits=int(payload["cache_hits"]),
+                   window_absent=int(payload["window_absent"]))
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one (or many merged) loaded runs.
+
+    ``offered`` counts measured-phase arrivals only; warmup queries
+    prime the cache and are tallied separately so hit rates are not
+    flattered by the cold start.
+    """
+
+    label: str = ""
+    offered: int = 0
+    warmup_queries: int = 0
+    answered: int = 0
+    timeouts: int = 0
+    victim_queries: int = 0      # measured arrivals for the victim name
+    poisoned_answers: int = 0    # benign answers served from a poisoned entry
+    window_samples: int = 0
+    window_absent: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_expirations: int = 0
+    duration: float = 0.0        # measured virtual seconds (summed on merge)
+    latency_bins: list[int] = field(
+        default_factory=lambda: [0] * (len(LATENCY_EDGES_MS) + 1))
+    curve: list[CurvePoint] = field(default_factory=list)
+    runs: int = 1
+
+    # -- recording (engine-side) -----------------------------------------------
+
+    def record_latency(self, ms: float) -> None:
+        self.latency_bins[bisect_left(LATENCY_EDGES_MS, ms)] += 1
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def offered_qps(self) -> float:
+        return self.offered / self.duration if self.duration else 0.0
+
+    @property
+    def answer_rate(self) -> float:
+        return self.answered / self.offered if self.offered else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    @property
+    def window_fraction(self) -> float:
+        """Share of arrival instants with the victim name cache-absent.
+
+        1.0 when nothing was sampled: an unobserved cache is an open
+        window, which is exactly the idle-world situation.
+        """
+        if self.window_samples == 0:
+            return 1.0
+        return self.window_absent / self.window_samples
+
+    def latency_percentile_ms(self, q: float) -> float:
+        """Approximate latency percentile from the histogram (ms).
+
+        Linear interpolation inside the winning bin; the open last bin
+        reports its lower edge.  ``0.0`` when nothing was answered.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1]: {q}")
+        total = sum(self.latency_bins)
+        if total == 0:
+            return 0.0
+        target = q * total
+        seen = 0
+        for index, count in enumerate(self.latency_bins):
+            if count == 0:
+                continue
+            if seen + count >= target:
+                low = LATENCY_EDGES_MS[index - 1] if index > 0 else 0.0
+                if index >= len(LATENCY_EDGES_MS):
+                    return low
+                high = LATENCY_EDGES_MS[index]
+                inside = (target - seen) / count
+                return low + (high - low) * inside
+            seen += count
+        return LATENCY_EDGES_MS[-1]
+
+    # -- aggregation -----------------------------------------------------------
+
+    @classmethod
+    def merge(cls, reports: list["LoadReport"],
+              label: str = "") -> "LoadReport":
+        """Sum counters across runs; curves concatenate end-to-end."""
+        merged = cls(label=label or (reports[0].label if reports else ""),
+                     runs=0)
+        offset = 0.0
+        for report in reports:
+            merged.offered += report.offered
+            merged.warmup_queries += report.warmup_queries
+            merged.answered += report.answered
+            merged.timeouts += report.timeouts
+            merged.victim_queries += report.victim_queries
+            merged.poisoned_answers += report.poisoned_answers
+            merged.window_samples += report.window_samples
+            merged.window_absent += report.window_absent
+            merged.cache_hits += report.cache_hits
+            merged.cache_misses += report.cache_misses
+            merged.cache_expirations += report.cache_expirations
+            merged.duration += report.duration
+            merged.runs += report.runs
+            for index, count in enumerate(report.latency_bins):
+                merged.latency_bins[index] += count
+            for point in report.curve:
+                merged.curve.append(CurvePoint(
+                    start=offset + point.start, queries=point.queries,
+                    cache_hits=point.cache_hits,
+                    window_absent=point.window_absent))
+            offset += report.duration
+        return merged
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "label": self.label,
+            "offered": self.offered,
+            "warmup_queries": self.warmup_queries,
+            "answered": self.answered,
+            "timeouts": self.timeouts,
+            "victim_queries": self.victim_queries,
+            "poisoned_answers": self.poisoned_answers,
+            "window_samples": self.window_samples,
+            "window_absent": self.window_absent,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_expirations": self.cache_expirations,
+            "duration": self.duration,
+            "latency_bins": list(self.latency_bins),
+            "curve": [point.to_json() for point in self.curve],
+            "runs": self.runs,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "LoadReport":
+        report = cls(label=str(payload.get("label", "")))
+        for name in ("offered", "warmup_queries", "answered", "timeouts",
+                     "victim_queries", "poisoned_answers", "window_samples",
+                     "window_absent", "cache_hits", "cache_misses",
+                     "cache_expirations", "runs"):
+            setattr(report, name, int(payload.get(name, 0)))
+        report.duration = float(payload.get("duration", 0.0))
+        bins = [int(c) for c in payload.get("latency_bins", [])]
+        if len(bins) == len(report.latency_bins):
+            report.latency_bins = bins
+        report.curve = [CurvePoint.from_json(p)
+                        for p in payload.get("curve", [])]
+        return report
+
+    def checksum(self) -> str:
+        """SHA-256 over the canonical JSON rendering."""
+        rendered = json.dumps(self.to_json(), sort_keys=True,
+                              separators=(",", ":"))
+        return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+    # -- rendering -------------------------------------------------------------
+
+    def summary_row(self) -> list[str]:
+        """The cells campaign/CLI tables show for this report."""
+        return [
+            f"{self.offered_qps:.1f}",
+            str(self.offered),
+            f"{self.answer_rate * 100:.1f}%",
+            f"{self.latency_percentile_ms(0.50):.1f}",
+            f"{self.latency_percentile_ms(0.99):.1f}",
+            f"{self.hit_rate * 100:.1f}%",
+            f"{self.window_fraction * 100:.1f}%",
+            str(self.poisoned_answers),
+        ]
+
+    @staticmethod
+    def summary_headers() -> list[str]:
+        return ["offered qps", "queries", "answered", "p50 ms", "p99 ms",
+                "hit rate", "window", "poisoned answers"]
+
+    def describe(self) -> str:
+        """Human-readable report: summary table + histogram + curve."""
+        # Imported here: the measurements package pulls in the campaign
+        # layer, which itself imports this module — a top-level import
+        # would cycle.
+        from repro.measurements.report import render_table
+
+        lines = [render_table(
+            self.summary_headers(), [self.summary_row()],
+            title=f"Load report: {self.label or 'workload'}"
+                  f" ({self.runs} run{'s' if self.runs != 1 else ''})")]
+        total = sum(self.latency_bins)
+        if total:
+            lines.append("")
+            lines.append("Benign-client latency (answered queries):")
+            low = 0.0
+            for index, count in enumerate(self.latency_bins):
+                if count == 0:
+                    if index < len(LATENCY_EDGES_MS):
+                        low = LATENCY_EDGES_MS[index]
+                    continue
+                if index < len(LATENCY_EDGES_MS):
+                    edge = f"{low:g}-{LATENCY_EDGES_MS[index]:g} ms"
+                    low = LATENCY_EDGES_MS[index]
+                else:
+                    edge = f">{LATENCY_EDGES_MS[-1]:g} ms"
+                bar = "#" * max(1, round(40 * count / total))
+                lines.append(f"  {edge:>14} | {bar} {count}")
+            if self.timeouts:
+                lines.append(f"  {'timeout':>14} | {self.timeouts}")
+        if self.curve:
+            lines.append("")
+            lines.append(render_table(
+                ["t (s)", "queries", "hit rate", "window open"],
+                [[f"{point.start:.0f}", str(point.queries),
+                  f"{point.hit_rate * 100:.0f}%",
+                  f"{point.window_fraction * 100:.0f}%"]
+                 for point in self.curve],
+                title="Cache hit rate vs. window of opportunity:"))
+        return "\n".join(lines)

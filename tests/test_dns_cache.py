@@ -86,13 +86,22 @@ class TestForensics:
     def test_poison_marking(self):
         cache = DnsCache()
         cache.put([rr_a("vict.im", "6.6.6.6")], now=0.0, poisoned=True)
-        assert cache.contains_poison()
-        assert cache.poisoned_names() == {"vict.im"}
+        assert cache.contains_poison(now=1.0)
+        assert cache.poisoned_names(now=1.0) == {"vict.im"}
 
     def test_clean_cache_reports_clean(self):
         cache = DnsCache()
         cache.put([rr_a("vict.im", "1.2.3.4")], now=0.0)
-        assert not cache.contains_poison()
+        assert not cache.contains_poison(now=1.0)
+
+    def test_expired_poison_no_longer_counts(self):
+        """Aged-out poison is spent: liveness gates the forensics."""
+        cache = DnsCache()
+        cache.put([rr_a("vict.im", "6.6.6.6", ttl=30)], now=0.0,
+                  poisoned=True)
+        assert cache.contains_poison(now=29.0)
+        assert not cache.contains_poison(now=31.0)
+        assert cache.poisoned_names(now=31.0) == set()
 
     def test_source_recorded(self):
         cache = DnsCache()
@@ -122,3 +131,25 @@ class TestEviction:
         cache.put([rr_a("new.vict.im", "1.1.1.1")], now=2.0)
         assert cache.get("old.vict.im", TYPE_A, now=2.0) is None
         assert cache.get("new.vict.im", TYPE_A, now=2.0) is not None
+        assert cache.stats.evictions == 1
+
+    def test_expired_sweep_spares_live_entries(self):
+        """A full insert reclaims expired slots before evicting."""
+        cache = DnsCache(max_entries=2)
+        cache.put([rr_a("short.vict.im", "1.1.1.1", ttl=5)], now=0.0)
+        cache.put([rr_a("long.vict.im", "1.1.1.1", ttl=300)], now=0.0)
+        cache.put([rr_a("new.vict.im", "1.1.1.1", ttl=300)], now=10.0)
+        # The expired short-TTL entry made room; the live one survived.
+        assert cache.get("long.vict.im", TYPE_A, now=10.0) is not None
+        assert cache.get("new.vict.im", TYPE_A, now=10.0) is not None
+        assert cache.stats.evictions == 0
+        assert cache.stats.expirations == 1
+
+    def test_eviction_only_when_nothing_expired(self):
+        cache = DnsCache(max_entries=2)
+        cache.put([rr_a("a.vict.im", "1.1.1.1", ttl=300)], now=0.0)
+        cache.put([rr_a("b.vict.im", "1.1.1.1", ttl=300)], now=1.0)
+        cache.put([rr_a("c.vict.im", "1.1.1.1", ttl=300)], now=2.0)
+        assert cache.stats.evictions == 1
+        assert cache.stats.expirations == 0
+        assert len(cache) == 2

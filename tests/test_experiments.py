@@ -19,6 +19,7 @@ from repro.experiments import (
     table3,
     table4,
     table5,
+    underload,
 )
 
 
@@ -27,7 +28,7 @@ class TestRegistry:
         assert set(ALL_EXPERIMENTS) == {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "figure1", "figure2", "figure3", "figure4", "figure5",
-            "section4", "section5", "ablation", "impact",
+            "section4", "section5", "ablation", "impact", "underload",
         }
 
     def test_every_module_has_run(self):
@@ -111,3 +112,24 @@ class TestFigureTraces:
         first = figure2.run(seed=3)
         second = figure2.run(seed=3)
         assert [r[1] for r in first.rows] == [r[1] for r in second.rows]
+
+
+class TestUnderload:
+    def test_shape_claims_hold(self):
+        # The default 8 seeds: the window-narrowing comparison needs
+        # more than a couple of samples per (method, qps) cell.
+        result = underload.run()
+        # One row per (method, qps level), populated load columns for
+        # the loaded levels only.
+        assert len(result.rows) == 3 * len(underload.QPS_LEVELS)
+        assert result.data["ordering_holds"]
+        assert result.data["windows_narrow"]
+        # HijackDNS stays deterministic at every load level.
+        for qps in underload.QPS_LEVELS:
+            cell = result.data["cells"][f"HijackDNS@{qps:g}qps"]
+            assert cell["success_rate"] == 1.0
+        # 0-qps cells carry no load report; loaded cells do.
+        assert result.data["cells"]["HijackDNS@0qps"]["load_checksum"] \
+            is None
+        assert result.data["cells"]["HijackDNS@40qps"]["load_checksum"] \
+            is not None
