@@ -1,0 +1,113 @@
+"""Bench: the run store (resume-aware defended sweeps).
+
+Runs the methodology scenarios through ``Campaign.run_defended`` twice
+against one SQLite run store: a cold pass that computes and records
+every (scenario x stack x seed) cell, then a resumed pass that loads
+all of them back.  The benchmark times the resumed pass — how fast a
+killed sweep comes back — and asserts the store's invariants: the
+resumed grid is bit-identical to the computed one (per-run stats and
+both aggregate views), a partial store recomputes only the missing
+cells, and resuming through a parallel executor changes nothing.
+"""
+
+import os
+
+from _helpers import publish  # noqa: F401  (keeps the bench harness import style)
+
+from repro.scenario import Campaign, sweep_scenarios
+from repro.store import RunStore, campaign_from_store
+
+SEEDS = range(8)
+STACKS = ("dnssec", "rpki-rov")
+
+
+def _flat(result):
+    return [(r.label, r.defense, r.seed, r.success, r.packets_sent,
+             r.queries_triggered, r.duration) for r in result.runs]
+
+
+def _matrix(result):
+    return {key: (summary.runs, summary.success_rate)
+            for key, summary in result.defense_matrix().items()}
+
+
+def test_store_resume(benchmark, tmp_path):
+    db = str(tmp_path / "bench_store.db")
+    scenarios = sweep_scenarios()
+    cold = Campaign(executor="serial").run_defended(
+        scenarios, stacks=STACKS, seeds=SEEDS, store=db)
+    warm = benchmark.pedantic(
+        lambda: Campaign(executor="serial").run_defended(
+            scenarios, stacks=STACKS, seeds=SEEDS, store=db),
+        rounds=1, iterations=1,
+    )
+    import sys
+    sys.stdout.write("\n" + warm.describe() + "\n")
+    benchmark.extra_info["cells"] = len(warm.runs)
+    benchmark.extra_info["cold_wall_clock"] = cold.wall_clock
+    benchmark.extra_info["resumed_wall_clock"] = warm.wall_clock
+    benchmark.extra_info["speedup"] = (
+        round(cold.wall_clock / warm.wall_clock, 1)
+        if warm.wall_clock > 0 else 0.0)
+    # Resume is invisible: per-run stats and both aggregate views are
+    # bit-identical to the uninterrupted computation.
+    assert _flat(warm) == _flat(cold)
+    assert _matrix(warm) == _matrix(cold)
+    assert any("cells loaded" in note for note in warm.notes)
+    # Every cell is in the store, and the store alone reconstructs the
+    # same grid without touching a simulator.
+    store = RunStore(db)
+    assert store.count() == len(cold.runs)
+    rebuilt = campaign_from_store(store)
+    assert sorted(_flat(rebuilt)) == sorted(_flat(cold))
+
+
+def test_partial_store_recomputes_only_missing(tmp_path):
+    """Half the grid stored -> resume executes only the other half."""
+    from repro.store import RunRecord
+
+    class CountingStore(RunStore):
+        def __init__(self, path):
+            super().__init__(path)
+            self.inserted = 0
+
+        def record(self, record: RunRecord) -> bool:
+            fresh = super().record(record)
+            self.inserted += int(fresh)
+            return fresh
+
+    db = str(tmp_path / "partial.db")
+    scenarios = sweep_scenarios()
+    seeds = range(4)
+    full = Campaign(executor="serial").run_defended(
+        scenarios, stacks=STACKS, seeds=seeds, store=db)
+    total = len(full.runs)
+
+    # Drop half the stored cells, then resume.
+    store = CountingStore(db)
+    victims = [record.key for index, record
+               in enumerate(store.iter_records()) if index % 2 == 0]
+    with store._connect() as connection:
+        for spec_hash, seed, defense in victims:
+            connection.execute(
+                "DELETE FROM runs WHERE spec_hash = ? AND seed = ? "
+                "AND defense = ?", (spec_hash, seed, defense))
+    assert store.count() == total - len(victims)
+
+    resumed = Campaign(executor="serial").run_defended(
+        scenarios, stacks=STACKS, seeds=seeds, store=store)
+    assert store.inserted == len(victims)
+    assert _flat(resumed) == _flat(full)
+    assert store.count() == total
+
+
+def test_parallel_resume_matches_serial(tmp_path):
+    """A thread-pool resume over a serial cold store changes nothing."""
+    db = str(tmp_path / "parallel.db")
+    scenarios = sweep_scenarios()
+    cold = Campaign(executor="serial").run_defended(
+        scenarios, stacks=STACKS, seeds=range(4), store=db)
+    warm = Campaign(executor="thread", workers=4).run_defended(
+        scenarios, stacks=STACKS, seeds=range(4), store=db)
+    assert _flat(warm) == _flat(cold)
+    assert os.path.exists(db)

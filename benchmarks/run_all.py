@@ -42,6 +42,7 @@ FULL_SIZES = {
     "workload_seeds": 8,
     "atlas_entities": 20_000,
     "defense_pairs": 28,     # the full pairwise Section 6 grid
+    "store_seeds": 8,
 }
 
 QUICK_SIZES = {
@@ -53,6 +54,7 @@ QUICK_SIZES = {
     "workload_seeds": 3,
     "atlas_entities": 5_000,
     "defense_pairs": 4,      # singles + the showcase pairs
+    "store_seeds": 3,
 }
 
 REGRESSION_THRESHOLD = 0.25
@@ -263,6 +265,50 @@ def bench_defense_grid(pairs: int) -> dict:
                    checksum=defense_grid_checksum(result), pairs=pairs)
 
 
+def store_grid_checksum(result) -> str:
+    flat = [(run.label, run.defense, run.seed, run.success,
+             run.packets_sent, run.queries_triggered, run.duration)
+            for run in result.runs]
+    return hashlib.sha256(repr(flat).encode()).hexdigest()
+
+
+def bench_store_resume(seeds: int) -> dict:
+    """Cold vs store-resumed defended grid: the cold pass computes and
+    records every (scenario x stack x seed) cell into a fresh run
+    store; the resumed pass reconstructs the same grid purely from
+    stored cells.  The checksum covers both passes (asserted equal),
+    so resume can never return different statistics than computing;
+    the headline rate is the resumed pass — how fast a killed sweep
+    comes back."""
+    import os
+    import tempfile
+
+    from repro.scenario import Campaign, sweep_scenarios
+
+    scenarios = sweep_scenarios()
+    stacks = ("dnssec", "rpki-rov")
+    with tempfile.TemporaryDirectory() as tmp:
+        db = os.path.join(tmp, "bench_store.db")
+        started = time.perf_counter()
+        cold = Campaign(executor="serial").run_defended(
+            scenarios, stacks=stacks, seeds=range(seeds), store=db)
+        cold_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = Campaign(executor="serial").run_defended(
+            scenarios, stacks=stacks, seeds=range(seeds), store=db)
+        wall = time.perf_counter() - started
+    checksum = store_grid_checksum(warm)
+    assert checksum == store_grid_checksum(cold), \
+        "store-resumed grid diverged from the computed grid"
+    assert any("cells loaded" in note for note in warm.notes), \
+        "resumed pass did not load from the store"
+    return _result("store_resume", wall, len(warm.runs), "cells/s",
+                   checksum=checksum, seeds=seeds,
+                   cold_wall_s=round(cold_wall, 4),
+                   speedup=round(cold_wall / wall, 1) if wall > 0
+                   else 0.0)
+
+
 def aggregate_checksum(report) -> str:
     payload = json.dumps(report.aggregate.to_json(), sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
@@ -302,6 +348,7 @@ def run_all(sizes: dict, mode: str, repeats: int) -> dict:
         lambda: bench_atlas(sizes["atlas_entities"], "open"),
         lambda: bench_atlas(sizes["atlas_entities"], "alexa"),
         lambda: bench_defense_grid(sizes["defense_pairs"]),
+        lambda: bench_store_resume(sizes["store_seeds"]),
     ]
     benches = {}
     for thunk in thunks:

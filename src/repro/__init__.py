@@ -37,7 +37,13 @@ The package implements, on a byte-accurate simulated Internet:
   benign client population (Zipf-ranked domains, Poisson arrivals,
   trace replay) querying the victim resolver *during* the attack, so
   every scenario can measure cache churn, the window of opportunity,
-  benign-client latency, and poisoned answers actually served.
+  benign-client latency, and poisoned answers actually served;
+* an append-only run store (:mod:`repro.store`): every campaign cell
+  keyed by ``(scenario spec hash, seed, defense stack)`` in WAL-mode
+  SQLite, so killed sweeps resume idempotently (only missing cells
+  recompute, bit-identically) and summaries reconstruct from the store
+  without re-running — plus a service mode (:mod:`repro.serve`)
+  queueing submitted campaigns into the store over HTTP.
 
 Quickstart::
 
@@ -94,6 +100,29 @@ Quickstart::
     # Shell: ``python -m repro.workload replay --method frag --qps 40``
     # (plus ``synth`` / ``inspect`` / ``report`` for query traces).
 
+    # Durable sweeps: attach a run store and every cell is recorded as
+    # it completes; re-running the same call (after a crash, on another
+    # executor, from another process) loads stored cells instead of
+    # recomputing them — bit-identical aggregates either way.
+    sweep = Campaign().run_defended(killchain_scenarios(apps=("dv",)),
+                                    stacks=["dnssec"], seeds=range(8),
+                                    store="runs.db")
+    sweep = Campaign().run_defended(killchain_scenarios(apps=("dv",)),
+                                    stacks=["dnssec"], seeds=range(8),
+                                    store="runs.db")   # instant resume
+    from repro.store import RunStore, campaign_from_store
+    print(campaign_from_store(RunStore("runs.db")).describe())
+    # Shell: ``python -m repro.scenario sweep --store runs.db``,
+    # ``python -m repro.atlas calibrate --run-store runs.db`` and
+    # ``python -m repro.store inspect runs.db``.
+
+    # Service mode: an HTTP job queue draining campaigns into the same
+    # store (stdlib-only; see ``python -m repro.serve -h``)::
+    #
+    #   python -m repro.serve --store runs.db --port 8737 &
+    #   curl -d '{"methods": ["hijack"], "seeds": 8}' :8737/jobs
+    #   curl ':8737/aggregate?by=method'
+
 Atlas quickstart — Section 5 at the paper's full dataset sizes::
 
     from repro.atlas import AtlasStore, find_dataset, scan_dataset
@@ -127,6 +156,7 @@ from repro.scenario import (
     plan_and_run,
     scenario_from_profile,
 )
+from repro.store import RunStore
 from repro.testbed import Testbed, standard_testbed
 
 __version__ = "1.0.0"
@@ -138,6 +168,7 @@ __all__ = [
     "CampaignResult",
     "Defense",
     "DefenseStack",
+    "RunStore",
     "ScenarioRun",
     "TargetProfile",
     "Testbed",

@@ -224,8 +224,8 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
                          workers: int | None = None,
                          executor: str | None = None,
                          app: str | None = None,
-                         defenses: DefenseStack | None = None
-                         ) -> CalibrationReport:
+                         defenses: DefenseStack | None = None,
+                         store: Any = None) -> CalibrationReport:
     """Validate planner verdicts against a stratified attack sub-sample.
 
     ``sample_budget`` caps the total number of end-to-end attack runs;
@@ -248,6 +248,12 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
     success the stack leaves.  Strata the stack fully neutralizes run
     nothing and are validated through the planner's rejection — the
     campaign counterpart of :func:`project_deployment`.
+
+    ``store`` (a :class:`repro.store.RunStore` or a path) forwards to
+    the underlying campaign: every sub-sample cell is recorded, and a
+    re-calibration over the same population loads the stored cells
+    instead of re-running them — a killed calibration resumes with only
+    the missing cells recomputed, yielding an identical report.
     """
     if executor is None:
         executor = "process" if workers is not None and workers > 1 \
@@ -346,7 +352,8 @@ def calibrate_population(aggregate: ScanAggregate, dataset: str,
     outcome = None
     if pairs:
         outcome = Campaign(workers=workers,
-                           executor=campaign_executor).run_pairs(pairs)
+                           executor=campaign_executor).run_pairs(
+                               pairs, store=store)
         by_label = outcome.by_label()
         for record in strata:
             summary = by_label.get(f"atlas/{record.stratum}")

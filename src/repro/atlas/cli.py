@@ -249,13 +249,18 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
     stacks = [DefenseStack.parse(text) for text in (args.defend or [])]
     reports, _wall = _run_scan(args)
+    run_store = None
+    if args.run_store:
+        from repro.store import RunStore
+
+        run_store = RunStore(args.run_store)
     status = 0
     for report in reports:
         for stack in (stacks or [None]):
             calibration = calibrate_population(
                 report.aggregate, dataset=report.dataset, seed=args.seed,
                 sample_budget=args.sample_budget, workers=args.workers,
-                app=args.app, defenses=stack,
+                app=args.app, defenses=stack, store=run_store,
             )
             print()
             print(calibration.describe())
@@ -379,6 +384,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 " '0x20-encoding+rpki-rov' (repeatable; "
                                 "also emits the deployment-projection "
                                 "table across all given stacks)")
+    calibrate.add_argument("--run-store", default=None, metavar="DB",
+                           help="SQLite run store: record every campaign "
+                                "cell and resume killed calibrations "
+                                "(--store is the shard store; this one "
+                                "holds executed attack runs)")
     calibrate.set_defaults(fn=_cmd_calibrate)
 
     report = sub.add_parser(

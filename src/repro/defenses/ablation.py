@@ -124,13 +124,14 @@ def evaluate_defense_matrix(stacks: Sequence[DefenseStack],
                             saddns_iterations: int = 400,
                             frag_attempts: int = 120,
                             workers: int | None = None,
-                            executor: str = "serial"
-                            ) -> list[AblationCell]:
+                            executor: str = "serial",
+                            store: Any = None) -> list[AblationCell]:
     """Run the full (attack x stack) grid on one campaign pool.
 
     Cell seeds derive from ``(seed, attack, stack.key)`` — the same
     strings the old mitigation grid used for single-defense stacks, so
-    old-vs-new runs are bit-comparable.
+    old-vs-new runs are bit-comparable.  ``store`` forwards to the
+    campaign: grid cells already stored are loaded instead of re-run.
     """
     cells: list[tuple[str, DefenseStack]] = []
     pairs: list[tuple[AttackScenario, Any]] = []
@@ -143,7 +144,8 @@ def evaluate_defense_matrix(stacks: Sequence[DefenseStack],
             )
             cells.append((attack, stack))
             pairs.append((scenario, f"{seed}-{attack}-{stack.key}"))
-    runs = Campaign(workers=workers, executor=executor).run_pairs(pairs).runs
+    runs = Campaign(workers=workers, executor=executor).run_pairs(
+        pairs, store=store).runs
     return [
         AblationCell(
             attack=attack, defense=stack.key,

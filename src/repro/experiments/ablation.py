@@ -76,7 +76,7 @@ def _grid_rows(cells: list[AblationCell]) -> tuple[list[list[str]], int]:
 def run(seed: int = 0, saddns_iterations: int = 260,
         frag_attempts: int = 120, pairs: int | None = None,
         workers: int | None = None,
-        executor: str = "serial") -> ExperimentResult:
+        executor: str = "serial", store=None) -> ExperimentResult:
     """Run the single-defense grid plus ``pairs`` pairwise stacks.
 
     ``pairs=None`` runs all 28 two-defense combinations; ``pairs=0``
@@ -99,6 +99,7 @@ def run(seed: int = 0, saddns_iterations: int = 260,
         frag_attempts=frag_attempts,
         workers=workers,
         executor=executor,
+        store=store,
     )
     single_keys = {stack.key for stack in singles}
     single_cells = [c for c in cells if c.defense in single_keys]

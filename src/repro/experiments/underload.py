@@ -39,8 +39,12 @@ BASE_WORKLOAD = WorkloadSpec(clients=4, qps=1.0, duration=8.0,
 
 
 def run(seeds=range(8), executor: str = "serial",
-        workers: int | None = None) -> ExperimentResult:
-    """Sweep (method x offered qps x seed) and tabulate the findings."""
+        workers: int | None = None, store=None) -> ExperimentResult:
+    """Sweep (method x offered qps x seed) and tabulate the findings.
+
+    ``store`` forwards to the campaign: stored (scenario, seed, stack)
+    cells are loaded instead of re-run, so a killed sweep resumes.
+    """
     cells = []
     for scenario in sweep_scenarios():
         for qps in QPS_LEVELS:
@@ -49,7 +53,7 @@ def run(seeds=range(8), executor: str = "serial",
                 scenario, workload=workload,
                 label=f"{scenario.method}@{qps:g}qps"))
     campaign = Campaign(executor=executor, workers=workers)
-    result = campaign.run(cells, seeds=seeds)
+    result = campaign.run(cells, seeds=seeds, store=store)
 
     headers = ["Method", "Offered qps", "Runs", "Attack success",
                "Window open", "Hit rate", "p50 ms", "p99 ms",

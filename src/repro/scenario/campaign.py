@@ -399,13 +399,21 @@ class Campaign:
             scenarios: AttackScenario | Iterable[AttackScenario],
             seeds: Iterable[Any] = range(8),
             workers: int | None = None,
-            executor: str | None = None) -> CampaignResult:
+            executor: str | None = None,
+            store: Any = None) -> CampaignResult:
         """Execute every (scenario, seed) cell and aggregate.
 
         ``seeds`` may hold ints or strings; each is passed verbatim to
         the scenario's deterministic testbed, so a campaign over
         ``range(32)`` is 32 statistically independent trials that any
         executor reproduces bit-identically.
+
+        ``store`` (a :class:`repro.store.RunStore` or a path) makes the
+        sweep durable and resumable: every executed cell is appended to
+        the store, and cells whose ``(spec_hash, seed, defense)`` key
+        is already stored are loaded instead of re-run — so a killed
+        sweep re-invoked with the same store recomputes only what is
+        missing and still aggregates bit-identically.
         """
         if isinstance(scenarios, AttackScenario):
             scenarios = [scenarios]
@@ -417,18 +425,22 @@ class Campaign:
             raise ScenarioError("no seeds to run")
         return self.run_pairs(
             [(scenario, seed) for scenario in scenarios for seed in seeds],
-            workers=workers, executor=executor,
+            workers=workers, executor=executor, store=store,
         )
 
     def run_pairs(self,
                   pairs: Iterable[tuple[AttackScenario, Any]],
                   workers: int | None = None,
-                  executor: str | None = None) -> CampaignResult:
+                  executor: str | None = None,
+                  store: Any = None) -> CampaignResult:
         """Execute explicit (scenario, seed) cells on one worker pool.
 
         The general form of :meth:`run` for ragged sweeps — e.g. four
         trial groups with different seed lists scheduled across one
-        process pool instead of one pool per group.
+        process pool instead of one pool per group.  ``store`` behaves
+        as in :meth:`run`: stored cells are loaded, fresh cells are
+        executed and appended as their results arrive (in the
+        submitting process — the store never crosses a pool boundary).
         """
         tasks = list(pairs)
         if not tasks:
@@ -443,29 +455,84 @@ class Campaign:
         if count < 1:
             raise ScenarioError(f"workers must be >= 1, got {count}")
         notes: list[str] = []
-        if kind != "serial" and (count == 1 or len(tasks) == 1):
+        cached: dict[int, ScenarioRun] = {}
+        missing = tasks
+        spec_hashes: dict[int, str] = {}
+        workload_hashes: dict[int, str] = {}
+        if store is not None:
+            # Imported here: the store schema imports the scenario spec,
+            # so a top-level import would cycle through the package.
+            from repro.store.db import RunStore
+            from repro.store.schema import (scenario_spec_hash, seed_key,
+                                            workload_spec_hash)
+
+            store = RunStore.open(store)
+            keys = []
+            for scenario, seed in tasks:
+                marker = id(scenario)
+                if marker not in spec_hashes:
+                    spec_hashes[marker] = scenario_spec_hash(scenario)
+                    workload_hashes[marker] = \
+                        workload_spec_hash(scenario.workload)
+                keys.append((spec_hashes[marker], seed_key(seed),
+                             scenario.defense_key))
+            stored = store.load_cells(spec_hashes.values())
+            missing = []
+            for index, (task, key) in enumerate(zip(tasks, keys)):
+                record = stored.get(key)
+                if record is not None:
+                    cached[index] = record.to_run()
+                else:
+                    missing.append(task)
+            if cached:
+                notes.append(
+                    f"store: {len(cached)}/{len(tasks)} cells loaded "
+                    f"from {store.path}")
+        if not missing:
+            kind = "serial"     # fully cached: nothing to execute
+        elif kind != "serial" and (count == 1 or len(missing) == 1):
             notes.append(
                 f"{kind} executor downgraded to serial"
                 f" ({'one worker' if count == 1 else 'one task'})")
             kind = "serial"
-        if kind == "process" and not _picklable(tasks):
+        if kind == "process" and not _picklable(missing):
             notes.append(
                 "scenario not picklable (callable trigger?);"
                 " fell back to the thread executor")
             kind = "thread"
         started = time.perf_counter()
         if kind == "serial":
-            runs = [_execute_task(task) for task in tasks]
+            fresh = []
+            for task in missing:
+                run = _execute_task(task)
+                _record_run(store, run, task[0], spec_hashes,
+                            workload_hashes)
+                fresh.append(run)
         else:
             # One scenario + one seed batch per task: the scenario
             # pickles once per batch rather than once per seed.
-            batches = _batch_tasks(tasks, count)
+            batches = _batch_tasks(missing, count)
             pool_cls = ThreadPoolExecutor if kind == "thread" \
                 else ProcessPoolExecutor
+            fresh = []
             with pool_cls(max_workers=count) as pool:
-                runs = [run for chunk in pool.map(_execute_batch, batches)
-                        for run in chunk]
+                # pool.map yields batches in submission order as they
+                # complete, so recording here keeps every finished cell
+                # durable even if a later batch (or the recording
+                # itself) dies mid-sweep.
+                for batch, chunk in zip(batches,
+                                        pool.map(_execute_batch, batches)):
+                    for run in chunk:
+                        _record_run(store, run, batch[0], spec_hashes,
+                                    workload_hashes)
+                    fresh.extend(chunk)
         wall_clock = time.perf_counter() - started
+        # Reassemble in original task order: batching preserves the
+        # missing-task order, so splicing fresh runs into the cached
+        # gaps reproduces the uninterrupted sweep's run list exactly.
+        fresh_iter = iter(fresh)
+        runs = [cached[index] if index in cached else next(fresh_iter)
+                for index in range(len(tasks))]
         return CampaignResult(runs=runs, wall_clock=wall_clock,
                               workers=count, executor=kind, notes=notes)
 
@@ -473,10 +540,11 @@ class Campaign:
                  axes: dict[str, Iterable[Any]],
                  seeds: Iterable[Any] = range(8),
                  workers: int | None = None,
-                 executor: str | None = None) -> CampaignResult:
+                 executor: str | None = None,
+                 store: Any = None) -> CampaignResult:
         """Sweep a config grid: every axis combination times every seed."""
         return self.run(base.variants(**axes), seeds=seeds,
-                        workers=workers, executor=executor)
+                        workers=workers, executor=executor, store=store)
 
     def run_defended(self,
                      scenarios: AttackScenario | Iterable[AttackScenario],
@@ -484,7 +552,8 @@ class Campaign:
                      seeds: Iterable[Any] = range(8),
                      include_undefended: bool = True,
                      workers: int | None = None,
-                     executor: str | None = None) -> CampaignResult:
+                     executor: str | None = None,
+                     store: Any = None) -> CampaignResult:
         """Sweep a (scenario x defense-stack x seed) grid on one pool.
 
         ``stacks`` may hold :class:`repro.defenses.DefenseStack`
@@ -526,7 +595,21 @@ class Campaign:
             for stack in resolved
         ]
         return self.run(cells, seeds=seeds, workers=workers,
-                        executor=executor)
+                        executor=executor, store=store)
+
+
+def _record_run(store: Any, run: ScenarioRun, scenario: AttackScenario,
+                spec_hashes: dict[int, str],
+                workload_hashes: dict[int, str]) -> None:
+    """Append one finished cell to the run store (no-op without one)."""
+    if store is None:
+        return
+    from repro.store.schema import RunRecord
+
+    marker = id(scenario)
+    store.record(RunRecord.from_run(
+        run, spec_hash=spec_hashes[marker],
+        workload_hash=workload_hashes[marker]))
 
 
 def _picklable(tasks: list[tuple[AttackScenario, Any]]) -> bool:

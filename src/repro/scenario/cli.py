@@ -155,9 +155,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.defend:
         stacks = [DefenseStack.parse(text) for text in args.defend]
         result = campaign.run_defended(scenarios, stacks=stacks,
-                                       seeds=range(args.seeds))
+                                       seeds=range(args.seeds),
+                                       store=args.store)
     else:
-        result = campaign.run(scenarios, seeds=range(args.seeds))
+        result = campaign.run(scenarios, seeds=range(args.seeds),
+                              store=args.store)
     print(result.describe())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -222,6 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
                             " the undefended baseline is always included)")
     sweep.add_argument("--json", default=None,
                        help="write the machine-readable sweep record here")
+    sweep.add_argument("--store", default=None, metavar="DB",
+                       help="SQLite run store: record every cell and skip "
+                            "cells already stored (killed sweeps resume)")
     sweep.set_defaults(fn=_cmd_sweep)
 
     report = sub.add_parser(

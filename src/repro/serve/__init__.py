@@ -1,0 +1,26 @@
+"""Service mode: an HTTP job queue in front of the run store.
+
+``python -m repro.serve --store runs.db`` starts a stdlib-only
+``ThreadingHTTPServer`` whose worker pool drains submitted campaigns
+into an append-only :class:`repro.store.RunStore`.  Submissions are
+validated at the door (:class:`repro.serve.jobs.JobSpec`), executed as
+ordinary budget-capped campaigns with the store attached — so
+resubmitted or overlapping jobs skip every already-stored cell — and
+results are queryable over HTTP while (and after) jobs run.
+
+The server holds no durable state of its own: kill it, restart it,
+point two at the same store file — the WAL-mode SQLite layer is the
+single source of truth.
+"""
+
+from repro.serve.api import ServeHandler, make_server
+from repro.serve.jobs import Job, JobError, JobService, JobSpec
+
+__all__ = [
+    "Job",
+    "JobError",
+    "JobService",
+    "JobSpec",
+    "ServeHandler",
+    "make_server",
+]

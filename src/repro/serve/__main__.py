@@ -1,0 +1,56 @@
+"""``python -m repro.serve`` — run the job service in the foreground.
+
+Example::
+
+    python -m repro.serve --store runs.db --port 8737 --workers 2
+
+then, from anywhere::
+
+    curl -XPOST localhost:8737/jobs -d '{"methods": ["hijack"], "seeds": 4}'
+    curl localhost:8737/jobs/job-1
+    curl 'localhost:8737/aggregate?by=method'
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.serve.api import make_server
+from repro.serve.jobs import JobService
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="HTTP job service draining campaigns into a run store")
+    parser.add_argument("--store", required=True,
+                        help="path to the SQLite run store (created if "
+                             "missing)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8737,
+                        help="listen port (0 picks an ephemeral one)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="campaign worker threads draining the queue")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request to stderr")
+    args = parser.parse_args(argv)
+
+    service = JobService(args.store, workers=args.workers)
+    server = make_server(service, host=args.host, port=args.port,
+                         quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(store={service.store.path}, workers={service.workers})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        service.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

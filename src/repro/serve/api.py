@@ -1,0 +1,155 @@
+"""HTTP front end for the run store: stdlib-only service mode.
+
+``ThreadingHTTPServer`` + ``BaseHTTPRequestHandler`` — no new
+dependencies.  Endpoints (all JSON):
+
+* ``GET  /health``        — liveness + store totals
+* ``POST /jobs``          — submit a campaign (202, or 400 on a
+  malformed payload; see :class:`repro.serve.jobs.JobSpec`)
+* ``GET  /jobs``          — every job's lifecycle state
+* ``GET  /jobs/<id>``     — one job (404 when unknown)
+* ``GET  /runs``          — stored records; filters ``method``,
+  ``defense``, ``label``, ``app``, ``spec_hash``, ``success=yes|no``,
+  ``limit``; ``stats=1`` includes the full per-run stats JSON
+* ``GET  /aggregate``     — mergeable totals, grouped by ``?by=axis``
+
+The server itself is stateless: every durable byte lives in the SQLite
+store, so restarting the service (or pointing a second one at the same
+file) loses nothing — resubmitted campaigns skip every stored cell.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.serve.jobs import JobError, JobService
+from repro.store.aggregate import GROUP_AXES, totals_from_store
+from repro.store.db import StoreError
+
+#: Hard cap on ``/runs`` page size; clients page with ``limit``.
+MAX_RUNS_PAGE = 1000
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """One request against the shared :class:`JobService`."""
+
+    # Set by make_server(); class-level so the stdlib's handler-per-
+    # request instantiation sees it.
+    service: JobService = None
+    quiet: bool = True
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _query(self) -> dict[str, str]:
+        parsed = parse_qs(urlparse(self.path).query)
+        return {key: values[-1] for key, values in parsed.items()}
+
+    def _filters(self, query: dict[str, str]) -> dict:
+        filters = {key: query.get(key)
+                   for key in ("method", "defense", "label", "app",
+                               "spec_hash")}
+        if "success" in query:
+            filters["success"] = query["success"] == "yes"
+        return filters
+
+    # -- routes ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler name)
+        path = urlparse(self.path).path.rstrip("/")
+        query = self._query()
+        try:
+            if path == "/health":
+                self._send(200, {
+                    "ok": True,
+                    "store": str(self.service.store.path),
+                    "records": self.service.store.count(),
+                    "workers": self.service.workers,
+                })
+            elif path == "/jobs":
+                self._send(200, {"jobs": [job.to_json() for job in
+                                          self.service.jobs()]})
+            elif path.startswith("/jobs/"):
+                job = self.service.get(path[len("/jobs/"):])
+                if job is None:
+                    self._error(404, "unknown job")
+                else:
+                    self._send(200, job.to_json())
+            elif path == "/runs":
+                limit = min(int(query.get("limit", 100)), MAX_RUNS_PAGE)
+                include_stats = query.get("stats") == "1"
+                runs = []
+                for record in self.service.store.iter_records(
+                        limit=limit, **self._filters(query)):
+                    payload = record.to_json()
+                    if not include_stats:
+                        payload.pop("stats")
+                    runs.append(payload)
+                self._send(200, {"runs": runs, "count": len(runs)})
+            elif path == "/aggregate":
+                by = query.get("by")
+                if by is not None and by not in GROUP_AXES:
+                    self._error(400, f"unknown axis {by!r}; pick one of "
+                                     f"{', '.join(GROUP_AXES)}")
+                    return
+                groups = totals_from_store(self.service.store, by=by,
+                                           **self._filters(query))
+                self._send(200, {"by": by or "all",
+                                 "groups": {key: totals.to_json()
+                                            for key, totals
+                                            in groups.items()}})
+            else:
+                self._error(404, f"no route {path!r}")
+        except (StoreError, ValueError) as exc:
+            self._error(400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler name)
+        path = urlparse(self.path).path.rstrip("/")
+        if path != "/jobs":
+            self._error(404, f"no route {path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b""
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._error(400, f"bad JSON body: {exc}")
+            return
+        try:
+            job = self.service.submit(payload)
+        except JobError as exc:
+            self._error(400, str(exc))
+            return
+        self._send(202, job.to_json())
+
+
+def make_server(service: JobService, host: str = "127.0.0.1",
+                port: int = 0, quiet: bool = True) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``) — the shape the tests and smoke scripts
+    use.  Call ``serve_forever()`` to block, or run it on a thread and
+    ``shutdown()`` when done.
+    """
+    handler = type("BoundServeHandler", (ServeHandler,),
+                   {"service": service, "quiet": quiet})
+    return ThreadingHTTPServer((host, port), handler)

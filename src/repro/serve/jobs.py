@@ -1,0 +1,268 @@
+"""Job queue for the run-store service: campaigns as submitted work.
+
+A *job* is one declarative campaign — methods x (optional) apps x
+defense stacks x seeds — validated at submission time against the
+method/app/defense registries, queued, and drained by a small pool of
+worker threads.  Each worker executes its campaign serially with the
+shared :class:`repro.store.RunStore` attached, so:
+
+* every finished cell is durably appended as it completes;
+* cells an earlier job (or an earlier life of the service) already
+  computed are loaded instead of re-run — resubmitting a campaign is
+  idempotent and cheap;
+* concurrent workers exercise the store's WAL-mode writer path, the
+  whole point of keeping SQLite in WAL journal mode.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import ScenarioError
+from repro.store.db import RunStore
+
+#: Submission -> terminal states a poller can observe.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Ceiling on |methods x stacks x apps| x seeds per job: the service
+#: runs budget-capped cells, but an unbounded grid must still be a 400,
+#: not a wedged worker.
+MAX_CELLS = 4096
+
+
+class JobError(ValueError):
+    """A submitted job payload is malformed (the HTTP 400 path)."""
+
+
+@dataclass
+class JobSpec:
+    """A validated campaign submission."""
+
+    methods: list[str]
+    seeds: list[Any]
+    apps: list[str] | None = None
+    defend: list[str] = field(default_factory=list)
+    label: str = ""
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "JobSpec":
+        """Validate a submission against the live registries.
+
+        Everything wrong with the payload — unknown method, app or
+        defense, bad seed shape, oversized grid — raises
+        :class:`JobError` here, at submission time, so the queue only
+        ever holds runnable work.
+        """
+        from repro.apps.driver import resolve_driver
+        from repro.defenses.base import DefenseError, DefenseStack
+        from repro.scenario.registry import resolve_method
+
+        if not isinstance(payload, dict):
+            raise JobError(f"job payload must be a JSON object, "
+                           f"got {type(payload).__name__}")
+        unknown = set(payload) - {"methods", "seeds", "apps", "defend",
+                                  "label"}
+        if unknown:
+            raise JobError(f"unknown job fields: {sorted(unknown)}")
+
+        methods = payload.get("methods", ["hijack"])
+        if not isinstance(methods, list) or not methods:
+            raise JobError("'methods' must be a non-empty list")
+        try:
+            methods = [resolve_method(str(name)).name for name in methods]
+        except ScenarioError as exc:
+            raise JobError(str(exc)) from exc
+
+        seeds = payload.get("seeds", 4)
+        if isinstance(seeds, int):
+            if not 1 <= seeds <= MAX_CELLS:
+                raise JobError(
+                    f"'seeds' count must be in [1, {MAX_CELLS}]")
+            seeds = list(range(seeds))
+        elif isinstance(seeds, list) and seeds:
+            if not all(isinstance(seed, (int, str)) for seed in seeds):
+                raise JobError("'seeds' entries must be ints or strings")
+        else:
+            raise JobError("'seeds' must be a count or a non-empty list")
+
+        apps = payload.get("apps")
+        if apps is not None:
+            if not isinstance(apps, list) or not apps:
+                raise JobError("'apps' must be a non-empty list or absent")
+            try:
+                apps = [resolve_driver(str(name)).name for name in apps]
+            except ScenarioError as exc:
+                raise JobError(str(exc)) from exc
+
+        defend = payload.get("defend", [])
+        if not isinstance(defend, list):
+            raise JobError("'defend' must be a list of stack specs")
+        try:
+            defend = [DefenseStack.parse(str(text)).key
+                      for text in defend]
+        except (DefenseError, ScenarioError, ValueError, KeyError) as exc:
+            raise JobError(f"bad defense stack: {exc}") from exc
+
+        label = str(payload.get("label", ""))
+        spec = cls(methods=methods, seeds=seeds, apps=apps,
+                   defend=defend, label=label)
+        if spec.cell_estimate > MAX_CELLS:
+            raise JobError(
+                f"grid too large: ~{spec.cell_estimate} cells exceeds "
+                f"the service ceiling of {MAX_CELLS}")
+        return spec
+
+    @property
+    def cell_estimate(self) -> int:
+        scenarios = len(self.methods) * max(1, len(self.apps or [1]))
+        stacks = len(self.defend) + 1 if self.defend else 1
+        return scenarios * stacks * len(self.seeds)
+
+    def to_json(self) -> dict:
+        return {"methods": self.methods, "seeds": self.seeds,
+                "apps": self.apps, "defend": self.defend,
+                "label": self.label}
+
+    def scenarios(self) -> list:
+        """Materialise the budget-capped scenarios this job sweeps."""
+        from repro.scenario.presets import (budget_capped_overrides,
+                                            killchain_scenarios)
+        from repro.scenario.spec import AttackScenario
+
+        if self.apps is not None:
+            return killchain_scenarios(apps=self.apps,
+                                       methods=self.methods)
+        return [
+            AttackScenario(method=method, label=method,
+                           **budget_capped_overrides(method))
+            for method in self.methods
+        ]
+
+
+@dataclass
+class Job:
+    """One queued campaign and its observable lifecycle."""
+
+    id: str
+    spec: JobSpec
+    state: str = "queued"
+    submitted: float = 0.0
+    started: float = 0.0
+    finished: float = 0.0
+    error: str = ""
+    summary: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec.to_json(),
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "summary": self.summary,
+        }
+
+
+class JobService:
+    """Worker pool draining submitted campaigns into one run store."""
+
+    def __init__(self, store: RunStore | str, workers: int = 2):
+        self.store = RunStore.open(store)
+        self.workers = max(1, workers)
+        self._queue: "queue.Queue[Job | None]" = queue.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"repro-serve-worker-{index}")
+            for index in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission / inspection -----------------------------------------------
+
+    def submit(self, payload: Any) -> Job:
+        """Validate and enqueue one campaign; raises :class:`JobError`."""
+        spec = JobSpec.from_json(payload)
+        with self._lock:
+            job = Job(id=f"job-{next(self._counter)}", spec=spec,
+                      submitted=time.time())
+            self._jobs[job.id] = job
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.id)
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> Job:
+        """Block until a job reaches a terminal state (test helper)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            job = self.get(job_id)
+            if job is not None and job.state in ("done", "failed"):
+                return job
+            time.sleep(0.02)
+        raise TimeoutError(f"job {job_id} still pending after {timeout}s")
+
+    def shutdown(self) -> None:
+        """Stop the workers after the queue drains."""
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _worker(self) -> None:
+        # Imported lazily per worker: the scenario stack is heavy and
+        # the service may be queried without ever executing a job.
+        from repro.scenario.campaign import Campaign
+
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.state = "running"
+            job.started = time.time()
+            try:
+                campaign = Campaign(executor="serial")
+                scenarios = job.spec.scenarios()
+                if job.spec.defend:
+                    result = campaign.run_defended(
+                        scenarios, stacks=job.spec.defend,
+                        seeds=job.spec.seeds, store=self.store)
+                else:
+                    result = campaign.run(scenarios,
+                                          seeds=job.spec.seeds,
+                                          store=self.store)
+                job.summary = {
+                    "runs": len(result.runs),
+                    "successes": result.successes,
+                    "success_rate": result.success_rate,
+                    "impacts_realized": result.impacts_realized,
+                    "wall_clock": result.wall_clock,
+                    "notes": list(result.notes),
+                    "labels": sorted({run.label for run in result.runs}),
+                }
+                job.state = "done"
+            except Exception:
+                job.error = traceback.format_exc(limit=8)
+                job.state = "failed"
+            finally:
+                job.finished = time.time()
+                self._queue.task_done()

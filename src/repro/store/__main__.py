@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.store`` dispatches to the CLI."""
+
+from repro.store.cli import main
+
+raise SystemExit(main())

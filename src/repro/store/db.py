@@ -1,0 +1,285 @@
+"""The append-only SQLite run store.
+
+One database file holds every executed campaign cell, keyed by
+``(spec_hash, seed, defense)`` (see :mod:`repro.store.schema`).  Design
+constraints, in order:
+
+* **append-only** — :meth:`RunStore.record` is ``INSERT OR IGNORE``:
+  the first complete record for a key wins, a replayed cell is a no-op,
+  and nothing ever rewrites history.  Resume semantics follow for free:
+  a killed sweep keeps every completed cell durable and a rerun
+  recomputes only the missing keys (mirroring the atlas JSONL store).
+* **concurrent writers** — the database runs in WAL mode with a busy
+  timeout, so the ``repro serve`` worker pool (and independent
+  processes sharing one store file) append simultaneously without
+  serialising whole sweeps.  Connections are per-thread; the
+  :class:`RunStore` object itself may be shared across threads freely.
+* **queryable** — the flat record columns are indexed for the CLI /
+  service filters (method, defense, label, app, success) and for the
+  incremental aggregates in :mod:`repro.store.aggregate`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.store.schema import STORE_FORMAT_VERSION, RunRecord
+
+#: Columns a query filter may constrain (whitelist: filters come from
+#: CLI flags and HTTP query strings, never interpolated raw).
+FILTER_COLUMNS = ("spec_hash", "seed", "defense", "method", "label",
+                  "workload_hash", "app", "success")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    spec_hash TEXT NOT NULL,
+    seed TEXT NOT NULL,
+    defense TEXT NOT NULL,
+    method TEXT NOT NULL,
+    label TEXT NOT NULL,
+    workload_hash TEXT NOT NULL DEFAULT '',
+    app TEXT,
+    success INTEGER NOT NULL,
+    packets_sent INTEGER NOT NULL,
+    queries_triggered INTEGER NOT NULL,
+    duration REAL NOT NULL,
+    impact_realized INTEGER,
+    load_checksum TEXT,
+    wall_time REAL NOT NULL,
+    stats TEXT NOT NULL,
+    created REAL NOT NULL,
+    PRIMARY KEY (spec_hash, seed, defense)
+);
+CREATE INDEX IF NOT EXISTS runs_method ON runs (method);
+CREATE INDEX IF NOT EXISTS runs_defense ON runs (defense);
+CREATE INDEX IF NOT EXISTS runs_label ON runs (label);
+"""
+
+_COLUMNS = ("spec_hash", "seed", "defense", "method", "label",
+            "workload_hash", "app", "success", "packets_sent",
+            "queries_triggered", "duration", "impact_realized",
+            "load_checksum", "wall_time", "stats", "created")
+
+
+class StoreError(Exception):
+    """A run-store operation failed (bad path, format mismatch, ...)."""
+
+
+def _row_to_record(row: sqlite3.Row) -> RunRecord:
+    return RunRecord(
+        spec_hash=row["spec_hash"],
+        seed=row["seed"],
+        defense=row["defense"],
+        method=row["method"],
+        label=row["label"],
+        workload_hash=row["workload_hash"],
+        app=row["app"],
+        success=bool(row["success"]),
+        packets_sent=row["packets_sent"],
+        queries_triggered=row["queries_triggered"],
+        duration=row["duration"],
+        impact_realized=None if row["impact_realized"] is None
+        else bool(row["impact_realized"]),
+        load_checksum=row["load_checksum"],
+        wall_time=row["wall_time"],
+        stats=json.loads(row["stats"]),
+        created=row["created"],
+    )
+
+
+class RunStore:
+    """Append-only store of executed campaign cells in one SQLite file.
+
+    ``RunStore("runs.db")`` creates the file (and parent directories)
+    on first use.  The object is cheap and thread-safe: each thread
+    lazily opens its own WAL-mode connection to the same file.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._local = threading.local()
+        self._init_schema()
+
+    @classmethod
+    def open(cls, store: "RunStore | str | os.PathLike | None"
+             ) -> "RunStore | None":
+        """Normalise the ``store=`` convenience: path or instance."""
+        if store is None or isinstance(store, RunStore):
+            return store
+        return cls(store)
+
+    # -- connection management -------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = sqlite3.connect(self.path, timeout=30.0)
+            connection.row_factory = sqlite3.Row
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.execute("PRAGMA busy_timeout=30000")
+            self._local.connection = connection
+        return connection
+
+    def _init_schema(self) -> None:
+        connection = self._connect()
+        with connection:
+            connection.executescript(_SCHEMA)
+            connection.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("store_format", str(STORE_FORMAT_VERSION)))
+        stored = connection.execute(
+            "SELECT value FROM meta WHERE key = 'store_format'"
+        ).fetchone()
+        if stored is not None and int(stored["value"]) != \
+                STORE_FORMAT_VERSION:
+            raise StoreError(
+                f"{self.path} is a format-{stored['value']} store; this "
+                f"build writes format {STORE_FORMAT_VERSION} — use a "
+                "fresh path (records do not migrate across formats)")
+
+    def close(self) -> None:
+        """Close this thread's connection (others close on GC/exit)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    # -- writes ----------------------------------------------------------------
+
+    def record(self, record: RunRecord) -> bool:
+        """Durably append one cell; ``False`` when the key existed.
+
+        Append-only, first-wins: replaying a cell (a resumed sweep, a
+        raced retry, two service workers on one grid) never rewrites a
+        stored result, so aggregates stay stable under idempotent
+        retry.
+        """
+        if not record.created:
+            record.created = time.time()
+        connection = self._connect()
+        with connection:
+            cursor = connection.execute(
+                f"INSERT OR IGNORE INTO runs ({', '.join(_COLUMNS)}) "
+                f"VALUES ({', '.join('?' * len(_COLUMNS))})",
+                (record.spec_hash, record.seed, record.defense,
+                 record.method, record.label, record.workload_hash,
+                 record.app, int(record.success), record.packets_sent,
+                 record.queries_triggered, record.duration,
+                 None if record.impact_realized is None
+                 else int(record.impact_realized),
+                 record.load_checksum, record.wall_time,
+                 json.dumps(record.stats, sort_keys=True,
+                            separators=(",", ":")),
+                 record.created))
+        return cursor.rowcount > 0
+
+    # -- point reads -----------------------------------------------------------
+
+    def get(self, key: tuple[str, str, str]) -> RunRecord | None:
+        row = self._connect().execute(
+            "SELECT * FROM runs WHERE spec_hash = ? AND seed = ? "
+            "AND defense = ?", key).fetchone()
+        return _row_to_record(row) if row is not None else None
+
+    def __contains__(self, key: tuple[str, str, str]) -> bool:
+        return self._connect().execute(
+            "SELECT 1 FROM runs WHERE spec_hash = ? AND seed = ? "
+            "AND defense = ?", key).fetchone() is not None
+
+    def load_cells(self, spec_hashes: Iterable[str]
+                   ) -> dict[tuple[str, str, str], RunRecord]:
+        """Every stored record for the given scenario hashes, keyed.
+
+        The campaign resume path uses this to resolve a whole sweep's
+        cached cells in one query instead of one lookup per cell.
+        """
+        hashes = sorted(set(spec_hashes))
+        cells: dict[tuple[str, str, str], RunRecord] = {}
+        if not hashes:
+            return cells
+        connection = self._connect()
+        for start in range(0, len(hashes), 500):
+            chunk = hashes[start:start + 500]
+            rows = connection.execute(
+                f"SELECT * FROM runs WHERE spec_hash IN "
+                f"({', '.join('?' * len(chunk))})", chunk)
+            for row in rows:
+                record = _row_to_record(row)
+                cells[record.key] = record
+        return cells
+
+    # -- queries ---------------------------------------------------------------
+
+    def _where(self, filters: dict[str, Any]
+               ) -> tuple[str, list[Any]]:
+        clauses: list[str] = []
+        params: list[Any] = []
+        for column, value in filters.items():
+            if value is None:
+                continue
+            if column not in FILTER_COLUMNS:
+                raise StoreError(
+                    f"unknown filter column {column!r}; filterable: "
+                    f"{', '.join(FILTER_COLUMNS)}")
+            clauses.append(f"{column} = ?")
+            params.append(int(value) if column == "success" else value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return where, params
+
+    def iter_records(self, limit: int | None = None,
+                     **filters: Any) -> Iterator[RunRecord]:
+        """Stream matching records in deterministic key order."""
+        where, params = self._where(filters)
+        sql = (f"SELECT * FROM runs{where} "
+               "ORDER BY spec_hash, seed, defense")
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(limit)
+        for row in self._connect().execute(sql, params):
+            yield _row_to_record(row)
+
+    def count(self, **filters: Any) -> int:
+        where, params = self._where(filters)
+        return self._connect().execute(
+            f"SELECT COUNT(*) AS n FROM runs{where}", params
+        ).fetchone()["n"]
+
+    def distinct(self, column: str) -> list[str]:
+        """Distinct non-null values of one queryable column, sorted."""
+        if column not in FILTER_COLUMNS:
+            raise StoreError(f"unknown column {column!r}")
+        rows = self._connect().execute(
+            f"SELECT DISTINCT {column} AS v FROM runs "
+            f"WHERE {column} IS NOT NULL ORDER BY v")
+        return [row["v"] for row in rows]
+
+    # -- maintenance -----------------------------------------------------------
+
+    def export_jsonl(self, path: str | os.PathLike,
+                     **filters: Any) -> int:
+        """Write matching records as JSON lines; returns the count."""
+        written = 0
+        with Path(path).open("w", encoding="utf-8") as handle:
+            for record in self.iter_records(**filters):
+                handle.write(json.dumps(record.to_json(), sort_keys=True)
+                             + "\n")
+                written += 1
+        return written
+
+    def vacuum(self) -> None:
+        """Compact the database file (checkpoints the WAL first)."""
+        connection = self._connect()
+        connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        connection.execute("VACUUM")

@@ -1,0 +1,208 @@
+"""Tests for the HTTP job service in front of the run store.
+
+A real ``ThreadingHTTPServer`` on an ephemeral port, driven over
+urllib: submit -> poll -> query round-trips, concurrent submitters
+exercising the WAL writer path, and the malformed-job 400 contract.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import JobError, JobService, JobSpec, make_server
+from repro.store import RunStore
+
+
+def http(base, path, payload=None):
+    """(status, json) for a GET, or a POST when ``payload`` is given."""
+    url = base + path
+    if payload is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A live service + server bound to an ephemeral port."""
+    service = JobService(tmp_path / "serve.db", workers=2)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield service, f"http://{host}:{port}"
+    server.shutdown()
+    service.shutdown()
+
+
+class TestJobSpec:
+    def test_defaults(self):
+        spec = JobSpec.from_json({})
+        assert spec.methods == ["HijackDNS"]
+        assert spec.seeds == [0, 1, 2, 3]
+        assert spec.apps is None
+
+    def test_methods_resolved_and_canonicalised(self):
+        spec = JobSpec.from_json({"methods": ["hijack", "frag"]})
+        assert spec.methods == ["HijackDNS", "FragDNS"]
+
+    def test_seed_list_passes_verbatim(self):
+        spec = JobSpec.from_json({"seeds": [3, "a", 7]})
+        assert spec.seeds == [3, "a", 7]
+
+    @pytest.mark.parametrize("payload", [
+        "not an object",
+        {"methods": []},
+        {"methods": ["nope"]},
+        {"methods": ["hijack"], "seeds": 0},
+        {"methods": ["hijack"], "seeds": [1.5]},
+        {"methods": ["hijack"], "apps": ["bogus-app"]},
+        {"methods": ["hijack"], "defend": ["not-a-defense"]},
+        {"methods": ["hijack"], "surprise": 1},
+        {"methods": ["hijack"], "seeds": 100000},
+    ])
+    def test_malformed_payloads_raise(self, payload):
+        with pytest.raises(JobError):
+            JobSpec.from_json(payload)
+
+    def test_scenarios_materialise(self):
+        spec = JobSpec.from_json({"methods": ["hijack"]})
+        scenarios = spec.scenarios()
+        assert len(scenarios) == 1
+        assert scenarios[0].method == "HijackDNS"
+
+
+class TestRoundTrip:
+    def test_submit_poll_query(self, served):
+        service, base = served
+        status, health = http(base, "/health")
+        assert status == 200 and health["ok"] and health["records"] == 0
+
+        status, job = http(base, "/jobs", {
+            "methods": ["hijack"], "seeds": 3, "defend": ["dnssec"],
+        })
+        assert status == 202
+        assert job["state"] in ("queued", "running")
+
+        done = service.wait(job["id"], timeout=60)
+        assert done.state == "done"
+        assert done.summary["runs"] == 6     # (none + dnssec) x 3 seeds
+
+        status, polled = http(base, f"/jobs/{job['id']}")
+        assert status == 200
+        assert polled["state"] == "done"
+        assert polled["summary"]["runs"] == 6
+
+        status, runs = http(base, "/runs?defense=dnssec")
+        assert status == 200
+        assert runs["count"] == 3
+        assert all(r["defense"] == "dnssec" for r in runs["runs"])
+        assert "stats" not in runs["runs"][0]
+
+        status, runs = http(base, "/runs?limit=1&stats=1")
+        assert status == 200
+        assert "stats" in runs["runs"][0]
+
+        status, agg = http(base, "/aggregate?by=defense")
+        assert status == 200
+        assert agg["groups"]["none"]["success_rate"] == 1.0
+        assert agg["groups"]["dnssec"]["success_rate"] == 0.0
+
+    def test_resubmission_is_idempotent(self, served):
+        service, base = served
+        payload = {"methods": ["hijack"], "seeds": 2}
+        _, first = http(base, "/jobs", payload)
+        service.wait(first["id"], timeout=60)
+        _, second = http(base, "/jobs", payload)
+        done = service.wait(second["id"], timeout=60)
+        assert done.state == "done"
+        assert any("cells loaded" in note
+                   for note in done.summary["notes"])
+        _, agg = http(base, "/aggregate")
+        assert agg["groups"]["all"]["runs"] == 2   # no duplicate cells
+
+    def test_concurrent_submitters(self, served):
+        service, base = served
+        payloads = [{"methods": ["hijack"], "seeds": [f"c{i}"],
+                     "label": f"submitter-{i}"} for i in range(4)]
+        ids = []
+        errors = []
+
+        def submit(payload):
+            try:
+                status, job = http(base, "/jobs", payload)
+                assert status == 202
+                ids.append(job["id"])
+            except Exception as exc:   # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit, args=(p,))
+                   for p in payloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(set(ids)) == 4
+        for job_id in ids:
+            assert service.wait(job_id, timeout=60).state == "done"
+        assert service.store.count() == 4
+
+    def test_malformed_job_is_400(self, served):
+        _service, base = served
+        status, body = http(base, "/jobs", {"methods": ["nope"]})
+        assert status == 400
+        assert "unknown attack method" in body["error"]
+        status, body = http(base, "/jobs", {"seeds": -3})
+        assert status == 400
+
+    def test_unknown_routes_and_jobs_are_404(self, served):
+        _service, base = served
+        status, _ = http(base, "/jobs/job-999")
+        assert status == 404
+        status, _ = http(base, "/nothing-here")
+        assert status == 404
+
+    def test_bad_aggregate_axis_is_400(self, served):
+        _service, base = served
+        status, body = http(base, "/aggregate?by=bogus")
+        assert status == 400
+        assert "unknown axis" in body["error"]
+
+    def test_jobs_listing(self, served):
+        service, base = served
+        _, job = http(base, "/jobs", {"methods": ["hijack"], "seeds": 1})
+        service.wait(job["id"], timeout=60)
+        status, listing = http(base, "/jobs")
+        assert status == 200
+        assert [j["id"] for j in listing["jobs"]] == [job["id"]]
+
+
+class TestRestartDurability:
+    def test_new_service_sees_old_results(self, tmp_path):
+        db = tmp_path / "serve.db"
+        first = JobService(db, workers=1)
+        job = first.submit({"methods": ["hijack"], "seeds": 2})
+        first.wait(job.id, timeout=60)
+        first.shutdown()
+
+        second = JobService(db, workers=1)
+        try:
+            assert second.store.count() == 2
+            resumed = second.submit({"methods": ["hijack"], "seeds": 2})
+            done = second.wait(resumed.id, timeout=60)
+            assert any("2/2 cells loaded" in note
+                       for note in done.summary["notes"])
+        finally:
+            second.shutdown()
+        assert RunStore(db).count() == 2
