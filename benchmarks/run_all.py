@@ -43,6 +43,7 @@ FULL_SIZES = {
     "atlas_entities": 20_000,
     "defense_pairs": 28,     # the full pairwise Section 6 grid
     "store_seeds": 8,
+    "faults_seeds": 8,
 }
 
 QUICK_SIZES = {
@@ -55,6 +56,7 @@ QUICK_SIZES = {
     "atlas_entities": 5_000,
     "defense_pairs": 4,      # singles + the showcase pairs
     "store_seeds": 3,
+    "faults_seeds": 3,
 }
 
 REGRESSION_THRESHOLD = 0.25
@@ -309,6 +311,38 @@ def bench_store_resume(seeds: int) -> dict:
                    else 0.0)
 
 
+def bench_faults(seeds: int) -> dict:
+    """The degraded-path sweep: three methodology scenarios on a lossy
+    high-latency resolver-NS link, serial.  Before timing, asserts the
+    fault plane's core contract — a scenario carrying an *empty*
+    FaultPlan produces a bit-identical run to the plain scenario — and
+    the checksum gates the degraded statistics themselves."""
+    from dataclasses import replace
+
+    from repro.faults import FaultPlan
+    from repro.scenario import AttackScenario, Campaign, sweep_scenarios
+    from repro.testbed import RESOLVER_IP, TARGET_NS_IP
+
+    base = AttackScenario(method="HijackDNS")
+    clean = base.run(seed=0)
+    noop = replace(base, faults=FaultPlan(label="noop")).run(seed=0)
+    assert clean.result == noop.result, \
+        "a no-op FaultPlan changed a clean run's statistics"
+
+    plan = FaultPlan.link(RESOLVER_IP, TARGET_NS_IP,
+                          loss=0.02, extra_latency=0.04)
+    scenarios = [replace(scenario, faults=plan,
+                         label=f"{scenario.method}@degraded")
+                 for scenario in sweep_scenarios()]
+    started = time.perf_counter()
+    result = Campaign(executor="serial").run(scenarios,
+                                             seeds=range(seeds))
+    wall = time.perf_counter() - started
+    assert all(not run.failed for run in result.runs)
+    return _result("faults_degraded", wall, len(result.runs), "runs/s",
+                   checksum=campaign_checksum(result), seeds=seeds)
+
+
 def aggregate_checksum(report) -> str:
     payload = json.dumps(report.aggregate.to_json(), sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
@@ -349,6 +383,7 @@ def run_all(sizes: dict, mode: str, repeats: int) -> dict:
         lambda: bench_atlas(sizes["atlas_entities"], "alexa"),
         lambda: bench_defense_grid(sizes["defense_pairs"]),
         lambda: bench_store_resume(sizes["store_seeds"]),
+        lambda: bench_faults(sizes["faults_seeds"]),
     ]
     benches = {}
     for thunk in thunks:

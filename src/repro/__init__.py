@@ -43,7 +43,17 @@ The package implements, on a byte-accurate simulated Internet:
   SQLite, so killed sweeps resume idempotently (only missing cells
   recompute, bit-identically) and summaries reconstruct from the store
   without re-running — plus a service mode (:mod:`repro.serve`)
-  queueing submitted campaigns into the store over HTTP.
+  queueing submitted campaigns into the store over HTTP;
+* deterministic fault injection and graceful degradation
+  (:mod:`repro.faults`): declarative :class:`FaultPlan` network
+  impairments (loss, latency, jitter, reordering, duplication) drawn
+  from their own seed-derived RNG stream — a no-op plan is
+  bit-identical to a clean run — plus a :class:`RunPolicy` execution
+  contract (scheduler event/wall budgets, retry-with-backoff for
+  transients) under which a raising cell becomes a *recorded failure*
+  in the campaign and store instead of killing the sweep, and a chaos
+  harness (crash/flaky seeds, scheduled store-write failures, serve
+  worker crashes) that makes the resilience paths testable.
 
 Quickstart::
 
@@ -123,6 +133,24 @@ Quickstart::
     #   curl -d '{"methods": ["hijack"], "seeds": 8}' :8737/jobs
     #   curl ':8737/aggregate?by=method'
 
+    # Degraded paths: impair the resolver<->NS link deterministically
+    # (fault draws never shift attack randomness — an empty plan is
+    # bit-identical to no plan), and run under a policy that records
+    # failing cells instead of killing the sweep.
+    from repro import FaultPlan, RunPolicy
+    lossy = FaultPlan.link("30.0.0.1", "123.0.0.53",
+                           loss=0.02, extra_latency=0.04)
+    run = AttackScenario(method="saddns", faults=lossy).run(seed=5)
+    print(run.result.detail["faults"])   # dropped/delayed/duplicated
+    sweep = Campaign(policy=RunPolicy(max_events=10_000_000,
+                                      retries=2)).run(
+        AttackScenario(method="hijack", faults=lossy),
+        seeds=range(16), store="runs.db")
+    print(sweep.failures)                # recorded, not raised; a
+    #                                      re-run re-executes only them
+    # Shell: ``python -m repro.faults --method hijack --seeds 8
+    # --impair 'dst=123.0.0.53,loss=0.02,latency=0.04'``.
+
 Atlas quickstart — Section 5 at the paper's full dataset sizes::
 
     from repro.atlas import AtlasStore, find_dataset, scan_dataset
@@ -145,6 +173,7 @@ for ``synth`` / ``calibrate`` / ``report``).
 
 from repro.attacks.planner import TargetProfile
 from repro.defenses import Defense, DefenseStack
+from repro.faults import FaultPlan, ImpairmentSpec, RunPolicy
 from repro.scenario import (
     AppSpec,
     AttackScenario,
@@ -168,6 +197,9 @@ __all__ = [
     "CampaignResult",
     "Defense",
     "DefenseStack",
+    "FaultPlan",
+    "ImpairmentSpec",
+    "RunPolicy",
     "RunStore",
     "ScenarioRun",
     "TargetProfile",

@@ -20,7 +20,10 @@ and zero lambdas.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable
+
+from repro.core.errors import BudgetExceededError
 
 # Heap entry layout (plain list so heapq compares in C and the
 # cancellation flag stays mutable): [when, seq, callback, args, cancelled]
@@ -107,13 +110,54 @@ class Scheduler:
         scheduler.call_later(latency, host.receive, packet)
     """
 
-    __slots__ = ("clock", "_queue", "_seq", "_pending")
+    __slots__ = ("clock", "_queue", "_seq", "_pending", "executed",
+                 "event_budget", "wall_deadline")
 
     def __init__(self, clock: Clock | None = None):
         self.clock = clock if clock is not None else Clock()
         self._queue: list[list] = []
         self._seq = 0
         self._pending = 0
+        # Lifetime event counter plus the optional per-run watchdog (see
+        # :meth:`arm_budget`).  Both budgets default to unarmed: the
+        # clean fast path pays one boolean test per drained loop, never
+        # per event.
+        self.executed = 0
+        self.event_budget: int | None = None
+        self.wall_deadline: float | None = None
+
+    # -- watchdog ----------------------------------------------------------
+
+    def arm_budget(self, max_events: int | None = None,
+                   max_wall: float | None = None) -> None:
+        """Arm the watchdog: budgets count from *now*.
+
+        ``max_events`` bounds further events executed;  ``max_wall``
+        bounds real elapsed seconds (checked every 256 events, so a slow
+        callback overshoots by at most one check window).  Exceeding
+        either raises :class:`repro.core.errors.BudgetExceededError`
+        from the run loop; ``arm_budget()`` with no arguments disarms.
+        """
+        self.event_budget = None if max_events is None \
+            else self.executed + max_events
+        self.wall_deadline = None if max_wall is None \
+            else time.perf_counter() + max_wall
+
+    def _check_budget(self, extra: int) -> None:
+        """Raise if the armed budget is exhausted (``extra`` = events
+        executed by the current loop, not yet folded into the total)."""
+        budget = self.event_budget
+        if budget is not None and self.executed + extra > budget:
+            raise BudgetExceededError(
+                f"scheduler event budget exhausted: "
+                f"{self.executed + extra} events exceed the armed budget"
+                f" of {budget}")
+        deadline = self.wall_deadline
+        if deadline is not None and not (extra & 255) \
+                and time.perf_counter() > deadline:
+            raise BudgetExceededError(
+                f"scheduler wall budget exhausted after "
+                f"{self.executed + extra} events")
 
     def call_at(self, when: float, callback: Callable[..., None],
                 *args) -> TimerHandle:
@@ -174,7 +218,11 @@ class Scheduler:
             # The heap pops in (when, seq) order and call_at refuses the
             # past, so time is monotone here by construction.
             self.clock._now = entry[_WHEN]
+            self.executed += 1
             callback(*args)
+            if self.event_budget is not None \
+                    or self.wall_deadline is not None:
+                self._check_budget(0)
             return True
         return False
 
@@ -183,21 +231,30 @@ class Scheduler:
         queue = self._queue
         pop = heapq.heappop
         clock = self.clock
-        while queue:
-            entry = queue[0]
-            if entry[_CANCELLED]:
+        guarded = self.event_budget is not None \
+            or self.wall_deadline is not None
+        executed = 0
+        try:
+            while queue:
+                entry = queue[0]
+                if entry[_CANCELLED]:
+                    pop(queue)
+                    continue
+                if entry[_WHEN] > deadline:
+                    break
                 pop(queue)
-                continue
-            if entry[_WHEN] > deadline:
-                break
-            pop(queue)
-            callback = entry[_CALLBACK]
-            args = entry[_ARGS]
-            entry[_CALLBACK] = None
-            entry[_ARGS] = None
-            self._pending -= 1
-            clock._now = entry[_WHEN]
-            callback(*args)
+                callback = entry[_CALLBACK]
+                args = entry[_ARGS]
+                entry[_CALLBACK] = None
+                entry[_ARGS] = None
+                self._pending -= 1
+                clock._now = entry[_WHEN]
+                callback(*args)
+                executed += 1
+                if guarded:
+                    self._check_budget(executed)
+        finally:
+            self.executed += executed
         if deadline > clock._now:
             clock._now = deadline
 
@@ -211,20 +268,28 @@ class Scheduler:
         queue = self._queue
         pop = heapq.heappop
         clock = self.clock
-        while queue:
-            entry = pop(queue)
-            if entry[_CANCELLED]:
-                continue
-            callback = entry[_CALLBACK]
-            args = entry[_ARGS]
-            entry[_CALLBACK] = None
-            entry[_ARGS] = None
-            self._pending -= 1
-            clock._now = entry[_WHEN]
-            callback(*args)
-            executed += 1
-            if executed > max_events:
-                raise RuntimeError(
-                    f"scheduler did not go idle after {max_events} events"
-                )
+        guarded = self.event_budget is not None \
+            or self.wall_deadline is not None
+        try:
+            while queue:
+                entry = pop(queue)
+                if entry[_CANCELLED]:
+                    continue
+                callback = entry[_CALLBACK]
+                args = entry[_ARGS]
+                entry[_CALLBACK] = None
+                entry[_ARGS] = None
+                self._pending -= 1
+                clock._now = entry[_WHEN]
+                callback(*args)
+                executed += 1
+                if executed > max_events:
+                    raise RuntimeError(
+                        f"scheduler did not go idle after {max_events}"
+                        " events"
+                    )
+                if guarded:
+                    self._check_budget(executed)
+        finally:
+            self.executed += executed
         return executed

@@ -52,6 +52,26 @@ class AttackError(ReproError):
     """An attack could not be carried out against the given target."""
 
 
+class TransientError(ReproError):
+    """A failure that may succeed on retry (lock contention, injected
+    chaos, a raced resource).
+
+    The campaign run policy (:class:`repro.faults.RunPolicy`) retries
+    cells that raise this with bounded backoff before recording them as
+    failed; every other exception is terminal for the cell.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A per-cell watchdog budget (scheduler events or wall clock) was
+    exhausted before the cell finished.
+
+    Raised by :class:`repro.core.clock.Scheduler` when a budget is
+    armed; under a :class:`repro.faults.RunPolicy` the cell becomes a
+    recorded failed run instead of killing the grid.
+    """
+
+
 class ScenarioError(ReproError):
     """An attack scenario is malformed or cannot be materialised.
 

@@ -6,6 +6,7 @@ benches in ``benchmarks/`` call these and print the rendered output.
 
 from repro.experiments import (
     ablation,
+    degraded,
     figure1,
     figure2,
     figure3,
@@ -41,6 +42,7 @@ ALL_EXPERIMENTS = {
     "section5": section5,
     "ablation": ablation,
     "underload": underload,
+    "degraded": degraded,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"] + sorted(ALL_EXPERIMENTS)

@@ -1,0 +1,158 @@
+"""Attack effectiveness and benign service quality on degraded paths.
+
+The paper's measurements assume a clean resolver-to-nameserver path;
+real recursive-to-authoritative paths lose and delay packets.  This
+experiment reruns the budget-capped sweep while :mod:`repro.faults`
+impairs the resolver<->target-NS link — packet loss, added latency,
+and both together — with a benign client population attached so the
+ordinary-traffic cost (p99 lookup latency) is measured alongside
+attack success.
+
+Fault draws come from their own derived RNG stream, so the ``clean``
+rows are bit-identical to the fault-free sweep, and every impaired
+row is bit-identical across the serial, thread, and process executors
+(the resilience tests assert exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.base import ExperimentResult
+from repro.faults import FaultPlan
+from repro.measurements.report import render_table
+from repro.scenario.campaign import Campaign
+from repro.scenario.presets import sweep_scenarios
+from repro.testbed import RESOLVER_IP, TARGET_NS_IP
+from repro.workload.population import WorkloadSpec
+
+#: Impairment grid on the resolver<->target-NS link: (key, knobs).
+#: ``clean`` is the empty plan — a strict no-op by construction.
+FAULT_LEVELS = (
+    ("clean", {}),
+    ("loss2%", {"loss": 0.02}),
+    ("lat+40ms", {"extra_latency": 0.04}),
+    ("loss+lat", {"loss": 0.02, "extra_latency": 0.04}),
+)
+
+#: Benign population shared by every cell, so latency percentiles are
+#: comparable across fault levels.
+BASE_WORKLOAD = WorkloadSpec(clients=3, qps=5.0, duration=8.0,
+                             warmup=2.0, domains=10, victim_ttl=6,
+                             label="degraded")
+
+#: A benign p99 above this is dominated by resolver upstream timeouts
+#: (a muted nameserver), not path latency — +40ms cannot move it.
+TAIL_SATURATED_MS = 1000.0
+
+
+def fault_plan(knobs: dict) -> FaultPlan | None:
+    """The symmetric resolver<->NS impairment for one grid level."""
+    if not knobs:
+        return None
+    return FaultPlan.link(RESOLVER_IP, TARGET_NS_IP, label="degraded",
+                          **knobs)
+
+
+def run(seeds=range(6), executor: str = "serial",
+        workers: int | None = None, store=None) -> ExperimentResult:
+    """Sweep (method x fault level x seed) and tabulate the findings."""
+    cells = []
+    for scenario in sweep_scenarios():
+        for level, knobs in FAULT_LEVELS:
+            cells.append(replace(
+                scenario, faults=fault_plan(knobs),
+                workload=BASE_WORKLOAD,
+                label=f"{scenario.method}@{level}"))
+    campaign = Campaign(executor=executor, workers=workers)
+    result = campaign.run(cells, seeds=seeds, store=store)
+
+    headers = ["Method", "Path fault", "Runs", "Attack success",
+               "Benign p50 ms", "Benign p99 ms", "Dropped", "Delayed"]
+    rows = []
+    data: dict[str, dict] = {"cells": {}}
+    by_label = result.by_label()
+    methods = [s.method for s in sweep_scenarios()]
+    for method in methods:
+        for level, _ in FAULT_LEVELS:
+            key = f"{method}@{level}"
+            summary = by_label[key]
+            load = summary.load
+            p50 = load.latency_percentile_ms(0.50)
+            p99 = load.latency_percentile_ms(0.99)
+            dropped = delayed = 0
+            for run_ in result.runs:
+                if run_.label == key:
+                    stats = run_.result.detail.get("faults", {})
+                    dropped += stats.get("dropped", 0)
+                    delayed += stats.get("delayed", 0)
+            rows.append([method, level, summary.runs,
+                         f"{summary.success_rate * 100:.0f}%",
+                         f"{p50:.1f}", f"{p99:.1f}",
+                         str(dropped), str(delayed)])
+            data["cells"][key] = {
+                "success_rate": summary.success_rate,
+                "p50_ms": round(p50, 3),
+                "p99_ms": round(p99, 3),
+                "faults_dropped": dropped,
+                "faults_delayed": delayed,
+                "load_checksum": load.checksum(),
+            }
+
+    # Shape claims the benches assert: the effectiveness ordering
+    # survives path degradation, and added path latency is visible to
+    # benign clients as a higher p99 than the clean path.
+    orderings = []
+    for level, _ in FAULT_LEVELS:
+        level_rates = {m: data["cells"][f"{m}@{level}"]["success_rate"]
+                       for m in methods}
+        orderings.append(level_rates["HijackDNS"]
+                         >= level_rates["FragDNS"]
+                         >= level_rates["SadDNS"])
+    data["ordering_holds"] = all(orderings)
+    # SadDNS mutes the NS with its rate-limit trigger, so benign tail
+    # latency sits at the resolver's upstream-timeout ceiling in every
+    # cell — the +40ms bump can only show where the clean-path tail is
+    # below that ceiling; saturated methods must merely not improve.
+    latency_visible = all(
+        data["cells"][f"{m}@lat+40ms"]["p99_ms"]
+        > data["cells"][f"{m}@clean"]["p99_ms"]
+        if data["cells"][f"{m}@clean"]["p99_ms"] < TAIL_SATURATED_MS
+        else data["cells"][f"{m}@lat+40ms"]["p99_ms"]
+        >= data["cells"][f"{m}@clean"]["p99_ms"]
+        for m in methods)
+    data["latency_visible"] = latency_visible
+    loss_observed = all(
+        data["cells"][f"{m}@loss2%"]["faults_dropped"] > 0
+        for m in methods)
+    data["loss_observed"] = loss_observed
+
+    experiment = ExperimentResult(
+        experiment_id="degraded",
+        title="Attack effectiveness on degraded resolver-NS paths "
+              "(budget-capped sweep, benign load attached)",
+        headers=headers,
+        rows=rows,
+        paper_reference={
+            "idle_effectiveness_order":
+                ["HijackDNS", "FragDNS", "SadDNS"],
+        },
+        data=data,
+    )
+    experiment.rendered = render_table(headers, rows,
+                                       title=experiment.title)
+    experiment.notes.append(
+        f"effectiveness ordering HijackDNS >= FragDNS >= SadDNS holds "
+        f"at every fault level: {data['ordering_holds']}")
+    experiment.notes.append(
+        f"+40ms path latency raises benign p99 above the clean path "
+        f"wherever the clean tail is below the upstream-timeout "
+        f"ceiling: {latency_visible}")
+    experiment.notes.append(
+        f"2% loss level observed dropped packets in every method's "
+        f"sweep: {loss_observed}")
+    experiment.notes.append(
+        "clean rows are bit-identical to a fault-free sweep (fault "
+        "draws live on their own derived RNG stream), and the whole "
+        "grid is bit-identical across serial/thread/process executors")
+    return experiment

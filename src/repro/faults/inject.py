@@ -1,0 +1,92 @@
+"""Compile a :class:`FaultPlan` onto a live :class:`Network`.
+
+The :class:`FaultInjector` sits on the network's transmit path (see
+:meth:`repro.netsim.network.Network.set_fault_injector`) and turns each
+packet's base latency into a tuple of delivery delays — empty for a
+drop, one element for plain (possibly delayed/jittered/reordered)
+delivery, more for duplicates.  All randomness comes from one
+seed-derived stream, so the attack's own draws are untouched and the
+same (seed, plan) always degrades the same packets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.rng import DeterministicRNG
+from repro.faults.spec import FaultPlan, ImpairmentSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.packet import Ipv4Packet
+
+# RNG stream label; deriving it from the testbed seed keeps fault draws
+# independent of every attack/workload stream.
+FAULT_STREAM = "faults"
+
+
+class FaultInjector:
+    """Applies a plan's impairments to packets crossing matching links."""
+
+    __slots__ = ("plan", "rng", "_specs", "_match_cache")
+
+    def __init__(self, plan: FaultPlan, rng: DeterministicRNG):
+        self.plan = plan
+        self.rng = rng
+        self._specs = plan.active_impairments
+        # (src, dst) -> tuple of matching specs.  Address pairs in a
+        # simulated world are few; caching skips fnmatch per packet.
+        self._match_cache: dict[tuple[str, str],
+                                tuple[ImpairmentSpec, ...]] = {}
+
+    def specs_for(self, src: str, dst: str) -> tuple[ImpairmentSpec, ...]:
+        key = (src, dst)
+        specs = self._match_cache.get(key)
+        if specs is None:
+            specs = tuple(s for s in self._specs if s.matches(src, dst))
+            self._match_cache[key] = specs
+        return specs
+
+    def delays(self, packet: "Ipv4Packet", base_latency: float,
+               origin: str | None = None) -> tuple[float, ...]:
+        """Delivery delays for ``packet``: ``()`` drops it, one element
+        delivers once, more elements deliver duplicates.
+
+        ``origin`` is the sending host's real address when the network
+        knows it.  Impairments model physical links, so the src pattern
+        matches the packet's actual origin, never a spoofed header — an
+        off-path attacker forging the nameserver's address does not get
+        to ride (or suffer) the nameserver's degraded link.
+        """
+        specs = self.specs_for(origin if origin is not None
+                               else packet.src, packet.dst)
+        if not specs:
+            return (base_latency,)
+        rng = self.rng
+        delay = base_latency
+        copies = 1
+        for spec in specs:
+            # Fixed draw order per matching spec keeps the stream
+            # identical across runs: loss, latency/jitter, reorder, dup.
+            if spec.loss and rng.random() < spec.loss:
+                return ()
+            delay += spec.extra_latency
+            if spec.jitter:
+                delay += rng.random() * spec.jitter
+            if spec.reorder and rng.random() < spec.reorder:
+                delay += spec.reorder_extra
+            if spec.duplicate and rng.random() < spec.duplicate:
+                copies += 1
+        if copies == 1:
+            return (delay,)
+        return (delay,) * copies
+
+
+def install_plan(plan: FaultPlan | None, world: dict) -> FaultInjector | None:
+    """Wire ``plan`` into a built scenario world (no-op plans install
+    nothing, so clean runs stay bit-identical)."""
+    if plan is None or not plan.active_impairments:
+        return None
+    testbed = world["testbed"]
+    injector = FaultInjector(plan, testbed.rng.derive(FAULT_STREAM))
+    testbed.network.set_fault_injector(injector)
+    return injector

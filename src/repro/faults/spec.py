@@ -1,0 +1,230 @@
+"""Declarative network impairments: loss, latency, jitter, reorder, dup.
+
+An :class:`ImpairmentSpec` describes what one degraded link does to the
+packets crossing it — drop with probability ``loss``, add
+``extra_latency`` (+ uniform ``jitter``), push a fraction ``reorder``
+of packets behind their successors, duplicate a fraction ``duplicate``
+— scoped to (src, dst) address patterns (``fnmatch`` style, ``"*"``
+matches everything).  A :class:`FaultPlan` bundles impairments plus the
+chaos schedule (see :mod:`repro.faults.chaos`) into one frozen,
+picklable value an :class:`repro.scenario.spec.AttackScenario` carries
+declaratively (``faults=...``) and the run store hashes into the
+scenario's identity.
+
+Determinism contract: the plan compiles onto the network with a
+seed-derived RNG stream (``testbed.rng.derive("faults")``), so adding
+an impairment never shifts the attack's own draws — and a plan with no
+active impairment installs *nothing* (zero extra draws, zero extra
+events), reproducing the clean run bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Any
+
+from repro.core.errors import ConfigurationError
+
+
+class FaultError(ConfigurationError):
+    """A fault plan or impairment spec is malformed."""
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultError(f"{name} must be a probability in [0, 1], "
+                         f"got {value!r}")
+
+
+def _check_nonnegative(name: str, value: float) -> None:
+    if value < 0.0:
+        raise FaultError(f"{name} must be >= 0, got {value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ImpairmentSpec:
+    """One degraded link, as data.
+
+    ``src``/``dst`` are address patterns (exact address, or a glob like
+    ``"30.0.0.*"``); a packet is impaired when both match.  ``src`` is
+    matched against the sending host's *real* address: impairments
+    model physical links, so an off-path attacker spoofing the
+    nameserver's address never rides (or suffers) the nameserver's
+    degraded link.  All knobs default to "off", so
+    ``ImpairmentSpec(dst="123.0.0.53", loss=0.02)`` reads as the single
+    fault it injects.
+    """
+
+    src: str = "*"
+    dst: str = "*"
+    loss: float = 0.0            # drop probability per packet
+    extra_latency: float = 0.0   # seconds added to every delivery
+    jitter: float = 0.0          # + uniform [0, jitter) seconds
+    reorder: float = 0.0         # probability of pushing a packet late
+    reorder_extra: float = 0.05  # how far behind a reordered packet lands
+    duplicate: float = 0.0       # probability of delivering twice
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "reorder", "duplicate"):
+            _check_probability(name, getattr(self, name))
+        for name in ("extra_latency", "jitter", "reorder_extra"):
+            _check_nonnegative(name, getattr(self, name))
+        if not self.src or not self.dst:
+            raise FaultError("src/dst patterns must be non-empty")
+
+    @property
+    def active(self) -> bool:
+        """Whether this spec impairs anything at all."""
+        return bool(self.loss or self.extra_latency or self.jitter
+                    or self.reorder or self.duplicate)
+
+    def matches(self, src: str, dst: str) -> bool:
+        """Whether a (src, dst) packet crosses this impaired link."""
+        return fnmatchcase(src, self.src) and fnmatchcase(dst, self.dst)
+
+    def describe(self) -> str:
+        knobs = []
+        if self.loss:
+            knobs.append(f"loss={self.loss:g}")
+        if self.extra_latency:
+            knobs.append(f"+{self.extra_latency * 1000:g}ms")
+        if self.jitter:
+            knobs.append(f"jitter={self.jitter * 1000:g}ms")
+        if self.reorder:
+            knobs.append(f"reorder={self.reorder:g}")
+        if self.duplicate:
+            knobs.append(f"dup={self.duplicate:g}")
+        link = f"{self.src}->{self.dst}"
+        return f"{link} [{', '.join(knobs) if knobs else 'clean'}]"
+
+    # Frozen+slots dataclasses only pickle out of the box from Python
+    # 3.11; fault plans ship to campaign workers on 3.10 too.
+    def __getstate__(self):
+        return tuple(getattr(self, f.name)
+                     for f in dataclasses.fields(self))
+
+    def __setstate__(self, state):
+        for f, value in zip(dataclasses.fields(self), state):
+            object.__setattr__(self, f.name, value)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Everything a scenario injects: impairments + chaos schedule.
+
+    * ``impairments`` degrade the simulated fabric (compiled onto the
+      network by :mod:`repro.faults.inject`);
+    * ``crash_seeds`` name campaign seeds whose world build raises
+      :class:`repro.faults.chaos.ChaosError` — the deterministic
+      "poisoned cell" the execution plane must survive;
+    * ``flaky_seeds`` raise a *transient* error on the first
+      ``flaky_failures`` attempts per process, so a retrying run policy
+      heals them (see :class:`repro.faults.RunPolicy`).
+
+    The empty plan is falsy and injects nothing — scenarios carrying it
+    reproduce their clean runs bit for bit.
+    """
+
+    impairments: tuple[ImpairmentSpec, ...] = ()
+    crash_seeds: tuple[Any, ...] = ()
+    flaky_seeds: tuple[Any, ...] = ()
+    flaky_failures: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.impairments, tuple):
+            object.__setattr__(self, "impairments",
+                               tuple(self.impairments))
+        for spec in self.impairments:
+            if not isinstance(spec, ImpairmentSpec):
+                raise FaultError(
+                    f"impairments must be ImpairmentSpec, got "
+                    f"{type(spec).__name__}")
+        if not isinstance(self.crash_seeds, tuple):
+            object.__setattr__(self, "crash_seeds",
+                               tuple(self.crash_seeds))
+        if not isinstance(self.flaky_seeds, tuple):
+            object.__setattr__(self, "flaky_seeds",
+                               tuple(self.flaky_seeds))
+        if self.flaky_failures < 1:
+            raise FaultError(
+                f"flaky_failures must be >= 1, got {self.flaky_failures}")
+
+    @classmethod
+    def of(cls, *impairments: ImpairmentSpec, label: str = ""
+           ) -> "FaultPlan":
+        """A plan from impairment specs (the common construction)."""
+        return cls(impairments=tuple(impairments), label=label)
+
+    @classmethod
+    def link(cls, src: str, dst: str, symmetric: bool = True,
+             label: str = "", **knobs: float) -> "FaultPlan":
+        """Impair one link (both directions unless ``symmetric=False``).
+
+        >>> FaultPlan.link("30.0.0.1", "123.0.0.53", loss=0.02,
+        ...                extra_latency=0.04)
+        """
+        specs = [ImpairmentSpec(src=src, dst=dst, **knobs)]
+        if symmetric and (src, dst) != (dst, src):
+            specs.append(ImpairmentSpec(src=dst, dst=src, **knobs))
+        return cls(impairments=tuple(specs), label=label)
+
+    @property
+    def active_impairments(self) -> tuple[ImpairmentSpec, ...]:
+        """The impairments that actually do something."""
+        return tuple(spec for spec in self.impairments if spec.active)
+
+    def __bool__(self) -> bool:
+        return bool(self.active_impairments or self.crash_seeds
+                    or self.flaky_seeds)
+
+    def describe(self) -> str:
+        if not self:
+            return "no-op fault plan"
+        parts = [spec.describe() for spec in self.active_impairments]
+        if self.crash_seeds:
+            parts.append(f"crash@seeds={list(self.crash_seeds)}")
+        if self.flaky_seeds:
+            parts.append(
+                f"flaky@seeds={list(self.flaky_seeds)}"
+                f" (x{self.flaky_failures})")
+        head = f"{self.label}: " if self.label else ""
+        return head + "; ".join(parts)
+
+    def __getstate__(self):
+        return tuple(getattr(self, f.name)
+                     for f in dataclasses.fields(self))
+
+    def __setstate__(self, state):
+        for f, value in zip(dataclasses.fields(self), state):
+            object.__setattr__(self, f.name, value)
+
+
+def parse_impairment(text: str) -> ImpairmentSpec:
+    """Parse one CLI impairment: ``"src=A,dst=B,loss=0.02,latency=0.04"``.
+
+    Keys: ``src``, ``dst`` (patterns), ``loss``, ``latency`` (an alias
+    for ``extra_latency``), ``jitter``, ``reorder``, ``reorder_extra``,
+    ``duplicate``.  Times are in seconds.
+    """
+    aliases = {"latency": "extra_latency", "dup": "duplicate"}
+    fields = {f.name for f in dataclasses.fields(ImpairmentSpec)}
+    kwargs: dict[str, Any] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise FaultError(
+                f"bad impairment token {part!r}: want key=value")
+        key, value = part.split("=", 1)
+        key = aliases.get(key.strip(), key.strip())
+        if key not in fields:
+            raise FaultError(
+                f"unknown impairment key {key!r}; known: "
+                f"{', '.join(sorted(fields | set(aliases)))}")
+        kwargs[key] = value.strip() if key in ("src", "dst") \
+            else float(value)
+    return ImpairmentSpec(**kwargs)

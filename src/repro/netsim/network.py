@@ -55,6 +55,10 @@ class NetworkStats:
     delivered: int = 0
     dropped_no_route: int = 0
     intercepted: int = 0
+    # Fault-injection accounting (repro.faults): zeros on a clean fabric.
+    faults_dropped: int = 0
+    faults_delayed: int = 0
+    faults_duplicated: int = 0
     per_destination: Counter = field(default_factory=Counter)
     intercepted_by: Counter = field(default_factory=Counter)
 
@@ -83,6 +87,7 @@ class Network:
         self._interceptor_names: dict[Interceptor, str] = {}
         self._latency_overrides: dict[tuple[str, str], float] = {}
         self._loss: Callable[[Ipv4Packet], bool] | None = None
+        self._faults = None
         self.trace_packets = False
 
     # -- topology --------------------------------------------------------
@@ -130,6 +135,21 @@ class Network:
         """Install a loss model; ``predicate(pkt) == True`` drops the packet."""
         self._loss = predicate
 
+    def set_fault_injector(self, injector) -> None:
+        """Install a :class:`repro.faults.inject.FaultInjector` (or None).
+
+        The injector rewrites each routed packet's delivery delay —
+        possibly into zero deliveries (loss) or several (duplication).
+        A fabric without one pays a single ``is not None`` test per
+        packet, keeping clean runs bit-identical.
+        """
+        self._faults = injector
+
+    @property
+    def fault_injector(self):
+        """The installed fault injector, or None on a clean fabric."""
+        return self._faults
+
     def add_interceptor(self, interceptor: Interceptor,
                         name: str | None = None) -> None:
         """Register a routing interceptor (first non-None claim wins).
@@ -170,6 +190,20 @@ class Network:
             return
         latency = self._latency_overrides.get(
             (packet.src, packet.dst), self.default_latency)
+        if self._faults is not None:
+            delays = self._faults.delays(
+                packet, latency,
+                origin.address if origin is not None else None)
+            if not delays:
+                self.stats.faults_dropped += 1
+                return
+            if delays[0] != latency:
+                self.stats.faults_delayed += 1
+            if len(delays) > 1:
+                self.stats.faults_duplicated += len(delays) - 1
+            for delay in delays:
+                self.scheduler.schedule(delay, self._deliver, packet, target)
+            return
         # No closure, no handle: deliveries are never cancelled.
         self.scheduler.schedule(latency, self._deliver, packet, target)
 

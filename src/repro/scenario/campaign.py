@@ -15,6 +15,7 @@ material of the paper's Table 6 rows.
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
 import time
@@ -24,6 +25,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.core.errors import ScenarioError
 from repro.defenses.base import DefenseStack
+from repro.faults.policy import RunPolicy, execute_cell
 from repro.scenario.spec import AttackScenario, ScenarioRun
 from repro.workload.report import LoadReport
 
@@ -44,22 +46,25 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
 
-def _execute_task(task: tuple[AttackScenario, Any]) -> ScenarioRun:
+def _execute_task(task: tuple[AttackScenario, Any],
+                  policy: RunPolicy | None = None) -> ScenarioRun:
     """Worker entry point: one (scenario, seed) cell of the sweep."""
     scenario, seed = task
-    return scenario.run(seed=seed)
+    return execute_cell(scenario, seed, policy)
 
 
-def _execute_batch(batch: tuple[AttackScenario, tuple[Any, ...]]
-                   ) -> list[ScenarioRun]:
+def _execute_batch(batch: tuple[AttackScenario, tuple[Any, ...]],
+                   policy: RunPolicy | None = None) -> list[ScenarioRun]:
     """Worker entry point: one scenario with a batch of seeds.
 
     Shipping a seed *batch* per task means the scenario — the only
     expensive pickle in a sweep — crosses the process boundary once per
-    batch instead of once per seed.
+    batch instead of once per seed.  Under a :class:`RunPolicy`, a
+    raising or budget-blowing cell comes back as a recorded failed run
+    instead of poisoning the whole batch.
     """
     scenario, seeds = batch
-    return [scenario.run(seed=seed) for seed in seeds]
+    return [execute_cell(scenario, seed, policy) for seed in seeds]
 
 
 def _batch_tasks(tasks: list[tuple[AttackScenario, Any]],
@@ -101,6 +106,7 @@ class MethodSummary:
     key: str
     runs: int = 0
     successes: int = 0
+    failures: int = 0           # cells that could not execute at all
     packets: list[int] = field(default_factory=list)
     queries: list[int] = field(default_factory=list)
     durations: list[float] = field(default_factory=list)
@@ -119,6 +125,10 @@ class MethodSummary:
     def note(self, run: ScenarioRun) -> None:
         self.runs += 1
         self.successes += 1 if run.success else 0
+        # Table 6's MethodStats also feeds bare AttackResults through
+        # here; only real ScenarioRuns can carry a recorded failure.
+        if getattr(run, "failed", False):
+            self.failures += 1
         self.packets.append(run.packets_sent)
         self.queries.append(run.queries_triggered)
         self.durations.append(run.duration)
@@ -213,6 +223,16 @@ class CampaignResult:
     @property
     def success_rate(self) -> float:
         return self.successes / len(self.runs) if self.runs else 0.0
+
+    @property
+    def failures(self) -> int:
+        """Cells recorded as failed (RunPolicy degradation) rather
+        than executed."""
+        return sum(1 for run in self.runs if run.failed)
+
+    def failed_runs(self) -> list[ScenarioRun]:
+        """The recorded failures, in run order."""
+        return [run for run in self.runs if run.failed]
 
     def _group(self, key_fn) -> dict[str, MethodSummary]:
         groups: dict[str, MethodSummary] = {}
@@ -370,8 +390,16 @@ class CampaignResult:
             sections.append(render_table(
                 ["Scenario"] + LoadReport.summary_headers(), load_rows,
                 title="Benign load during the attack"))
+        failed = self.failed_runs()
+        if failed:
+            sections.append(render_table(
+                ["Scenario", "Seed", "Error"],
+                [[run.label, run.seed, run.error] for run in failed],
+                title="Failed cells (recorded, not executed)"))
         footer = (f"{len(self.runs)} runs in {self.wall_clock:.1f}s wall"
                   f" ({self.executor}, workers={self.workers})")
+        if failed:
+            footer += f"\n{len(failed)} cells failed and were recorded"
         if self.notes:
             footer += "\n" + "\n".join(f"note: {note}" for note in self.notes)
         sections.append(footer)
@@ -385,22 +413,31 @@ class Campaign:
     ``"process"`` (default; true parallelism, scenarios must pickle),
     ``"thread"`` (shared process; useful for callable triggers), or
     ``"serial"`` (the reference loop the parallel paths must match).
+
+    ``policy`` (a :class:`repro.faults.RunPolicy`) makes the sweep
+    degrade gracefully: each cell gets a scheduler watchdog, transient
+    failures retry with backoff, and a raising cell becomes a recorded
+    failed run instead of killing the grid.  Without one, exceptions
+    propagate exactly as before.
     """
 
     def __init__(self, workers: int | None = None,
-                 executor: str = "process"):
+                 executor: str = "process",
+                 policy: RunPolicy | None = None):
         if executor not in EXECUTORS:
             raise ScenarioError(
                 f"unknown executor {executor!r}; pick one of {EXECUTORS}")
         self.workers = workers
         self.executor = executor
+        self.policy = policy
 
     def run(self,
             scenarios: AttackScenario | Iterable[AttackScenario],
             seeds: Iterable[Any] = range(8),
             workers: int | None = None,
             executor: str | None = None,
-            store: Any = None) -> CampaignResult:
+            store: Any = None,
+            policy: RunPolicy | None = None) -> CampaignResult:
         """Execute every (scenario, seed) cell and aggregate.
 
         ``seeds`` may hold ints or strings; each is passed verbatim to
@@ -425,14 +462,15 @@ class Campaign:
             raise ScenarioError("no seeds to run")
         return self.run_pairs(
             [(scenario, seed) for scenario in scenarios for seed in seeds],
-            workers=workers, executor=executor, store=store,
+            workers=workers, executor=executor, store=store, policy=policy,
         )
 
     def run_pairs(self,
                   pairs: Iterable[tuple[AttackScenario, Any]],
                   workers: int | None = None,
                   executor: str | None = None,
-                  store: Any = None) -> CampaignResult:
+                  store: Any = None,
+                  policy: RunPolicy | None = None) -> CampaignResult:
         """Execute explicit (scenario, seed) cells on one worker pool.
 
         The general form of :meth:`run` for ragged sweeps — e.g. four
@@ -454,6 +492,8 @@ class Campaign:
             count = min(8, os.cpu_count() or 1)
         if count < 1:
             raise ScenarioError(f"workers must be >= 1, got {count}")
+        if policy is None:
+            policy = self.policy
         notes: list[str] = []
         cached: dict[int, ScenarioRun] = {}
         missing = tasks
@@ -478,16 +518,25 @@ class Campaign:
                              scenario.defense_key))
             stored = store.load_cells(spec_hashes.values())
             missing = []
+            requeued_failures = 0
             for index, (task, key) in enumerate(zip(tasks, keys)):
                 record = stored.get(key)
-                if record is not None:
+                if record is not None and not record.failed:
                     cached[index] = record.to_run()
                 else:
+                    # Failed records don't satisfy a cell: the resume
+                    # re-executes them, and an ok result heals the
+                    # stored failure in place (see RunStore.record).
+                    if record is not None:
+                        requeued_failures += 1
                     missing.append(task)
             if cached:
                 notes.append(
                     f"store: {len(cached)}/{len(tasks)} cells loaded "
                     f"from {store.path}")
+            if requeued_failures:
+                notes.append(
+                    f"store: {requeued_failures} failed cells re-queued")
         if not missing:
             kind = "serial"     # fully cached: nothing to execute
         elif kind != "serial" and (count == 1 or len(missing) == 1):
@@ -504,7 +553,7 @@ class Campaign:
         if kind == "serial":
             fresh = []
             for task in missing:
-                run = _execute_task(task)
+                run = _execute_task(task, policy)
                 _record_run(store, run, task[0], spec_hashes,
                             workload_hashes)
                 fresh.append(run)
@@ -514,17 +563,19 @@ class Campaign:
             batches = _batch_tasks(missing, count)
             pool_cls = ThreadPoolExecutor if kind == "thread" \
                 else ProcessPoolExecutor
+            execute = _execute_batch if policy is None else \
+                functools.partial(_execute_batch, policy=policy)
             fresh = []
             with pool_cls(max_workers=count) as pool:
                 # pool.map yields batches in submission order as they
-                # complete, so recording here keeps every finished cell
-                # durable even if a later batch (or the recording
-                # itself) dies mid-sweep.
+                # complete, so persisting each chunk here keeps every
+                # finished cell durable even if a later batch (or the
+                # recording itself) dies mid-sweep — a killed sweep
+                # resumes with only the missing/failed cells.
                 for batch, chunk in zip(batches,
-                                        pool.map(_execute_batch, batches)):
-                    for run in chunk:
-                        _record_run(store, run, batch[0], spec_hashes,
-                                    workload_hashes)
+                                        pool.map(execute, batches)):
+                    _record_chunk(store, chunk, batch[0], spec_hashes,
+                                  workload_hashes)
                     fresh.extend(chunk)
         wall_clock = time.perf_counter() - started
         # Reassemble in original task order: batching preserves the
@@ -541,10 +592,12 @@ class Campaign:
                  seeds: Iterable[Any] = range(8),
                  workers: int | None = None,
                  executor: str | None = None,
-                 store: Any = None) -> CampaignResult:
+                 store: Any = None,
+                 policy: RunPolicy | None = None) -> CampaignResult:
         """Sweep a config grid: every axis combination times every seed."""
         return self.run(base.variants(**axes), seeds=seeds,
-                        workers=workers, executor=executor, store=store)
+                        workers=workers, executor=executor, store=store,
+                        policy=policy)
 
     def run_defended(self,
                      scenarios: AttackScenario | Iterable[AttackScenario],
@@ -553,7 +606,8 @@ class Campaign:
                      include_undefended: bool = True,
                      workers: int | None = None,
                      executor: str | None = None,
-                     store: Any = None) -> CampaignResult:
+                     store: Any = None,
+                     policy: RunPolicy | None = None) -> CampaignResult:
         """Sweep a (scenario x defense-stack x seed) grid on one pool.
 
         ``stacks`` may hold :class:`repro.defenses.DefenseStack`
@@ -595,7 +649,7 @@ class Campaign:
             for stack in resolved
         ]
         return self.run(cells, seeds=seeds, workers=workers,
-                        executor=executor, store=store)
+                        executor=executor, store=store, policy=policy)
 
 
 def _record_run(store: Any, run: ScenarioRun, scenario: AttackScenario,
@@ -610,6 +664,22 @@ def _record_run(store: Any, run: ScenarioRun, scenario: AttackScenario,
     store.record(RunRecord.from_run(
         run, spec_hash=spec_hashes[marker],
         workload_hash=workload_hashes[marker]))
+
+
+def _record_chunk(store: Any, runs: list[ScenarioRun],
+                  scenario: AttackScenario,
+                  spec_hashes: dict[int, str],
+                  workload_hashes: dict[int, str]) -> None:
+    """Persist one completed batch in a single transaction."""
+    if store is None or not runs:
+        return
+    from repro.store.schema import RunRecord
+
+    marker = id(scenario)
+    store.record_many([
+        RunRecord.from_run(run, spec_hash=spec_hashes[marker],
+                           workload_hash=workload_hashes[marker])
+        for run in runs])
 
 
 def _picklable(tasks: list[tuple[AttackScenario, Any]]) -> bool:

@@ -28,6 +28,7 @@ from repro.attacks.trigger import (
 from repro.core.errors import ScenarioError
 from repro.defenses.base import DefenseStack, WorldConfig
 from repro.dns.nameserver import NameserverConfig
+from repro.faults.spec import FaultPlan
 from repro.dns.records import TYPE_A, ResourceRecord
 from repro.dns.resolver import ResolverConfig
 from repro.netsim.host import HostConfig
@@ -116,6 +117,10 @@ class ScenarioRun:
     # What the benign client population experienced during the run
     # (None when the scenario carried no workload, or its qps was 0).
     load_report: LoadReport | None = None
+    # Non-empty when the cell could not run: the one-line failure a
+    # RunPolicy recorded instead of killing the grid (the attack
+    # statistics are then all zero).  See repro.faults.failed_run.
+    error: str = ""
 
     # -- flattened conveniences for aggregation --------------------------------
 
@@ -145,7 +150,21 @@ class ScenarioRun:
         """Did the application stage demonstrate its Table 1 impact?"""
         return self.app_result is not None and self.app_result.realized
 
+    @property
+    def failed(self) -> bool:
+        """Whether this cell failed to execute (vs. the attack merely
+        not succeeding)."""
+        return bool(self.error)
+
+    @property
+    def status(self) -> str:
+        """``"ok"`` for executed cells, ``"failed"`` for recorded
+        failures — the run store's status column."""
+        return "failed" if self.error else "ok"
+
     def describe(self) -> str:
+        if self.error:
+            return f"[seed={self.seed}] {self.method}: ERROR {self.error}"
         line = f"[seed={self.seed}] {self.result.describe()}"
         if self.app_result is not None:
             line += f"\n  app stage: {self.app_result.describe()}"
@@ -204,6 +223,14 @@ class AttackScenario:
     # traffic, and the run carries a LoadReport.  A qps=0 workload
     # compiles to an empty trace and reproduces the idle world exactly.
     workload: WorkloadSpec | None = None
+    # -- degraded fabric -------------------------------------------------------
+    # When set, make_world() compiles the plan's impairments onto the
+    # network with a seed-derived RNG stream (repro.faults) and applies
+    # its chaos schedule (crash/flaky seeds raise at build time).  A
+    # no-op plan installs nothing and reproduces the clean run bit for
+    # bit; the plan is part of the scenario's spec hash, so the run
+    # store keys impaired and clean runs distinctly.
+    faults: FaultPlan | None = None
     # -- metadata --------------------------------------------------------------
     app: str | None = None             # application victim (Table 1 row)
     capture_possible: bool = True      # HijackDNS control-plane outcome
@@ -278,6 +305,10 @@ class AttackScenario:
         """
         from repro.scenario.registry import resolve_method
 
+        if self.faults is not None:
+            from repro.faults.chaos import maybe_crash
+
+            maybe_crash(self.faults, self.display_label, seed)
         spec = resolve_method(self.method)
         kwargs: dict[str, Any] = {
             "resolver_config": self.resolver_config,
@@ -307,6 +338,10 @@ class AttackScenario:
             world["rov"] = config.rov.deploy(world)
         for record in self.extra_target_records:
             world["target"].zone.add(record)
+        if self.faults is not None and self.faults.active_impairments:
+            from repro.faults.inject import install_plan
+
+            install_plan(self.faults, world)
         return world
 
     def build(self, *, world: dict | None = None, seed: Any = 0
@@ -461,6 +496,15 @@ class BuiltScenario:
             report = self.load_engine.finish()
             if self.load_engine.active:
                 load_report = report
+        network = self.network
+        if network.fault_injector is not None:
+            # Only when a plan is installed, so fault-free runs carry a
+            # byte-identical detail payload.
+            result.detail["faults"] = {
+                "dropped": network.stats.faults_dropped,
+                "delayed": network.stats.faults_delayed,
+                "duplicated": network.stats.faults_duplicated,
+            }
         return ScenarioRun(
             label=self.scenario.display_label,
             method=self.scenario.canonical_method,

@@ -33,9 +33,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="campaign worker threads draining the queue")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request to stderr")
+    parser.add_argument("--chaos", default=None, metavar="KIND:N",
+                        help="inject a deterministic harness fault, e.g."
+                             " 'job:2' crashes the worker on the 2nd job"
+                             " (testing/CI only)")
     args = parser.parse_args(argv)
 
-    service = JobService(args.store, workers=args.workers)
+    service = JobService(args.store, workers=args.workers,
+                         chaos=args.chaos)
     server = make_server(service, host=args.host, port=args.port,
                          quiet=not args.verbose)
     host, port = server.server_address[:2]

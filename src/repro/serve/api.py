@@ -9,8 +9,9 @@ dependencies.  Endpoints (all JSON):
 * ``GET  /jobs``          — every job's lifecycle state
 * ``GET  /jobs/<id>``     — one job (404 when unknown)
 * ``GET  /runs``          — stored records; filters ``method``,
-  ``defense``, ``label``, ``app``, ``spec_hash``, ``success=yes|no``,
-  ``limit``; ``stats=1`` includes the full per-run stats JSON
+  ``defense``, ``label``, ``app``, ``spec_hash``, ``status``
+  (``ok``/``failed``), ``success=yes|no``, ``limit``; ``stats=1``
+  includes the full per-run stats JSON
 * ``GET  /aggregate``     — mergeable totals, grouped by ``?by=axis``
 
 The server itself is stateless: every durable byte lives in the SQLite
@@ -31,6 +32,15 @@ from repro.store.db import StoreError
 #: Hard cap on ``/runs`` page size; clients page with ``limit``.
 MAX_RUNS_PAGE = 1000
 
+#: Hard cap on request bodies: job submissions are a few hundred bytes
+#: of JSON, so anything past this is a client error (413), not work.
+MAX_BODY_BYTES = 1 << 20
+
+#: Socket timeout per request: a client that stalls mid-request (slow
+#: body, dead connection) frees its worker thread instead of wedging
+#: it forever.
+REQUEST_TIMEOUT = 30.0
+
 
 class ServeHandler(BaseHTTPRequestHandler):
     """One request against the shared :class:`JobService`."""
@@ -41,6 +51,10 @@ class ServeHandler(BaseHTTPRequestHandler):
     quiet: bool = True
 
     protocol_version = "HTTP/1.1"
+    # StreamRequestHandler applies this as the connection's socket
+    # timeout in setup(); handle_one_request() treats a timeout as a
+    # dropped connection and closes it.
+    timeout = REQUEST_TIMEOUT
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.quiet:
@@ -66,7 +80,7 @@ class ServeHandler(BaseHTTPRequestHandler):
     def _filters(self, query: dict[str, str]) -> dict:
         filters = {key: query.get(key)
                    for key in ("method", "defense", "label", "app",
-                               "spec_hash")}
+                               "spec_hash", "status")}
         if "success" in query:
             filters["success"] = query["success"] == "yes"
         return filters
@@ -128,8 +142,21 @@ class ServeHandler(BaseHTTPRequestHandler):
             return
         try:
             length = int(self.headers.get("Content-Length", 0))
-            raw = self.rfile.read(length) if length else b""
+        except ValueError:
+            self._error(400, "bad Content-Length header")
+            return
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"request body of {length} bytes exceeds "
+                             f"the {MAX_BODY_BYTES} byte cap")
+            return
+        try:
+            raw = self.rfile.read(length) if length > 0 else b""
             payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except TimeoutError:
+            # The client stalled mid-body; drop the connection rather
+            # than wedging this worker thread.
+            self.close_connection = True
+            return
         except (ValueError, UnicodeDecodeError) as exc:
             self._error(400, f"bad JSON body: {exc}")
             return

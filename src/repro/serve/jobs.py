@@ -147,7 +147,13 @@ class JobSpec:
 
 @dataclass
 class Job:
-    """One queued campaign and its observable lifecycle."""
+    """One queued campaign and its observable lifecycle.
+
+    A job that dies carries a structured failure: ``error`` is the
+    one-line ``Type: message`` form, ``traceback`` a bounded summary —
+    both surfaced verbatim by ``GET /jobs/<id>`` so a poller can see
+    *why* without grepping server logs.
+    """
 
     id: str
     spec: JobSpec
@@ -156,6 +162,7 @@ class Job:
     started: float = 0.0
     finished: float = 0.0
     error: str = ""
+    traceback: str = ""
     summary: dict = field(default_factory=dict)
 
     def to_json(self) -> dict:
@@ -167,16 +174,28 @@ class Job:
             "started": self.started,
             "finished": self.finished,
             "error": self.error,
+            "traceback": self.traceback,
             "summary": self.summary,
         }
 
 
 class JobService:
-    """Worker pool draining submitted campaigns into one run store."""
+    """Worker pool draining submitted campaigns into one run store.
 
-    def __init__(self, store: RunStore | str, workers: int = 2):
+    ``chaos`` (e.g. ``"job:2"``) deterministically kills the Nth job a
+    worker picks up — the injected worker-crash fault the chaos-smoke
+    CI job uses to prove a dying worker yields a *failed job with a
+    recorded error*, never a silent drop or a wedged service.
+    """
+
+    def __init__(self, store: RunStore | str, workers: int = 2,
+                 chaos: str | None = None):
+        from repro.faults.chaos import parse_chaos_schedule
+
         self.store = RunStore.open(store)
         self.workers = max(1, workers)
+        self.chaos = parse_chaos_schedule(chaos)
+        self._started_jobs = itertools.count(1)
         self._queue: "queue.Queue[Job | None]" = queue.Queue()
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
@@ -231,6 +250,8 @@ class JobService:
     def _worker(self) -> None:
         # Imported lazily per worker: the scenario stack is heavy and
         # the service may be queried without ever executing a job.
+        from repro.faults.chaos import ChaosError, should_fail
+        from repro.faults.policy import DEFAULT_POLICY, error_summary
         from repro.scenario.campaign import Campaign
 
         while True:
@@ -240,7 +261,16 @@ class JobService:
             job.state = "running"
             job.started = time.time()
             try:
-                campaign = Campaign(executor="serial")
+                ordinal = next(self._started_jobs)
+                if should_fail(self.chaos, "job", ordinal):
+                    raise ChaosError(
+                        f"injected worker crash on job #{ordinal}")
+                # Jobs run under the default RunPolicy: a poisoned or
+                # budget-blowing cell becomes a recorded failed run and
+                # the job still finishes "done" — its summary carries
+                # the per-cell error detail.
+                campaign = Campaign(executor="serial",
+                                    policy=DEFAULT_POLICY)
                 scenarios = job.spec.scenarios()
                 if job.spec.defend:
                     result = campaign.run_defended(
@@ -258,10 +288,21 @@ class JobService:
                     "wall_clock": result.wall_clock,
                     "notes": list(result.notes),
                     "labels": sorted({run.label for run in result.runs}),
+                    "failures": result.failures,
+                    "failed_cells": [
+                        {"label": run.label, "seed": run.seed,
+                         "error": run.error}
+                        for run in result.failed_runs()
+                    ],
                 }
                 job.state = "done"
-            except Exception:
-                job.error = traceback.format_exc(limit=8)
+            except Exception as exc:
+                # Never silent: the failure (message + bounded
+                # traceback) lands in job state, where GET /jobs/<id>
+                # surfaces it.
+                summary = error_summary(exc)
+                job.error = summary["error"]
+                job.traceback = traceback.format_exc(limit=8)
                 job.state = "failed"
             finally:
                 job.finished = time.time()

@@ -31,6 +31,9 @@ def _filter_args(parser: argparse.ArgumentParser) -> None:
                         help="filter: scenario spec hash")
     parser.add_argument("--success", choices=("yes", "no"),
                         help="filter: attack outcome")
+    parser.add_argument("--status", choices=("ok", "failed"),
+                        help="filter: executed cells vs recorded "
+                             "failures")
 
 
 def _filters(args: argparse.Namespace) -> dict:
@@ -42,6 +45,7 @@ def _filters(args: argparse.Namespace) -> dict:
         "spec_hash": args.spec_hash,
         "success": None if args.success is None
         else args.success == "yes",
+        "status": args.status,
     }
 
 
@@ -50,6 +54,10 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     totals = totals_from_store(store).get("all")
     print(f"store:    {store.path}")
     print(f"records:  {store.count()}")
+    failed = store.count(status="failed")
+    if failed:
+        print(f"failed:   {failed} cells recorded as failures "
+              "(re-run with the same store to re-execute them)")
     if totals is not None and totals.runs:
         print(f"success:  {totals.successes}/{totals.runs} "
               f"({totals.success_rate * 100:.0f}%)")
@@ -60,6 +68,10 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             print(f"{axis + 's:':<10}{', '.join(values)}")
     print(f"hashes:   {len(store.distinct('spec_hash'))} distinct "
           "scenarios")
+    retries = store.total_busy_retries()
+    if retries:
+        print(f"retries:  {retries} writes retried past the busy "
+              "timeout (lock contention)")
     return 0
 
 
@@ -67,18 +79,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.measurements.report import render_table
 
     store = RunStore(args.store)
+    # Failed records have no attack statistics worth a column; show
+    # the recorded error instead so `--status failed` is actionable.
+    show_errors = args.status == "failed"
     rows = []
     for record in store.iter_records(limit=args.limit,
                                      **_filters(args)):
-        rows.append([
+        row = [
             record.spec_hash, record.seed, record.defense,
             record.method, "yes" if record.success else "no",
             f"{record.packets_sent:,}", f"{record.duration:.1f}",
-        ])
-    print(render_table(
-        ["Spec", "Seed", "Defense", "Method", "Success", "Packets",
-         "Duration (s)"],
-        rows, title=f"{len(rows)} stored runs"))
+        ]
+        if show_errors:
+            row.append(record.error)
+        rows.append(row)
+    headers = ["Spec", "Seed", "Defense", "Method", "Success",
+               "Packets", "Duration (s)"]
+    if show_errors:
+        headers.append("Error")
+    print(render_table(headers, rows,
+                       title=f"{len(rows)} stored runs"))
     return 0
 
 

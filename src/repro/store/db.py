@@ -4,11 +4,17 @@ One database file holds every executed campaign cell, keyed by
 ``(spec_hash, seed, defense)`` (see :mod:`repro.store.schema`).  Design
 constraints, in order:
 
-* **append-only** — :meth:`RunStore.record` is ``INSERT OR IGNORE``:
-  the first complete record for a key wins, a replayed cell is a no-op,
-  and nothing ever rewrites history.  Resume semantics follow for free:
-  a killed sweep keeps every completed cell durable and a rerun
-  recomputes only the missing keys (mirroring the atlas JSONL store).
+* **append-only** — :meth:`RunStore.record` is first-wins: a replayed
+  cell is a no-op and nothing rewrites a stored *result*.  The single
+  exception is healing: an ``ok`` record replaces a ``failed`` one for
+  the same key (a failure is an absence of a result, not a result), so
+  resuming a sweep that recorded poisoned cells re-executes exactly the
+  failed/missing keys and upgrades them in place.
+* **retrying** — writes that lose a lock race beyond SQLite's own
+  ``busy_timeout`` retry with bounded backoff (see :func:`retry_locked`)
+  instead of surfacing ``OperationalError`` to the campaign; the
+  cumulative retry count persists in the ``meta`` table so ``inspect``
+  can report contention after the fact.
 * **concurrent writers** — the database runs in WAL mode with a busy
   timeout, so the ``repro serve`` worker pool (and independent
   processes sharing one store file) append simultaneously without
@@ -27,14 +33,14 @@ import sqlite3
 import threading
 import time
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.store.schema import STORE_FORMAT_VERSION, RunRecord
 
 #: Columns a query filter may constrain (whitelist: filters come from
 #: CLI flags and HTTP query strings, never interpolated raw).
 FILTER_COLUMNS = ("spec_hash", "seed", "defense", "method", "label",
-                  "workload_hash", "app", "success")
+                  "workload_hash", "app", "success", "status")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -58,6 +64,8 @@ CREATE TABLE IF NOT EXISTS runs (
     wall_time REAL NOT NULL,
     stats TEXT NOT NULL,
     created REAL NOT NULL,
+    status TEXT NOT NULL DEFAULT 'ok',
+    error TEXT NOT NULL DEFAULT '',
     PRIMARY KEY (spec_hash, seed, defense)
 );
 CREATE INDEX IF NOT EXISTS runs_method ON runs (method);
@@ -68,7 +76,49 @@ CREATE INDEX IF NOT EXISTS runs_label ON runs (label);
 _COLUMNS = ("spec_hash", "seed", "defense", "method", "label",
             "workload_hash", "app", "success", "packets_sent",
             "queries_triggered", "duration", "impact_realized",
-            "load_checksum", "wall_time", "stats", "created")
+            "load_checksum", "wall_time", "stats", "created",
+            "status", "error")
+
+# First-wins upsert with the one healing exception: only an ok record
+# may replace a failed one.  A conflicting insert that fails the WHERE
+# changes no rows, so record() still reports replays as ignored.
+_UPSERT = (
+    f"INSERT INTO runs ({', '.join(_COLUMNS)}) "
+    f"VALUES ({', '.join('?' * len(_COLUMNS))}) "
+    "ON CONFLICT (spec_hash, seed, defense) DO UPDATE SET "
+    + ", ".join(f"{column} = excluded.{column}"
+                for column in _COLUMNS[3:])
+    + " WHERE runs.status = 'failed' AND excluded.status = 'ok'"
+)
+
+#: Bounded-backoff retry for writes that stay locked beyond SQLite's
+#: busy_timeout: attempt n sleeps ``RETRY_BACKOFF * n`` first.
+RETRY_ATTEMPTS = 6
+RETRY_BACKOFF = 0.05
+
+
+def retry_locked(fn: Callable[[], Any],
+                 attempts: int = RETRY_ATTEMPTS,
+                 backoff: float = RETRY_BACKOFF,
+                 on_retry: Callable[[], None] | None = None) -> Any:
+    """Run ``fn``, retrying busy/locked ``sqlite3.OperationalError``.
+
+    Any other ``OperationalError`` (corrupt file, bad SQL) propagates
+    immediately, as does a lock held past the last attempt.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except sqlite3.OperationalError as exc:
+            message = str(exc).lower()
+            if ("locked" not in message and "busy" not in message) \
+                    or attempt >= attempts:
+                raise
+            if on_retry is not None:
+                on_retry()
+            time.sleep(backoff * attempt)
 
 
 class StoreError(Exception):
@@ -94,6 +144,8 @@ def _row_to_record(row: sqlite3.Row) -> RunRecord:
         wall_time=row["wall_time"],
         stats=json.loads(row["stats"]),
         created=row["created"],
+        status=row["status"],
+        error=row["error"],
     )
 
 
@@ -105,10 +157,19 @@ class RunStore:
     lazily opens its own WAL-mode connection to the same file.
     """
 
-    def __init__(self, path: str | os.PathLike):
+    def __init__(self, path: str | os.PathLike,
+                 busy_timeout: float = 30.0):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.busy_timeout = busy_timeout
         self._local = threading.local()
+        # Lock-contention accounting: busy_retries counts this object's
+        # retried writes; the cumulative total also persists into the
+        # meta table (flushed opportunistically) so a later `inspect`
+        # process sees contention it never experienced itself.
+        self._retry_lock = threading.Lock()
+        self.busy_retries = 0
+        self._unflushed_retries = 0
         self._init_schema()
 
     @classmethod
@@ -124,11 +185,13 @@ class RunStore:
     def _connect(self) -> sqlite3.Connection:
         connection = getattr(self._local, "connection", None)
         if connection is None:
-            connection = sqlite3.connect(self.path, timeout=30.0)
+            connection = sqlite3.connect(self.path,
+                                         timeout=self.busy_timeout)
             connection.row_factory = sqlite3.Row
             connection.execute("PRAGMA journal_mode=WAL")
             connection.execute("PRAGMA synchronous=NORMAL")
-            connection.execute("PRAGMA busy_timeout=30000")
+            connection.execute(
+                f"PRAGMA busy_timeout={int(self.busy_timeout * 1000)}")
             self._local.connection = connection
         return connection
 
@@ -158,32 +221,87 @@ class RunStore:
 
     # -- writes ----------------------------------------------------------------
 
+    def _note_busy_retry(self) -> None:
+        with self._retry_lock:
+            self.busy_retries += 1
+            self._unflushed_retries += 1
+
+    def _flush_busy_retries(self, connection: sqlite3.Connection) -> None:
+        """Fold pending retry counts into the meta table (best-effort:
+        a store that is still contended keeps them for the next write)."""
+        with self._retry_lock:
+            pending = self._unflushed_retries
+            self._unflushed_retries = 0
+        if not pending:
+            return
+        try:
+            with connection:
+                connection.execute(
+                    "INSERT INTO meta (key, value) VALUES "
+                    "('busy_retries', ?) ON CONFLICT (key) DO UPDATE SET"
+                    " value = CAST(value AS INTEGER) + ?",
+                    (str(pending), pending))
+        except sqlite3.OperationalError:
+            with self._retry_lock:
+                self._unflushed_retries += pending
+
+    def total_busy_retries(self) -> int:
+        """Cumulative retried writes across every process that shared
+        this store file (plus any not yet flushed by this object)."""
+        row = self._connect().execute(
+            "SELECT value FROM meta WHERE key = 'busy_retries'"
+        ).fetchone()
+        persisted = int(row["value"]) if row is not None else 0
+        with self._retry_lock:
+            return persisted + self._unflushed_retries
+
+    @staticmethod
+    def _row_values(record: RunRecord) -> tuple:
+        return (record.spec_hash, record.seed, record.defense,
+                record.method, record.label, record.workload_hash,
+                record.app, int(record.success), record.packets_sent,
+                record.queries_triggered, record.duration,
+                None if record.impact_realized is None
+                else int(record.impact_realized),
+                record.load_checksum, record.wall_time,
+                json.dumps(record.stats, sort_keys=True,
+                           separators=(",", ":")),
+                record.created, record.status, record.error)
+
     def record(self, record: RunRecord) -> bool:
         """Durably append one cell; ``False`` when the key existed.
 
         Append-only, first-wins: replaying a cell (a resumed sweep, a
         raced retry, two service workers on one grid) never rewrites a
-        stored result, so aggregates stay stable under idempotent
-        retry.
+        stored result — except that an ``ok`` record heals a ``failed``
+        one, so resumed sweeps upgrade recorded failures in place.
+        Writes that stay locked beyond the busy timeout retry with
+        bounded backoff before surfacing the error.
         """
         if not record.created:
             record.created = time.time()
         connection = self._connect()
-        with connection:
-            cursor = connection.execute(
-                f"INSERT OR IGNORE INTO runs ({', '.join(_COLUMNS)}) "
-                f"VALUES ({', '.join('?' * len(_COLUMNS))})",
-                (record.spec_hash, record.seed, record.defense,
-                 record.method, record.label, record.workload_hash,
-                 record.app, int(record.success), record.packets_sent,
-                 record.queries_triggered, record.duration,
-                 None if record.impact_realized is None
-                 else int(record.impact_realized),
-                 record.load_checksum, record.wall_time,
-                 json.dumps(record.stats, sort_keys=True,
-                            separators=(",", ":")),
-                 record.created))
-        return cursor.rowcount > 0
+
+        def _write() -> bool:
+            with connection:
+                cursor = connection.execute(
+                    _UPSERT, self._row_values(record))
+            return cursor.rowcount > 0
+
+        written = retry_locked(_write, on_retry=self._note_busy_retry)
+        self._flush_busy_retries(connection)
+        return written
+
+    def record_many(self, records: Iterable[RunRecord]) -> int:
+        """Durably append a batch; returns how many actually wrote.
+
+        Delegates to :meth:`record` per item (each write individually
+        retried), so store wrappers that intercept ``record`` — chaos
+        stores, counting test doubles — see batch writes too, and a
+        wrapper that dies mid-batch still leaves the earlier records
+        durable for the resume path.
+        """
+        return sum(1 for record in records if self.record(record))
 
     # -- point reads -----------------------------------------------------------
 

@@ -47,7 +47,9 @@ from repro.workload.report import LoadReport
 #: Bump when the canonical rendering (or the simulation semantics any
 #: hash covers) changes incompatibly: old records then miss on hash and
 #: are recomputed instead of being silently merged across formats.
-STORE_FORMAT_VERSION = 1
+#: Format 2: scenarios hash their fault plan, runs carry a
+#: status/error column pair (recorded failures, repro.faults).
+STORE_FORMAT_VERSION = 2
 
 
 # -- canonical rendering -------------------------------------------------------
@@ -148,6 +150,7 @@ def run_to_json(run: ScenarioRun) -> dict:
         "seed": run.seed,
         "defense": run.defense,
         "wall_time": run.wall_time,
+        "error": run.error,
         "result": {
             "method": result.method,
             "success": result.success,
@@ -232,6 +235,7 @@ def run_from_json(payload: dict) -> ScenarioRun:
         app_result=app_result,
         defense=payload.get("defense", "none"),
         load_report=load_report,
+        error=payload.get("error", ""),
     )
 
 
@@ -263,10 +267,20 @@ class RunRecord:
     wall_time: float
     stats: dict
     created: float = 0.0
+    # "ok" for executed cells, "failed" for failures a RunPolicy
+    # recorded in place of a result; ``error`` then carries the
+    # one-line failure.  Failed records are the one exception to
+    # first-wins: a later ok record for the same key heals them.
+    status: str = "ok"
+    error: str = ""
 
     @property
     def key(self) -> tuple[str, str, str]:
         return (self.spec_hash, self.seed, self.defense)
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
 
     @classmethod
     def from_run(cls, run: ScenarioRun, spec_hash: str,
@@ -291,6 +305,8 @@ class RunRecord:
             wall_time=run.wall_time,
             stats=run_to_json(run),
             created=created,
+            status=run.status,
+            error=run.error,
         )
 
     def to_run(self) -> ScenarioRun:
@@ -314,5 +330,7 @@ class RunRecord:
             "load_checksum": self.load_checksum,
             "wall_time": self.wall_time,
             "created": self.created,
+            "status": self.status,
+            "error": self.error,
             "stats": self.stats,
         }

@@ -9,6 +9,7 @@ import pytest
 
 from repro.experiments import (
     ALL_EXPERIMENTS,
+    degraded,
     figure1,
     figure2,
     figure3,
@@ -29,6 +30,7 @@ class TestRegistry:
             "table1", "table2", "table3", "table4", "table5", "table6",
             "figure1", "figure2", "figure3", "figure4", "figure5",
             "section4", "section5", "ablation", "impact", "underload",
+            "degraded",
         }
 
     def test_every_module_has_run(self):
@@ -133,3 +135,20 @@ class TestUnderload:
             is None
         assert result.data["cells"]["HijackDNS@40qps"]["load_checksum"] \
             is not None
+
+
+class TestDegraded:
+    def test_shape_claims_hold(self):
+        # 3 seeds keeps the 3-method x 4-fault-level grid affordable;
+        # the claims are shape comparisons, not tight statistics.
+        result = degraded.run(seeds=range(3), executor="thread",
+                              workers=4)
+        assert len(result.rows) == 3 * len(degraded.FAULT_LEVELS)
+        assert result.data["ordering_holds"]
+        assert result.data["latency_visible"]
+        assert result.data["loss_observed"]
+        # The clean column really is clean: no fault counters.
+        clean = result.data["cells"]["HijackDNS@clean"]
+        assert clean["faults_dropped"] == 0
+        lossy = result.data["cells"]["HijackDNS@loss2%"]
+        assert lossy["faults_dropped"] > 0

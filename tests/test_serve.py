@@ -188,6 +188,97 @@ class TestRoundTrip:
         assert [j["id"] for j in listing["jobs"]] == [job["id"]]
 
 
+class TestServiceResilience:
+    def test_poisoned_cell_job_still_finishes_done(self, tmp_path,
+                                                   monkeypatch):
+        """A crashing cell degrades to a recorded per-cell failure; the
+        job itself completes and carries the error detail."""
+        from dataclasses import replace
+
+        from repro.faults import FaultPlan
+
+        original = JobSpec.scenarios
+
+        def poisoned(self):
+            return [replace(scenario, faults=FaultPlan(crash_seeds=(1,)))
+                    for scenario in original(self)]
+
+        monkeypatch.setattr(JobSpec, "scenarios", poisoned)
+        service = JobService(tmp_path / "serve.db", workers=1)
+        try:
+            job = service.submit({"methods": ["hijack"], "seeds": 3})
+            done = service.wait(job.id, timeout=60)
+            assert done.state == "done"
+            assert done.summary["runs"] == 3
+            assert done.summary["failures"] == 1
+            (cell,) = done.summary["failed_cells"]
+            assert cell["seed"] == 1
+            assert "ChaosError" in cell["error"]
+            assert service.store.count(status="failed") == 1
+        finally:
+            service.shutdown()
+
+    def test_worker_crash_fails_the_job_not_the_service(self, tmp_path):
+        service = JobService(tmp_path / "serve.db", workers=1,
+                             chaos="job:1")
+        try:
+            job = service.submit({"methods": ["hijack"], "seeds": 1})
+            dead = service.wait(job.id, timeout=60)
+            assert dead.state == "failed"
+            assert "injected worker crash" in dead.error
+            assert dead.traceback
+            # The worker loop survived its dead job: the next
+            # submission drains normally.
+            second = service.submit({"methods": ["hijack"], "seeds": 1})
+            assert service.wait(second.id, timeout=60).state == "done"
+        finally:
+            service.shutdown()
+
+    def test_failed_job_surfaces_over_http(self, served, monkeypatch):
+        service, base = served
+
+        def explode(self):
+            raise RuntimeError("scenario build exploded")
+
+        monkeypatch.setattr(JobSpec, "scenarios", explode)
+        _, job = http(base, "/jobs", {"methods": ["hijack"], "seeds": 1})
+        service.wait(job["id"], timeout=60)
+        status, polled = http(base, f"/jobs/{job['id']}")
+        assert status == 200
+        assert polled["state"] == "failed"
+        assert "RuntimeError: scenario build exploded" in polled["error"]
+        assert polled["traceback"]
+
+    def test_oversized_body_is_413(self, served):
+        import http.client
+
+        from repro.serve.api import MAX_BODY_BYTES
+
+        _service, base = served
+        host, port = base.removeprefix("http://").rsplit(":", 1)
+        connection = http.client.HTTPConnection(host, int(port),
+                                                timeout=10)
+        try:
+            # The cap is enforced from Content-Length before the body
+            # is read, so the request never needs to ship a megabyte.
+            connection.putrequest("POST", "/jobs")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length",
+                                 str(MAX_BODY_BYTES + 1))
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 413
+            assert b"exceeds" in response.read()
+        finally:
+            connection.close()
+
+    def test_handler_arms_a_socket_timeout(self):
+        from repro.serve.api import REQUEST_TIMEOUT, ServeHandler
+
+        assert ServeHandler.timeout == REQUEST_TIMEOUT
+        assert 0 < REQUEST_TIMEOUT <= 60
+
+
 class TestRestartDurability:
     def test_new_service_sees_old_results(self, tmp_path):
         db = tmp_path / "serve.db"
