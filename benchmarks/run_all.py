@@ -2,7 +2,8 @@
 
 Runs the hot-loop benchmarks the whole reproduction drains through —
 scheduler event dispatch, network packet delivery, DNS wire codec,
-the serial campaign sweep and the atlas shard scan — and writes the
+the serial campaign sweep, the atlas shard scan and the parallel
+execution plane (serial vs N-worker, checksummed) — and writes the
 machine-readable record ``BENCH_core.json`` (per-bench wall time and
 rates: events/sec, packets/sec, messages/sec, runs/sec, entities/sec).
 
@@ -41,6 +42,7 @@ FULL_SIZES = {
     "killchain_seeds": 8,
     "workload_seeds": 8,
     "atlas_entities": 20_000,
+    "parallel_entities": 40_000,
     "defense_pairs": 28,     # the full pairwise Section 6 grid
     "store_seeds": 8,
     "faults_seeds": 8,
@@ -54,6 +56,7 @@ QUICK_SIZES = {
     "killchain_seeds": 3,
     "workload_seeds": 3,
     "atlas_entities": 5_000,
+    "parallel_entities": 10_000,
     "defense_pairs": 4,      # singles + the showcase pairs
     "store_seeds": 3,
     "faults_seeds": 3,
@@ -349,7 +352,8 @@ def aggregate_checksum(report) -> str:
 
 
 def bench_atlas(entities: int, dataset: str) -> dict:
-    """The sharded population scan (serial), aggregate checksummed."""
+    """The sharded population scan (serial, vectorised kernel when
+    numpy is present), aggregate checksummed."""
     from repro.atlas import find_dataset, scan_dataset
 
     spec = find_dataset(dataset)
@@ -360,6 +364,43 @@ def bench_atlas(entities: int, dataset: str) -> dict:
     return _result(f"atlas_{dataset}", wall, report.entities, "entities/s",
                    checksum=aggregate_checksum(report),
                    shards=report.shard_count)
+
+
+def bench_parallel(entities: int) -> dict:
+    """The parallel execution plane: serial vs N-worker scans of the
+    open-resolver atlas, asserted bit-identical.  The gated ``rate`` is
+    the serial vectorised rate — comparable across hosts with any core
+    count — while the worker-pool numbers (``pooled_rate``,
+    ``speedup``, ``efficiency``) are recorded alongside so the scaling
+    behaviour is visible per machine.  A checksum mismatch between the
+    serial and pooled scans fails the bench outright, which is the
+    bit-identity gate CI runs."""
+    from repro.atlas import find_dataset, scan_dataset
+    from repro.parallel import resolve_workers, vector_available
+
+    spec = find_dataset("open")
+    workers = resolve_workers("auto")
+    started = time.perf_counter()
+    serial = scan_dataset(spec, seed=0, entities=entities, shards=8,
+                          executor="serial")
+    serial_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    pooled = scan_dataset(spec, seed=0, entities=entities, shards=8,
+                          workers=workers, executor="process")
+    pooled_wall = time.perf_counter() - started
+    checksum = aggregate_checksum(serial)
+    assert aggregate_checksum(pooled) == checksum, \
+        "N-worker scan diverged from the serial reference"
+    speedup = serial_wall / pooled_wall if pooled_wall > 0 else 0.0
+    return _result("parallel", serial_wall, entities, "entities/s",
+                   checksum=checksum, workers=workers,
+                   vector=vector_available(),
+                   pooled_wall_s=round(pooled_wall, 4),
+                   pooled_rate=round(entities / pooled_wall, 1)
+                   if pooled_wall > 0 else 0.0,
+                   speedup=round(speedup, 2),
+                   efficiency=round(speedup / workers, 2)
+                   if workers else 0.0)
 
 
 # -- harness ------------------------------------------------------------------
@@ -381,6 +422,7 @@ def run_all(sizes: dict, mode: str, repeats: int) -> dict:
         lambda: bench_workload(sizes["workload_seeds"]),
         lambda: bench_atlas(sizes["atlas_entities"], "open"),
         lambda: bench_atlas(sizes["atlas_entities"], "alexa"),
+        lambda: bench_parallel(sizes["parallel_entities"]),
         lambda: bench_defense_grid(sizes["defense_pairs"]),
         lambda: bench_store_resume(sizes["store_seeds"]),
         lambda: bench_faults(sizes["faults_seeds"]),

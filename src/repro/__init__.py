@@ -156,10 +156,22 @@ Atlas quickstart — Section 5 at the paper's full dataset sizes::
     from repro.atlas import AtlasStore, find_dataset, scan_dataset
 
     spec = find_dataset("open")                  # 1.58M open resolvers
-    report = scan_dataset(spec, shards=16, workers=8,
+    report = scan_dataset(spec, shards=16, workers="auto",
                           store=AtlasStore(".atlas-store"))
     print(report.summary.percentages)            # Table 3 'open' row
     # Interrupted?  Re-run the same call: only missing shards compute.
+    # ``workers="auto"`` (or ``--workers auto`` on any CLI) resolves to
+    # the schedulable CPU count; ``REPRO_WORKERS`` overrides it.  The
+    # scan runs the batch-vectorised kernel when numpy is present and a
+    # bit-identical pure-Python fallback otherwise; results never
+    # depend on kernel, worker count or completion order.
+
+    # Multi-host: point claim-mode workers at one shared store — each
+    # leases shards atomically, killed workers' leases expire, and the
+    # coordinator merge equals an uninterrupted serial scan::
+    #
+    #   python -m repro.parallel claim --dataset open --store S &  # xN
+    #   python -m repro.parallel merge --dataset open --store S
 
     # Validate the planner against the scanned strata end-to-end:
     from repro.atlas import calibrate_population

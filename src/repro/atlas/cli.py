@@ -35,6 +35,7 @@ from repro.measurements.population import (
     ResolverDatasetSpec,
 )
 from repro.measurements.report import render_table
+from repro.parallel.workers import parse_workers
 
 #: Calibration drift allowed between a full-scale scan and the paper's
 #: measured percentages (points).  The generator draws joint
@@ -195,6 +196,7 @@ def _run_scan(args: argparse.Namespace
             spec, seed=args.seed, entities=args.entities,
             shards=args.shards, workers=args.workers,
             executor=args.executor, store=store,
+            kernel=getattr(args, "kernel", "auto"),
         )
         reports.append(report)
         print(f"scanned {report.dataset}: {report.entities:,} entities, "
@@ -342,9 +344,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: the paper's full size)")
         p.add_argument("--shards", type=int, default=16)
         p.add_argument("--seed", type=parse_seed, default=0)
-        p.add_argument("--workers", type=int, default=None)
+        p.add_argument("--workers", type=parse_workers, default=None,
+                       help="worker processes, or 'auto' for all "
+                            "schedulable CPUs (env: REPRO_WORKERS)")
         p.add_argument("--executor", choices=("process", "serial"),
                        default="process")
+        p.add_argument("--kernel", default="auto",
+                       choices=("auto", "vector", "python", "scalar"),
+                       help="per-shard scan implementation (all "
+                            "bit-identical; default picks the "
+                            "vectorised kernel when numpy is present)")
         p.add_argument("--store", default=None,
                        help="shard-result store directory (enables resume)")
 

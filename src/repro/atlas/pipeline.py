@@ -15,13 +15,19 @@ recomputes only the shards the store is missing.
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.atlas.aggregate import ScanAggregate
+from repro.parallel.kernel import (
+    VectorScanner,
+    scan_range,
+    vector_available,
+)
+from repro.parallel.scheduler import run_stealing
+from repro.parallel.workers import resolve_workers
 from repro.atlas.shards import (
     DatasetSpec,
     ShardRange,
@@ -43,46 +49,60 @@ EXECUTORS = ("process", "serial")
 
 
 def run_tasks(fn: Callable[[Any], Any], tasks: list[Any],
-              workers: int | None = None,
-              executor: str = "process") -> tuple[list[Any], str, int]:
+              workers: int | str | None = None,
+              executor: str = "process",
+              on_result: Callable[[int, Any], None] | None = None
+              ) -> tuple[list[Any], str, int]:
     """Map picklable tasks over a process pool (or the serial reference).
 
     Returns ``(results, executor_used, workers_used)``; the pool
     downgrades to the serial loop when it could not help (one worker or
     one task), mirroring the campaign runner's behaviour so 1-vCPU
     hosts document serial parity instead of paying pool overhead.
+
+    Results stream: ``on_result(index, result)`` fires as each task
+    finishes (completion order on the pool, task order on the serial
+    loop), so callers can merge aggregates or append to stores while
+    later tasks are still computing instead of waiting on an eager
+    end-of-run list.  The returned list is always in task order.
     """
     if executor not in EXECUTORS:
         raise ValueError(
             f"unknown executor {executor!r}; pick one of {EXECUTORS}")
-    count = workers if workers is not None else min(8, os.cpu_count() or 1)
-    if count < 1:
-        raise ValueError(f"workers must be >= 1, got {count}")
+    count = resolve_workers(workers)
     count = min(count, len(tasks)) or 1
     if executor == "process" and count == 1:
         executor = "serial"
     if executor == "serial":
-        return [fn(task) for task in tasks], "serial", 1
+        results = []
+        for index, task in enumerate(tasks):
+            result = fn(task)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results, "serial", 1
     with ProcessPoolExecutor(max_workers=count) as pool:
-        return list(pool.map(fn, tasks)), "process", count
+        # Work-stealing dispatch: a bounded window of in-flight futures
+        # keeps every worker busy regardless of per-shard skew, and the
+        # first result merges before the last shard is computed.
+        results = run_stealing(pool, fn, tasks, window=2 * count,
+                               on_result=on_result)
+    return results, "process", count
 
 
-def _scan_shard(task: tuple[DatasetSpec, Any, ShardRange, str]
+def _scan_shard(task: tuple[DatasetSpec, Any, ShardRange, str, str]
                 ) -> ShardRecord:
-    """Worker entry point: stream-scan one shard into an aggregate."""
-    spec, seed, shard, spec_hash = task
+    """Worker entry point: scan one shard into an aggregate.
+
+    Dispatches to the batch-vectorised columnar kernel (or its pure-
+    Python columnar fallback) — bit-identical to streaming the shard's
+    entities through the serial observers, which ``kernel="scalar"``
+    still does.
+    """
+    spec, seed, shard, spec_hash, kernel = task
     kind = dataset_kind(spec)
-    aggregate = ScanAggregate(kind=kind)
     started = time.perf_counter()
-    # Streaming consumption: each entity is fully observed before the
-    # next is produced and then discarded, so the producer may reuse its
-    # scratch RNGs and the observers may prune single-use probe streams.
-    # Dispatch on the dataset kind once rather than per entity.
-    observe = aggregate.observe_front_end if kind == "resolver" \
-        else aggregate.observe_domain
-    for entity in iter_entities(spec, seed=seed, lo=shard.lo, hi=shard.hi,
-                                reuse_rng=True):
-        observe(entity, single_use=True)
+    aggregate = scan_range(spec, seed, shard.lo, shard.hi, kernel=kernel)
     return ShardRecord(
         spec_hash=spec_hash,
         shard_id=shard.shard_id,
@@ -93,6 +113,51 @@ def _scan_shard(task: tuple[DatasetSpec, Any, ShardRange, str]
         wall_time=time.perf_counter() - started,
         aggregate=aggregate,
     )
+
+
+def _scan_missing_serial(spec, seed, missing: list[ShardRange],
+                         spec_hash: str, kernel: str,
+                         on_result: Callable[[int, ShardRecord], None]
+                         ) -> list[ShardRecord]:
+    """Serial scan of the missing shards, batched *across* shards.
+
+    Contiguous runs of missing shards are scanned as one columnar span
+    (per-shard aggregates are sliced out of shared batches), so many
+    small shards cost the same as one big one.  Wall time is
+    apportioned to shards by entity count.
+    """
+    kind = dataset_kind(spec)
+    records: list[ShardRecord] = []
+    runs: list[list[ShardRange]] = []
+    for shard in missing:
+        if runs and runs[-1][-1].hi == shard.lo:
+            runs[-1].append(shard)
+        else:
+            runs.append([shard])
+    scanner = VectorScanner(spec, seed) if kernel in ("auto", "vector") \
+        and vector_available() else None
+    for run in runs:
+        sinks = [(shard.lo, shard.hi, ScanAggregate(kind=kind))
+                 for shard in run]
+        started = time.perf_counter()
+        if scanner is not None:
+            scanner.scan_spans(sinks)
+        else:
+            for cut_lo, cut_hi, aggregate in sinks:
+                scan_range(spec, seed, cut_lo, cut_hi, aggregate,
+                           kernel=kernel)
+        elapsed = time.perf_counter() - started
+        total = sum(shard.hi - shard.lo for shard in run) or 1
+        for shard, (_, _, aggregate) in zip(run, sinks):
+            record = ShardRecord(
+                spec_hash=spec_hash, shard_id=shard.shard_id,
+                dataset=spec.key, kind=kind, lo=shard.lo, hi=shard.hi,
+                wall_time=elapsed * (shard.hi - shard.lo) / total,
+                aggregate=aggregate,
+            )
+            records.append(record)
+            on_result(len(records) - 1, record)
+    return records
 
 
 @dataclass
@@ -127,14 +192,21 @@ class AtlasScanReport:
 
 def scan_dataset(spec: DatasetSpec, seed: int | str = 0,
                  entities: int | None = None, shards: int = 16,
-                 workers: int | None = None, executor: str = "process",
+                 workers: int | str | None = None,
+                 executor: str = "process",
                  store: AtlasStore | None = None,
-                 keep_entities: bool = False) -> AtlasScanReport:
+                 keep_entities: bool = False,
+                 kernel: str = "auto") -> AtlasScanReport:
     """Scan one dataset's synthetic population, sharded and resumable.
 
     ``entities`` defaults to the dataset's **full** paper size (1.58M
     for open resolvers) — the atlas exists so that is computable, not
     extrapolated.  Pass a smaller count for sampled runs.
+
+    ``workers`` accepts a count, ``None`` (capped default) or
+    ``"auto"`` (every schedulable CPU); ``kernel`` picks the per-shard
+    scan implementation (``"auto"``/``"vector"``/``"python"``/
+    ``"scalar"`` — all bit-identical, see :mod:`repro.parallel.kernel`).
 
     ``keep_entities`` retains the generated entities on the report (for
     the sampled experiment paths that also need per-entity access, e.g.
@@ -142,6 +214,9 @@ def scan_dataset(spec: DatasetSpec, seed: int | str = 0,
     whole population in memory, and cannot be combined with a store.
     """
     kind = dataset_kind(spec)
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; pick one of {EXECUTORS}")
     if entities is not None and entities < 0:
         raise ValueError(f"entities must be >= 0, got {entities}")
     total = min(entities, spec.full_size) if entities is not None \
@@ -195,15 +270,29 @@ def scan_dataset(spec: DatasetSpec, seed: int | str = 0,
                 aggregate=aggregate,
             ))
         executor_used, workers_used = "serial", 1
+        if store is not None:
+            for record in fresh:
+                store.append(record)
     else:
-        tasks = [(spec, seed, shard, spec_hash) for shard in missing]
-        fresh, executor_used, workers_used = run_tasks(
-            _scan_shard, tasks, workers=workers, executor=executor)
-    wall_clock = time.perf_counter() - started
+        # Stream every completed shard straight into the store: an
+        # interrupted scan keeps everything finished so far, and memory
+        # never holds more than the (small) aggregate records.
+        def on_result(_index: int, record: ShardRecord) -> None:
+            if store is not None:
+                store.append(record)
 
-    if store is not None:
-        for record in fresh:
-            store.append(record)
+        count = min(resolve_workers(workers), len(missing)) or 1
+        if executor == "serial" or count == 1:
+            fresh = _scan_missing_serial(spec, seed, missing, spec_hash,
+                                         kernel, on_result)
+            executor_used, workers_used = "serial", 1
+        else:
+            tasks = [(spec, seed, shard, spec_hash, kernel)
+                     for shard in missing]
+            fresh, executor_used, workers_used = run_tasks(
+                _scan_shard, tasks, workers=count, executor=executor,
+                on_result=on_result)
+    wall_clock = time.perf_counter() - started
 
     ordered = sorted(list(cached.values()) + fresh,
                      key=lambda record: record.shard_id)
@@ -239,12 +328,14 @@ def scan_dataset(spec: DatasetSpec, seed: int | str = 0,
 
 def scan_many(specs: Iterable[DatasetSpec], seed: int | str = 0,
               entities: int | None = None, shards: int = 16,
-              workers: int | None = None, executor: str = "process",
-              store: AtlasStore | None = None) -> list[AtlasScanReport]:
+              workers: int | str | None = None, executor: str = "process",
+              store: AtlasStore | None = None,
+              kernel: str = "auto") -> list[AtlasScanReport]:
     """Scan several datasets, reusing one configuration."""
     return [
         scan_dataset(spec, seed=seed, entities=entities, shards=shards,
-                     workers=workers, executor=executor, store=store)
+                     workers=workers, executor=executor, store=store,
+                     kernel=kernel)
         for spec in specs
     ]
 

@@ -123,8 +123,8 @@ def evaluate_defense_matrix(stacks: Sequence[DefenseStack],
                             seed: str = "ablation",
                             saddns_iterations: int = 400,
                             frag_attempts: int = 120,
-                            workers: int | None = None,
-                            executor: str = "serial",
+                            workers: int | str | None = None,
+                            executor: str = "process",
                             store: Any = None) -> list[AblationCell]:
     """Run the full (attack x stack) grid on one campaign pool.
 
@@ -132,6 +132,12 @@ def evaluate_defense_matrix(stacks: Sequence[DefenseStack],
     strings the old mitigation grid used for single-defense stacks, so
     old-vs-new runs are bit-comparable.  ``store`` forwards to the
     campaign: grid cells already stored are loaded instead of re-run.
+
+    The grid defaults to the shared-world process executor: every cell
+    is a distinct scenario, so the old per-batch pickling shipped the
+    whole world per cell, while the initializer path ships the table
+    once per worker and steals cells as workers go idle.  Single-CPU
+    hosts downgrade to the bit-identical serial loop automatically.
     """
     cells: list[tuple[str, DefenseStack]] = []
     pairs: list[tuple[AttackScenario, Any]] = []

@@ -75,8 +75,8 @@ def _grid_rows(cells: list[AblationCell]) -> tuple[list[list[str]], int]:
 
 def run(seed: int = 0, saddns_iterations: int = 260,
         frag_attempts: int = 120, pairs: int | None = None,
-        workers: int | None = None,
-        executor: str = "serial", store=None) -> ExperimentResult:
+        workers: int | str | None = None,
+        executor: str = "process", store=None) -> ExperimentResult:
     """Run the single-defense grid plus ``pairs`` pairwise stacks.
 
     ``pairs=None`` runs all 28 two-defense combinations; ``pairs=0``

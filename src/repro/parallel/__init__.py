@@ -1,0 +1,60 @@
+"""repro.parallel — the parallel execution plane.
+
+Three pillars, all bit-identical to the serial reference paths:
+
+* :mod:`repro.parallel.kernel` — batch-vectorised columnar atlas scan
+  (lockstep MT19937 over numpy, pure-Python ``array`` fallback),
+* :mod:`repro.parallel.scheduler` + :mod:`repro.parallel.workers` —
+  work-stealing shard dispatch and the shared ``--workers auto``
+  resolver,
+* :mod:`repro.parallel.claim` — multi-process/multi-host shard leasing
+  over the atlas JSONL store with TTL expiry and idempotent re-claims.
+
+Quickstart::
+
+    from repro.atlas import AtlasStore, find_dataset, scan_dataset
+    from repro.parallel import claim_worker, merge_claimed, resolve_workers
+
+    spec = find_dataset("open")
+    # Vectorised scan on every schedulable CPU:
+    report = scan_dataset(spec, entities=200_000, workers="auto")
+
+    # Claim mode: run this in as many processes/hosts as you like —
+    # each claims shards via store leases; any of them may die.
+    store = AtlasStore("runs/atlas")
+    claim_worker(spec, entities=200_000, shards=64, store=store)
+    # Coordinator merge (scans any shards every worker left behind):
+    report = merge_claimed(spec, entities=200_000, shards=64, store=store)
+
+Command line::
+
+    python -m repro.parallel scan  --dataset open --entities 200000 --workers auto
+    python -m repro.parallel claim --dataset open --entities 200000 --store runs/atlas
+    python -m repro.parallel merge --dataset open --entities 200000 --store runs/atlas
+    python -m repro.parallel bench --entities 40000
+"""
+
+from repro.parallel.claim import (
+    ClaimOutcome,
+    claim_shard,
+    claim_worker,
+    merge_claimed,
+    release_shard,
+)
+from repro.parallel.kernel import VectorScanner, scan_range, vector_available
+from repro.parallel.scheduler import run_stealing
+from repro.parallel.workers import cpu_count, resolve_workers
+
+__all__ = [
+    "ClaimOutcome",
+    "VectorScanner",
+    "claim_shard",
+    "claim_worker",
+    "cpu_count",
+    "merge_claimed",
+    "release_shard",
+    "resolve_workers",
+    "run_stealing",
+    "scan_range",
+    "vector_available",
+]

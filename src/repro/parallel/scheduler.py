@@ -1,0 +1,52 @@
+"""Work-stealing task dispatch with deterministic result ordering.
+
+``concurrent.futures.Executor.map`` hands each worker a fixed slice of
+the task list; one slow shard then idles every other worker at the end
+of the run.  :func:`run_stealing` instead keeps a bounded window of
+in-flight futures and feeds the next task to whichever worker finishes
+first — idle-worker stealing without a shared queue.  Results are
+streamed to a callback the moment they complete (any order — the atlas
+store append is idempotent per shard) and *returned* in task order, so
+callers observe the same list the serial loop would have produced no
+matter how completion interleaves.
+
+The pool is duck-typed (anything with ``submit``), which is how the
+test-suite's adversarial shim — a pool that finishes futures in
+reverse/random order — proves order independence.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from typing import Any, Callable, Sequence
+
+
+def run_stealing(pool, fn: Callable[[Any], Any], tasks: Sequence[Any],
+                 window: int,
+                 on_result: Callable[[int, Any], None] | None = None
+                 ) -> list[Any]:
+    """Map ``fn`` over ``tasks`` through ``pool.submit``, stealing work.
+
+    ``window`` bounds the number of in-flight futures (typically
+    ``2 * workers``: enough that no worker starves while a result is
+    being merged, small enough that a huge task list never floods the
+    pool's call queue).  ``on_result(index, result)`` fires in
+    *completion* order; the returned list is in *task* order.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    results: list[Any] = [None] * len(tasks)
+    pending: dict[Future, int] = {}
+    next_index = 0
+    while next_index < len(tasks) or pending:
+        while next_index < len(tasks) and len(pending) < window:
+            pending[pool.submit(fn, tasks[next_index])] = next_index
+            next_index += 1
+        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            index = pending.pop(future)
+            result = future.result()
+            results[index] = result
+            if on_result is not None:
+                on_result(index, result)
+    return results

@@ -16,7 +16,6 @@ material of the paper's Table 6 rows.
 from __future__ import annotations
 
 import functools
-import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -53,44 +52,72 @@ def _execute_task(task: tuple[AttackScenario, Any],
     return execute_cell(scenario, seed, policy)
 
 
-def _execute_batch(batch: tuple[AttackScenario, tuple[Any, ...]],
-                   policy: RunPolicy | None = None) -> list[ScenarioRun]:
-    """Worker entry point: one scenario with a batch of seeds.
+# -- shared-world workers ----------------------------------------------------
+#
+# The sweep's world template — the distinct scenario table — is the
+# only expensive pickle in a campaign.  The process pool's initializer
+# materialises it exactly once per worker process; every batch after
+# that references its scenario by table index, and the per-seed RNG is
+# rederived in place by the deterministic testbed the cell builds.
+# (The old path re-pickled the scenario with every batch submitted.)
 
-    Shipping a seed *batch* per task means the scenario — the only
-    expensive pickle in a sweep — crosses the process boundary once per
-    batch instead of once per seed.  Under a :class:`RunPolicy`, a
-    raising or budget-blowing cell comes back as a recorded failed run
-    instead of poisoning the whole batch.
-    """
-    scenario, seeds = batch
+_WORKER_WORLD: tuple[list[AttackScenario], RunPolicy | None] = ([], None)
+
+
+def _init_worker(payload: bytes) -> None:
+    """Unpack the (scenario table, policy) world once per worker."""
+    global _WORKER_WORLD
+    _WORKER_WORLD = pickle.loads(payload)
+
+
+def _execute_shared(batch: tuple[int, tuple[Any, ...]]) -> list[ScenarioRun]:
+    """Worker entry point: (scenario-table index, seed batch)."""
+    index, seeds = batch
+    scenarios, policy = _WORKER_WORLD
+    scenario = scenarios[index]
     return [execute_cell(scenario, seed, policy) for seed in seeds]
 
 
+def _execute_indexed(batch: tuple[int, tuple[Any, ...]],
+                     table: Sequence[AttackScenario],
+                     policy: RunPolicy | None = None) -> list[ScenarioRun]:
+    """Thread-executor twin of :func:`_execute_shared`: same batch
+    shape, but the table is shared by reference (no process boundary)."""
+    index, seeds = batch
+    return [execute_cell(table[index], seed, policy) for seed in seeds]
+
+
 def _batch_tasks(tasks: list[tuple[AttackScenario, Any]],
-                 workers: int) -> list[tuple[AttackScenario, tuple[Any, ...]]]:
-    """Group tasks into (scenario, seed-batch) units, order-preserving.
+                 workers: int) -> tuple[list[AttackScenario],
+                                        list[tuple[int, tuple[Any, ...]]]]:
+    """Group tasks into (table-index, seed-batch) units, order-preserving.
 
     Consecutive tasks sharing one scenario object form a group; each
     group is split into batches sized like the old per-task chunking
     (``len / (workers * 4)``) so the pool still load-balances.
-    Flattening the batched results in order reproduces the serial run
-    order exactly, which keeps every executor bit-identical.
+    Returns the distinct scenario table plus the batches: a batch names
+    its scenario by table index, so shipping the table once (via the
+    worker initializer) is enough to execute every batch.  Flattening
+    the batched results in order reproduces the serial run order
+    exactly, which keeps every executor bit-identical.
     """
     batch_size = max(1, len(tasks) // (max(workers, 1) * 4))
-    batches: list[tuple[AttackScenario, tuple[Any, ...]]] = []
+    table: list[AttackScenario] = []
+    batches: list[tuple[int, tuple[Any, ...]]] = []
     index = 0
     while index < len(tasks):
         scenario = tasks[index][0]
         group_end = index
         while group_end < len(tasks) and tasks[group_end][0] is scenario:
             group_end += 1
+        table_index = len(table)
+        table.append(scenario)
         for start in range(index, group_end, batch_size):
             seeds = tuple(seed for _scenario, seed in
                           tasks[start:min(start + batch_size, group_end)])
-            batches.append((scenario, seeds))
+            batches.append((table_index, seeds))
         index = group_end
-    return batches
+    return table, batches
 
 
 @dataclass
@@ -215,6 +242,11 @@ class CampaignResult:
     workers: int
     executor: str
     notes: list[str] = field(default_factory=list)
+    #: Streaming :class:`repro.store.RunTotals` over the whole sweep:
+    #: cached cells fold in at load time and executed chunks fold in as
+    #: they complete on the pool, so the totals exist without any
+    #: end-of-run pass over ``runs`` (None on reconstructed results).
+    totals: Any = None
 
     @property
     def successes(self) -> int:
@@ -414,6 +446,14 @@ class Campaign:
     ``"thread"`` (shared process; useful for callable triggers), or
     ``"serial"`` (the reference loop the parallel paths must match).
 
+    ``workers`` accepts a count, ``"auto"`` (every schedulable CPU) or
+    ``None`` (the historical capped default); the ``REPRO_WORKERS``
+    environment variable overrides the defaults — see
+    :func:`repro.parallel.workers.resolve_workers`.  The process
+    executor ships the sweep's distinct-scenario table to each worker
+    exactly once (pool initializer) and steals work batch by batch, so
+    a slow cell never idles the rest of the pool.
+
     ``policy`` (a :class:`repro.faults.RunPolicy`) makes the sweep
     degrade gracefully: each cell gets a scheduler watchdog, transient
     failures retry with backoff, and a raising cell becomes a recorded
@@ -421,7 +461,7 @@ class Campaign:
     propagate exactly as before.
     """
 
-    def __init__(self, workers: int | None = None,
+    def __init__(self, workers: int | str | None = None,
                  executor: str = "process",
                  policy: RunPolicy | None = None):
         if executor not in EXECUTORS:
@@ -434,7 +474,7 @@ class Campaign:
     def run(self,
             scenarios: AttackScenario | Iterable[AttackScenario],
             seeds: Iterable[Any] = range(8),
-            workers: int | None = None,
+            workers: int | str | None = None,
             executor: str | None = None,
             store: Any = None,
             policy: RunPolicy | None = None) -> CampaignResult:
@@ -467,7 +507,7 @@ class Campaign:
 
     def run_pairs(self,
                   pairs: Iterable[tuple[AttackScenario, Any]],
-                  workers: int | None = None,
+                  workers: int | str | None = None,
                   executor: str | None = None,
                   store: Any = None,
                   policy: RunPolicy | None = None) -> CampaignResult:
@@ -487,11 +527,21 @@ class Campaign:
         if kind not in EXECUTORS:
             raise ScenarioError(
                 f"unknown executor {kind!r}; pick one of {EXECUTORS}")
+        # Imported here: the parallel package's claim module reaches
+        # back through the atlas (whose calibration bridge imports this
+        # module), so a top-level import would cycle.
+        from repro.parallel.scheduler import run_stealing
+        from repro.parallel.workers import resolve_workers
+        from repro.store.aggregate import RunTotals
+
         count = workers if workers is not None else self.workers
-        if count is None:
-            count = min(8, os.cpu_count() or 1)
-        if count < 1:
-            raise ScenarioError(f"workers must be >= 1, got {count}")
+        try:
+            # None keeps the old min(8, cpus) default; "auto" and the
+            # REPRO_WORKERS override resolve through the shared
+            # parallel-plane resolver like every other entry point.
+            count = resolve_workers(count)
+        except ValueError as error:
+            raise ScenarioError(str(error)) from None
         if policy is None:
             policy = self.policy
         notes: list[str] = []
@@ -549,6 +599,9 @@ class Campaign:
                 "scenario not picklable (callable trigger?);"
                 " fell back to the thread executor")
             kind = "thread"
+        totals = RunTotals(key="campaign")
+        for run in cached.values():
+            totals.note_run(run)
         started = time.perf_counter()
         if kind == "serial":
             fresh = []
@@ -556,27 +609,44 @@ class Campaign:
                 run = _execute_task(task, policy)
                 _record_run(store, run, task[0], spec_hashes,
                             workload_hashes)
+                totals.note_run(run)
                 fresh.append(run)
         else:
-            # One scenario + one seed batch per task: the scenario
-            # pickles once per batch rather than once per seed.
-            batches = _batch_tasks(missing, count)
-            pool_cls = ThreadPoolExecutor if kind == "thread" \
-                else ProcessPoolExecutor
-            execute = _execute_batch if policy is None else \
-                functools.partial(_execute_batch, policy=policy)
-            fresh = []
-            with pool_cls(max_workers=count) as pool:
-                # pool.map yields batches in submission order as they
-                # complete, so persisting each chunk here keeps every
-                # finished cell durable even if a later batch (or the
-                # recording itself) dies mid-sweep — a killed sweep
-                # resumes with only the missing/failed cells.
-                for batch, chunk in zip(batches,
-                                        pool.map(execute, batches)):
-                    _record_chunk(store, chunk, batch[0], spec_hashes,
-                                  workload_hashes)
-                    fresh.extend(chunk)
+            # Batches name their scenario by table index; the table
+            # itself crosses the process boundary exactly once, inside
+            # the worker initializer (pickled here once so the pool
+            # ships identical bytes to every worker instead of
+            # re-serialising the world per worker, let alone per batch).
+            table, batches = _batch_tasks(missing, count)
+            if kind == "thread":
+                pool_cls: Any = ThreadPoolExecutor
+                pool_kwargs: dict[str, Any] = {}
+                execute: Any = functools.partial(
+                    _execute_indexed, table=table, policy=policy)
+            else:
+                pool_cls = ProcessPoolExecutor
+                pool_kwargs = {
+                    "initializer": _init_worker,
+                    "initargs": (pickle.dumps((table, policy)),),
+                }
+                execute = _execute_shared
+
+            def merge_chunk(index: int, chunk: list[ScenarioRun]) -> None:
+                # Fires in *completion* order: every finished batch is
+                # durable and folded into the streaming totals before
+                # later batches land, so a killed sweep resumes with
+                # only the missing/failed cells and the aggregate never
+                # waits on an end-of-run barrier list.
+                _record_chunk(store, chunk, table[batches[index][0]],
+                              spec_hashes, workload_hashes)
+                for run in chunk:
+                    totals.note_run(run)
+
+            with pool_cls(max_workers=count, **pool_kwargs) as pool:
+                ordered = run_stealing(pool, execute, batches,
+                                       window=2 * count,
+                                       on_result=merge_chunk)
+            fresh = [run for chunk in ordered for run in chunk]
         wall_clock = time.perf_counter() - started
         # Reassemble in original task order: batching preserves the
         # missing-task order, so splicing fresh runs into the cached
@@ -585,12 +655,13 @@ class Campaign:
         runs = [cached[index] if index in cached else next(fresh_iter)
                 for index in range(len(tasks))]
         return CampaignResult(runs=runs, wall_clock=wall_clock,
-                              workers=count, executor=kind, notes=notes)
+                              workers=count, executor=kind, notes=notes,
+                              totals=totals)
 
     def run_grid(self, base: AttackScenario,
                  axes: dict[str, Iterable[Any]],
                  seeds: Iterable[Any] = range(8),
-                 workers: int | None = None,
+                 workers: int | str | None = None,
                  executor: str | None = None,
                  store: Any = None,
                  policy: RunPolicy | None = None) -> CampaignResult:
@@ -604,7 +675,7 @@ class Campaign:
                      stacks: Iterable[Any],
                      seeds: Iterable[Any] = range(8),
                      include_undefended: bool = True,
-                     workers: int | None = None,
+                     workers: int | str | None = None,
                      executor: str | None = None,
                      store: Any = None,
                      policy: RunPolicy | None = None) -> CampaignResult:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro.parallel.workers import parse_workers, resolve_workers
 from repro.serve.api import make_server
 from repro.serve.jobs import JobService
 
@@ -29,8 +30,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8737,
                         help="listen port (0 picks an ephemeral one)")
-    parser.add_argument("--workers", type=int, default=2,
-                        help="campaign worker threads draining the queue")
+    parser.add_argument("--workers", type=parse_workers, default=2,
+                        help="campaign worker threads draining the queue"
+                             " (a count, or 'auto' for all schedulable"
+                             " CPUs; REPRO_WORKERS overrides 'auto')")
     parser.add_argument("--verbose", action="store_true",
                         help="log every request to stderr")
     parser.add_argument("--chaos", default=None, metavar="KIND:N",
@@ -39,7 +42,7 @@ def main(argv: list[str] | None = None) -> int:
                              " (testing/CI only)")
     args = parser.parse_args(argv)
 
-    service = JobService(args.store, workers=args.workers,
+    service = JobService(args.store, workers=resolve_workers(args.workers),
                          chaos=args.chaos)
     server = make_server(service, host=args.host, port=args.port,
                          quiet=not args.verbose)

@@ -137,28 +137,31 @@ class TestBatchedSubmission:
         b = AttackScenario(method="hijack", label="b")
         tasks = [(a, seed) for seed in range(8)] \
             + [(b, seed) for seed in range(5)]
-        batches = _batch_tasks(tasks, workers=2)
-        flattened = [(scenario, seed) for scenario, seeds in batches
+        table, batches = _batch_tasks(tasks, workers=2)
+        flattened = [(table[index], seed) for index, seeds in batches
                      for seed in seeds]
         assert flattened == tasks
 
-    def test_scenario_shipped_once_per_batch(self):
+    def test_scenario_shipped_once_per_worker(self):
         scenario = AttackScenario(method="hijack")
         tasks = [(scenario, seed) for seed in range(32)]
-        batches = _batch_tasks(tasks, workers=2)
-        # Old behaviour: 32 pickled scenario copies.  Now: one per
-        # batch, and batching still leaves enough tasks to balance.
+        table, batches = _batch_tasks(tasks, workers=2)
+        # Old behaviour: one pickled scenario copy per batch.  Now the
+        # table holds the single distinct scenario (shipped once, via
+        # the worker initializer) and batches reference it by index,
+        # while batching still leaves enough tasks to balance.
+        assert len(table) == 1 and table[0] is scenario
         assert 1 < len(batches) < len(tasks)
-        assert all(batch_scenario is scenario
-                   for batch_scenario, _seeds in batches)
-        assert sum(len(seeds) for _scenario, seeds in batches) == 32
+        assert all(index == 0 for index, _seeds in batches)
+        assert sum(len(seeds) for _index, seeds in batches) == 32
 
     def test_interleaved_scenarios_degrade_to_singletons(self):
         a = AttackScenario(method="hijack", label="a")
         b = AttackScenario(method="hijack", label="b")
         tasks = [(a, 0), (b, 0), (a, 1), (b, 1)]
-        batches = _batch_tasks(tasks, workers=1)
-        assert [(s, list(seeds)) for s, seeds in batches] == \
+        table, batches = _batch_tasks(tasks, workers=1)
+        assert [(table[index], list(seeds))
+                for index, seeds in batches] == \
             [(a, [0]), (b, [0]), (a, [1]), (b, [1])]
 
     def test_ragged_pairs_bit_identical_across_executors(self):
