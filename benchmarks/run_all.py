@@ -4,8 +4,11 @@ Runs the hot-loop benchmarks the whole reproduction drains through —
 scheduler event dispatch, network packet delivery, DNS wire codec,
 the serial campaign sweep, the atlas shard scan and the parallel
 execution plane (serial vs N-worker, checksummed) — and writes the
-machine-readable record ``BENCH_core.json`` (per-bench wall time and
-rates: events/sec, packets/sec, messages/sec, runs/sec, entities/sec).
+machine-readable record ``BENCH_core.json`` (per-bench wall time,
+peak RSS and rates: events/sec, packets/sec, messages/sec, runs/sec,
+entities/sec), plus an observability-overhead record: the campaign and
+atlas workloads run obs-off and obs-on, asserted bit-identical, with
+the enabled plane's cost recorded as ``overhead_pct``.
 
 The committed ``BENCH_core.json`` is the repo's perf baseline; CI reruns
 the harness with ``--quick --check BENCH_core.json`` and fails on a
@@ -30,6 +33,11 @@ import json
 import platform
 import sys
 import time
+
+try:
+    import resource
+except ImportError:  # non-POSIX: record no RSS rather than failing
+    resource = None
 
 
 # -- sizes -------------------------------------------------------------------
@@ -76,6 +84,13 @@ def _result(name: str, wall: float, n: int, unit: str,
     }
     if checksum is not None:
         record["checksum"] = checksum
+    if resource is not None:
+        # ru_maxrss is the process-lifetime high-water mark (KB on
+        # Linux), read as each bench finishes — the per-bench value is
+        # "peak RSS so far", monotone across the run, so the first
+        # bench to blow the memory budget is visible by name.
+        record["peak_rss_kb"] = int(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
     record.update(extra)
     return record
 
@@ -346,6 +361,62 @@ def bench_faults(seeds: int) -> dict:
                    checksum=campaign_checksum(result), seeds=seeds)
 
 
+def bench_obs_overhead(seeds: int, entities: int) -> dict:
+    """The observability plane's zero-cost contract, measured.
+
+    Runs the campaign sweep and the open-resolver atlas scan twice —
+    obs disabled, then obs enabled — and asserts both checksums are
+    bit-identical across the modes (instrumentation may never change
+    statistics).  The gated ``rate`` is the disabled pass, so the CI
+    baseline check catches a disabled-path slowdown like any other
+    perf regression; ``overhead_pct`` records what enabling the full
+    plane costs on top, and ``metrics_series``/``spans`` summarise
+    what one instrumented pass actually emits.
+    """
+    from repro import obs
+    from repro.atlas import find_dataset, scan_dataset
+    from repro.scenario import Campaign, sweep_scenarios
+
+    spec = find_dataset("open")
+
+    def one_pass() -> tuple[float, str, str]:
+        started = time.perf_counter()
+        result = Campaign(executor="serial").run(sweep_scenarios(),
+                                                 seeds=range(seeds))
+        report = scan_dataset(spec, seed=0, entities=entities, shards=8,
+                              executor="serial")
+        wall = time.perf_counter() - started
+        return wall, campaign_checksum(result), aggregate_checksum(report)
+
+    obs.disable()
+    obs.reset()
+    off_wall, off_campaign, off_atlas = one_pass()
+    obs.enable()
+    try:
+        on_wall, on_campaign, on_atlas = one_pass()
+        registry = obs.OBS.registry
+        series = len(registry.metrics())
+        cells = sum(metric.value for metric in registry.metrics()
+                    if metric.name == "campaign.cells_total")
+        spans = len(obs.OBS.spans.spans())
+    finally:
+        obs.disable()
+        obs.reset()
+    assert (off_campaign, off_atlas) == (on_campaign, on_atlas), \
+        "enabling the obs plane changed campaign/atlas statistics"
+    overhead = (on_wall - off_wall) / off_wall if off_wall > 0 else 0.0
+    n = seeds * 3 + entities
+    return _result("obs_overhead", off_wall, n, "ops/s",
+                   checksum=hashlib.sha256(
+                       f"{off_campaign}:{off_atlas}".encode())
+                   .hexdigest(),
+                   seeds=seeds, entities=entities,
+                   enabled_wall_s=round(on_wall, 4),
+                   overhead_pct=round(100.0 * overhead, 2),
+                   metrics_series=series, cells_observed=int(cells),
+                   spans=spans)
+
+
 def aggregate_checksum(report) -> str:
     payload = json.dumps(report.aggregate.to_json(), sort_keys=True)
     return hashlib.sha256(payload.encode()).hexdigest()
@@ -426,6 +497,8 @@ def run_all(sizes: dict, mode: str, repeats: int) -> dict:
         lambda: bench_defense_grid(sizes["defense_pairs"]),
         lambda: bench_store_resume(sizes["store_seeds"]),
         lambda: bench_faults(sizes["faults_seeds"]),
+        lambda: bench_obs_overhead(sizes["campaign_seeds"],
+                                   sizes["atlas_entities"]),
     ]
     benches = {}
     for thunk in thunks:

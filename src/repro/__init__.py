@@ -53,7 +53,14 @@ The package implements, on a byte-accurate simulated Internet:
   transients) under which a raising cell becomes a *recorded failure*
   in the campaign and store instead of killing the sweep, and a chaos
   harness (crash/flaky seeds, scheduled store-write failures, serve
-  worker crashes) that makes the resilience paths testable.
+  worker crashes) that makes the resilience paths testable;
+* a zero-cost observability plane (:mod:`repro.obs`): mergeable
+  counters/gauges/histograms, run-correlated span tracing across
+  process workers, per-stage profiling hooks and a Prometheus
+  ``GET /metrics`` endpoint in service mode — disabled by default
+  under the ``NullLog`` discipline, so instrumentation never changes
+  a statistic: every output is bit-identical with the plane off or
+  on.
 
 Quickstart::
 
@@ -150,6 +157,21 @@ Quickstart::
     #                                      re-run re-executes only them
     # Shell: ``python -m repro.faults --method hijack --seeds 8
     # --impair 'dst=123.0.0.53,loss=0.02,latency=0.04'``.
+
+    # Watch it run: enable the obs plane (free when off — statistics
+    # are bit-identical either way) and the same sweep emits mergeable
+    # metrics and a sweep -> batch -> cell span tree, fleet-wide even
+    # on the process executor.
+    from repro import obs
+    obs.enable()                              # or REPRO_OBS=1
+    sweep = Campaign(executor="process").run(
+        AttackScenario(method="hijack"), seeds=range(16))
+    print(obs.OBS.registry.value("campaign.sweeps_total"))    # 1
+    obs.OBS.spans.export_jsonl("trace.jsonl")
+    # Shell: ``python -m repro.obs tail trace.jsonl`` renders the
+    # tree; ``python -m repro.serve`` (obs on by default) exposes the
+    # live registry at ``GET /metrics``, and ``python -m repro.obs
+    # snapshot --url http://127.0.0.1:8737`` / ``diff`` scrape it.
 
 Atlas quickstart — Section 5 at the paper's full dataset sizes::
 

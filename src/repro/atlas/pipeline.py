@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.atlas.aggregate import ScanAggregate
+from repro.obs import OBS
+from repro.obs.profile import STAGE_EDGES_MS, stage
 from repro.parallel.kernel import (
     VectorScanner,
     scan_range,
@@ -113,6 +115,23 @@ def _scan_shard(task: tuple[DatasetSpec, Any, ShardRange, str, str]
         wall_time=time.perf_counter() - started,
         aggregate=aggregate,
     )
+
+
+def _observe_shard(record: ShardRecord) -> None:
+    """Coordinator-side obs for one finished shard (call only behind
+    an ``OBS.enabled`` check): counters, wall histogram, and a span
+    synthesized from the wall time the worker already measured — no
+    worker-side instrumentation, so the scan payloads never change."""
+    entities = record.hi - record.lo
+    OBS.counter("atlas.shards_computed_total",
+                dataset=record.dataset).inc()
+    OBS.counter("atlas.entities_scanned_total",
+                dataset=record.dataset).inc(entities)
+    OBS.histogram("atlas.shard_wall_ms", edges=STAGE_EDGES_MS,
+                  dataset=record.dataset).observe(
+        record.wall_time * 1000.0)
+    OBS.spans.record("atlas.shard", record.wall_time,
+                     shard=record.shard_id, entities=entities)
 
 
 def _scan_missing_serial(spec, seed, missing: list[ShardRange],
@@ -248,51 +267,74 @@ def scan_dataset(spec: DatasetSpec, seed: int | str = 0,
                 "materialised runs always regenerate")
         executor = "serial"
 
-    started = time.perf_counter()
+    scan_span = None
+    if OBS.enabled:
+        scan_span = OBS.spans.start(
+            "atlas.scan", dataset=spec.key, entities=total,
+            shards=len(ranges), missing=len(missing))
+        if cached:
+            OBS.counter("atlas.shards_cached_total",
+                        dataset=spec.key).inc(len(cached))
     kept: list[FrontEnd | DomainProfile] | None = None
-    if keep_entities:
-        # Serial streaming path that also materialises the entities:
-        # used by the sampled Table 3/4 runs which hand populations to
-        # Figures 3/5.
-        kept = []
-        fresh = []
-        for shard in missing:
-            aggregate = ScanAggregate(kind=kind)
-            shard_started = time.perf_counter()
-            for entity in iter_entities(spec, seed=seed,
-                                        lo=shard.lo, hi=shard.hi):
-                kept.append(entity)
-                aggregate.observe(entity)
-            fresh.append(ShardRecord(
-                spec_hash=spec_hash, shard_id=shard.shard_id,
-                dataset=spec.key, kind=kind, lo=shard.lo, hi=shard.hi,
-                wall_time=time.perf_counter() - shard_started,
-                aggregate=aggregate,
-            ))
-        executor_used, workers_used = "serial", 1
-        if store is not None:
-            for record in fresh:
-                store.append(record)
-    else:
-        # Stream every completed shard straight into the store: an
-        # interrupted scan keeps everything finished so far, and memory
-        # never holds more than the (small) aggregate records.
-        def on_result(_index: int, record: ShardRecord) -> None:
-            if store is not None:
-                store.append(record)
+    try:
+        with stage("atlas.scan", dataset=spec.key) as timer:
+            if keep_entities:
+                # Serial streaming path that also materialises the
+                # entities: used by the sampled Table 3/4 runs which
+                # hand populations to Figures 3/5.
+                kept = []
+                fresh = []
+                for shard in missing:
+                    aggregate = ScanAggregate(kind=kind)
+                    shard_started = time.perf_counter()
+                    for entity in iter_entities(spec, seed=seed,
+                                                lo=shard.lo,
+                                                hi=shard.hi):
+                        kept.append(entity)
+                        aggregate.observe(entity)
+                    fresh.append(ShardRecord(
+                        spec_hash=spec_hash, shard_id=shard.shard_id,
+                        dataset=spec.key, kind=kind, lo=shard.lo,
+                        hi=shard.hi,
+                        wall_time=time.perf_counter() - shard_started,
+                        aggregate=aggregate,
+                    ))
+                executor_used, workers_used = "serial", 1
+                if OBS.enabled:
+                    for record in fresh:
+                        _observe_shard(record)
+                if store is not None:
+                    for record in fresh:
+                        store.append(record)
+            else:
+                # Stream every completed shard straight into the
+                # store: an interrupted scan keeps everything finished
+                # so far, and memory never holds more than the (small)
+                # aggregate records.
+                def on_result(_index: int,
+                              record: ShardRecord) -> None:
+                    if OBS.enabled:
+                        _observe_shard(record)
+                    if store is not None:
+                        store.append(record)
 
-        count = min(resolve_workers(workers), len(missing)) or 1
-        if executor == "serial" or count == 1:
-            fresh = _scan_missing_serial(spec, seed, missing, spec_hash,
-                                         kernel, on_result)
-            executor_used, workers_used = "serial", 1
-        else:
-            tasks = [(spec, seed, shard, spec_hash, kernel)
-                     for shard in missing]
-            fresh, executor_used, workers_used = run_tasks(
-                _scan_shard, tasks, workers=count, executor=executor,
-                on_result=on_result)
-    wall_clock = time.perf_counter() - started
+                count = min(resolve_workers(workers),
+                            len(missing)) or 1
+                if executor == "serial" or count == 1:
+                    fresh = _scan_missing_serial(
+                        spec, seed, missing, spec_hash, kernel,
+                        on_result)
+                    executor_used, workers_used = "serial", 1
+                else:
+                    tasks = [(spec, seed, shard, spec_hash, kernel)
+                             for shard in missing]
+                    fresh, executor_used, workers_used = run_tasks(
+                        _scan_shard, tasks, workers=count,
+                        executor=executor, on_result=on_result)
+    finally:
+        if scan_span is not None:
+            OBS.spans.finish(scan_span)
+    wall_clock = timer.elapsed
 
     ordered = sorted(list(cached.values()) + fresh,
                      key=lambda record: record.shard_id)

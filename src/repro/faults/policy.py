@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.attacks.base import AttackResult
 from repro.core.errors import TransientError
+from repro.obs import OBS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scenario.spec import AttackScenario, ScenarioRun
@@ -118,7 +119,30 @@ def execute_cell(scenario: "AttackScenario", seed: Any,
 
     ``policy=None`` is the bare ``scenario.run(seed)`` — exceptions
     propagate and kill the caller, exactly the pre-policy behaviour.
+
+    Every executor path (serial loop, thread batch, process batch)
+    funnels through here, so this is also the one place the obs plane
+    counts cells and opens per-cell spans — gated on ``OBS.enabled``
+    so the disabled path is exactly the un-instrumented call.
     """
+    if not OBS.enabled:
+        return _run_cell(scenario, seed, policy)
+    method = scenario.canonical_method
+    with OBS.span("campaign.cell", method=method, seed=str(seed),
+                  defense=scenario.defense_key or ""):
+        run = _run_cell(scenario, seed, policy)
+    OBS.counter("campaign.cells_total", method=method).inc()
+    if run.success:
+        OBS.counter("campaign.successes_total", method=method).inc()
+    if run.error:
+        OBS.counter("campaign.failed_cells_total", method=method).inc()
+    OBS.histogram("campaign.cell_wall_ms").observe(
+        run.wall_time * 1000.0)
+    return run
+
+
+def _run_cell(scenario: "AttackScenario", seed: Any,
+              policy: RunPolicy | None) -> "ScenarioRun":
     if policy is None:
         return scenario.run(seed=seed)
     attempt = 0
@@ -132,6 +156,8 @@ def execute_cell(scenario: "AttackScenario", seed: Any,
             return built.execute()
         except TransientError as exc:
             if attempt <= policy.retries:
+                if OBS.enabled:
+                    OBS.counter("campaign.retries_total").inc()
                 if policy.backoff:
                     time.sleep(policy.backoff * attempt)
                 continue

@@ -1,0 +1,162 @@
+"""``python -m repro.obs`` — inspect metrics and traces.
+
+Three subcommands:
+
+* ``snapshot`` — capture the registry of a *running* serve instance
+  (``--url http://host:port``, hits ``GET /metrics?format=json``) or
+  pretty-print a snapshot file, optionally writing it with ``-o``;
+* ``tail`` — render a JSONL span trace as an indented tree with
+  durations (``--limit`` caps the rows, ``--name`` filters);
+* ``diff`` — per-series deltas between two snapshot files, e.g. the
+  before/after of one job on a live service.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+
+from repro.obs import load_trace, walk_tree
+from repro.obs.export import (
+    diff_snapshots,
+    load_snapshot,
+    _flatten,
+)
+
+
+def _fetch_snapshot(url: str, timeout: float) -> dict:
+    target = url.rstrip("/")
+    if "/metrics" not in target:
+        target += "/metrics"
+    separator = "&" if "?" in target else "?"
+    target += separator + "format=json"
+    try:
+        with urllib.request.urlopen(target, timeout=timeout) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError) as exc:
+        raise SystemExit(f"error: cannot fetch {target}: {exc}")
+
+
+def _print_snapshot(payload: dict, limit: int) -> None:
+    flat = _flatten(payload)
+    if not flat:
+        print("(empty registry)")
+        return
+    width = max(len(key) for key in flat)
+    shown = 0
+    for key, value in sorted(flat.items()):
+        if limit and shown >= limit:
+            print(f"... {len(flat) - shown} more series")
+            break
+        rendered = f"{value:.3f}".rstrip("0").rstrip(".") \
+            if isinstance(value, float) else str(value)
+        print(f"{key:<{width}}  {rendered}")
+        shown += 1
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    if args.url:
+        payload = _fetch_snapshot(args.url, args.timeout)
+    elif args.file:
+        payload = load_snapshot(args.file)
+    else:
+        raise SystemExit("error: snapshot needs --url or --file")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote snapshot to {args.output}")
+    if args.raw:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        _print_snapshot(payload, args.limit)
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    spans = load_trace(args.trace)
+    if args.name:
+        spans = [span for span in spans if args.name in span.name]
+    rows = list(walk_tree(spans))
+    if not rows:
+        print("(no spans)")
+        return 0
+    shown = 0
+    for depth, span in rows:
+        if args.limit and shown >= args.limit:
+            print(f"... {len(rows) - shown} more spans")
+            break
+        attrs = " ".join(f"{key}={value}"
+                         for key, value in sorted(span.attrs.items()))
+        print(f"{'  ' * depth}{span.name}  "
+              f"{span.duration * 1000.0:.2f}ms"
+              f"{'  ' + attrs if attrs else ''}"
+              f"  [{span.span_id}]")
+        shown += 1
+    print(f"{len(rows)} spans, trace "
+          f"{spans[0].trace_id if spans else '-'}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    before = load_snapshot(args.before)
+    after = load_snapshot(args.after)
+    deltas = diff_snapshots(before, after)
+    if not deltas:
+        print("no series changed")
+        return 0
+    width = max(len(key) for key in deltas)
+    for key, delta in sorted(deltas.items()):
+        sign = "+" if delta > 0 else ""
+        rendered = f"{delta:.3f}".rstrip("0").rstrip(".") \
+            if isinstance(delta, float) else str(delta)
+        print(f"{key:<{width}}  {sign}{rendered}")
+    print(f"{len(deltas)} series changed")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="inspect repro.obs metrics and span traces")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    snap = commands.add_parser(
+        "snapshot", help="capture or pretty-print a metrics snapshot")
+    snap.add_argument("--url",
+                      help="base URL of a running repro.serve "
+                           "instance (e.g. http://127.0.0.1:8737)")
+    snap.add_argument("--file", help="read a snapshot JSON file")
+    snap.add_argument("-o", "--output",
+                      help="also write the snapshot to this path")
+    snap.add_argument("--raw", action="store_true",
+                      help="print the raw JSON payload")
+    snap.add_argument("--limit", type=int, default=0,
+                      help="max series to print (0 = all)")
+    snap.add_argument("--timeout", type=float, default=10.0)
+    snap.set_defaults(fn=_cmd_snapshot)
+
+    tail = commands.add_parser(
+        "tail", help="render a JSONL span trace as a tree")
+    tail.add_argument("trace", help="path to a trace .jsonl")
+    tail.add_argument("--limit", type=int, default=0,
+                      help="max spans to print (0 = all)")
+    tail.add_argument("--name",
+                      help="only spans whose name contains this")
+    tail.set_defaults(fn=_cmd_tail)
+
+    diff = commands.add_parser(
+        "diff", help="per-series delta between two snapshots")
+    diff.add_argument("before")
+    diff.add_argument("after")
+    diff.set_defaults(fn=_cmd_diff)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

@@ -1,0 +1,170 @@
+"""Exposition: Prometheus text format and JSON snapshots.
+
+:func:`render_prometheus` emits the text exposition format (version
+0.0.4) that a Prometheus scraper — or ``curl`` — reads from the serve
+layer's ``GET /metrics`` route: counters as ``_total`` samples,
+gauges plain, histograms as cumulative ``_bucket{le=...}`` series with
+``_sum``/``_count``.  :func:`snapshot` wraps the registry's canonical
+JSON with enough metadata (pid, wall time, span count) to diff two
+captures; :func:`diff_snapshots` computes those deltas.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, suffix: str = "",
+                namespace: str = "repro") -> str:
+    """Sanitize a dotted registry name into a Prometheus one."""
+    flat = _NAME_RE.sub("_", name)
+    return f"{namespace}_{flat}{suffix}"
+
+
+def _render_labels(labels: dict[str, Any],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(str(k), str(v)) for k, v in labels.items()]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        '{}="{}"'.format(
+            key,
+            value.replace("\\", r"\\").replace('"', r"\"")
+                 .replace("\n", r"\n"))
+        for key, value in sorted(pairs))
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _format_edge(edge: float) -> str:
+    return str(int(edge)) if float(edge).is_integer() else repr(edge)
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      namespace: str = "repro") -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def header(full_name: str, kind: str) -> None:
+        if full_name not in typed:
+            typed.add(full_name)
+            lines.append(f"# TYPE {full_name} {kind}")
+
+    for (kind, name, _labels), metric in registry:
+        if kind == "counter":
+            full = metric_name(name if name.endswith("_total")
+                               else name + "_total",
+                               namespace=namespace)
+            header(full, "counter")
+            lines.append(f"{full}"
+                         f"{_render_labels(dict(metric.labels))} "
+                         f"{_format_value(metric.value)}")
+        elif kind == "gauge":
+            full = metric_name(name, namespace=namespace)
+            header(full, "gauge")
+            lines.append(f"{full}"
+                         f"{_render_labels(dict(metric.labels))} "
+                         f"{_format_value(metric.value)}")
+        else:
+            full = metric_name(name, namespace=namespace)
+            header(full, "histogram")
+            labels = dict(metric.labels)
+            cumulative = 0
+            for edge, count in zip(metric.edges, metric.bins):
+                cumulative += count
+                lines.append(
+                    f"{full}_bucket"
+                    f"{_render_labels(labels, (('le', _format_edge(edge)),))}"
+                    f" {cumulative}")
+            lines.append(
+                f"{full}_bucket"
+                f"{_render_labels(labels, (('le', '+Inf'),))}"
+                f" {metric.count}")
+            lines.append(f"{full}_sum{_render_labels(labels)} "
+                         f"{_format_value(float(metric.sum))}")
+            lines.append(f"{full}_count{_render_labels(labels)} "
+                         f"{metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(registry: MetricsRegistry, spans=None,
+             meta: dict | None = None) -> dict:
+    """A self-describing JSON capture of the registry (and optionally
+    the span log) suitable for ``obs diff`` later."""
+    payload = {
+        "schema": "obs-snapshot/1",
+        "pid": os.getpid(),
+        "unix_time": time.time(),
+        "metrics": registry.to_json(),
+        "checksum": registry.checksum(),
+    }
+    if spans is not None:
+        payload["span_count"] = len(spans.spans())
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
+
+
+def write_snapshot(path, registry: MetricsRegistry, spans=None,
+                   meta: dict | None = None) -> dict:
+    payload = snapshot(registry, spans=spans, meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def load_snapshot(path) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _flatten(snapshot_payload: dict) -> dict[str, float]:
+    """``name{labels} -> scalar`` view of a snapshot (histograms
+    flatten to their count and sum)."""
+    metrics = snapshot_payload.get("metrics", snapshot_payload)
+    flat: dict[str, float] = {}
+    for payload in metrics.get("counters", ()):
+        key = payload["name"] + _render_labels(payload.get("labels",
+                                                          {}))
+        flat[key] = payload["value"]
+    for payload in metrics.get("gauges", ()):
+        key = payload["name"] + _render_labels(payload.get("labels",
+                                                          {}))
+        flat[key] = payload["value"]
+    for payload in metrics.get("histograms", ()):
+        base = payload["name"] + _render_labels(payload.get("labels",
+                                                           {}))
+        flat[base + ".count"] = payload["count"]
+        flat[base + ".sum"] = payload["sum"]
+    return flat
+
+
+def diff_snapshots(before: dict, after: dict) -> dict[str, float]:
+    """Per-series deltas ``after - before`` (new series count from
+    zero; series only in ``before`` show their negated value)."""
+    old = _flatten(before)
+    new = _flatten(after)
+    deltas: dict[str, float] = {}
+    for key in sorted(set(old) | set(new)):
+        delta = new.get(key, 0) - old.get(key, 0)
+        if delta:
+            deltas[key] = delta
+    return deltas

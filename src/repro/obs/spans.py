@@ -1,0 +1,235 @@
+"""Lightweight span tracing with run-correlated IDs.
+
+A span is a named interval with a ``trace_id`` shared by everything one
+top-level operation touched, a process-unique ``span_id``, and the
+``parent_id`` of the span it nests under.  Campaign sweeps open a sweep
+span, ``run_stealing`` batches open batch spans under it, and worker
+cells open cell spans under those — across *process* boundaries the
+coordinator ships ``(trace_id, parent_id)`` in the pool initializer
+payload and workers :meth:`SpanLog.adopt` it, so a JSONL trace of a
+process-pool sweep still reconstructs the full tree.
+
+Parenting is implicit: each thread keeps a stack of open spans and a
+new span nests under the top of that stack, falling back to the log's
+*ambient* parent (what :meth:`adopt` sets) when the stack is empty —
+which is exactly the worker-thread / worker-process case.
+
+Timestamps are ``time.perf_counter()`` readings, monotonic within one
+process; durations are comparable everywhere, absolute starts only
+within a process (the ``pid`` embedded in every span id disambiguates).
+
+Like :mod:`repro.obs.metrics`, this module imports nothing from the
+rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+@dataclass
+class Span:
+    """One named interval in a trace (open until ``end`` is set)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Span":
+        return cls(trace_id=payload["trace_id"],
+                   span_id=payload["span_id"],
+                   parent_id=payload.get("parent_id"),
+                   name=payload["name"],
+                   start=payload.get("start", 0.0),
+                   end=payload.get("end"),
+                   attrs=dict(payload.get("attrs", {})))
+
+
+class SpanLog:
+    """Finished spans of one process, plus the open-span bookkeeping."""
+
+    def __init__(self):
+        self._finished: list[Span] = []
+        self._stack = threading.local()
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+        self.trace_id: str | None = None
+        self.ambient_parent: str | None = None
+
+    # -- identity --------------------------------------------------------------
+
+    def _next_id(self) -> str:
+        return f"{os.getpid():x}.{next(self._counter)}"
+
+    def ensure_trace(self, label: str | None = None) -> str:
+        """Return the active trace id, minting one on first use.
+
+        ``label`` makes the id run-correlated (e.g. the campaign's
+        method list) instead of purely synthetic.
+        """
+        if self.trace_id is None:
+            suffix = f"-{label}" if label else ""
+            self.trace_id = f"t{self._next_id()}{suffix}"
+        return self.trace_id
+
+    def adopt(self, trace_id: str, parent_id: str | None) -> None:
+        """Join a trace started elsewhere (the worker-side handshake)."""
+        self.trace_id = trace_id
+        self.ambient_parent = parent_id
+
+    # -- recording -------------------------------------------------------------
+
+    def _current_stack(self) -> list[Span]:
+        stack = getattr(self._stack, "open", None)
+        if stack is None:
+            stack = self._stack.open = []
+        return stack
+
+    def current(self) -> Span | None:
+        stack = self._current_stack()
+        return stack[-1] if stack else None
+
+    def start(self, name: str, parent: str | None = None,
+              **attrs: Any) -> Span:
+        stack = self._current_stack()
+        if parent is None:
+            parent = stack[-1].span_id if stack \
+                else self.ambient_parent
+        span = Span(trace_id=self.ensure_trace(),
+                    span_id=self._next_id(), parent_id=parent,
+                    name=name, start=time.perf_counter(),
+                    attrs=dict(attrs))
+        stack.append(span)
+        return span
+
+    def finish(self, span: Span, **attrs: Any) -> Span:
+        span.end = time.perf_counter()
+        if attrs:
+            span.attrs.update(attrs)
+        stack = self._current_stack()
+        if span in stack:
+            stack.remove(span)
+        with self._lock:
+            self._finished.append(span)
+        return span
+
+    def record(self, name: str, duration: float,
+               parent: str | None = None, **attrs: Any) -> Span:
+        """Append an already-measured interval (coordinator-side spans
+        for work a callee timed itself, e.g. atlas shard wall times)."""
+        if parent is None:
+            current = self.current()
+            parent = current.span_id if current \
+                else self.ambient_parent
+        now = time.perf_counter()
+        span = Span(trace_id=self.ensure_trace(),
+                    span_id=self._next_id(), parent_id=parent,
+                    name=name, start=now - duration, end=now,
+                    attrs=dict(attrs))
+        with self._lock:
+            self._finished.append(span)
+        return span
+
+    # -- harvest ---------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def flush(self) -> list[dict]:
+        """JSON payloads of every finished span, then forget them —
+        the worker-side delta handoff (mirrors registry ``flush``)."""
+        with self._lock:
+            payloads = [span.to_json() for span in self._finished]
+            self._finished.clear()
+        return payloads
+
+    def extend_json(self, payloads: Iterable[dict]) -> None:
+        spans = [Span.from_json(payload) for payload in payloads]
+        with self._lock:
+            self._finished.extend(spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+        self.trace_id = None
+        self.ambient_parent = None
+
+    # -- persistence -----------------------------------------------------------
+
+    def export_jsonl(self, path) -> int:
+        """Write one span per line; returns the span count."""
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.to_json(),
+                                        sort_keys=True) + "\n")
+        return len(spans)
+
+
+def load_trace(path) -> list[Span]:
+    """Read a JSONL trace back into :class:`Span` objects."""
+    spans = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_json(json.loads(line)))
+    return spans
+
+
+def span_tree(spans: Iterable[Span]) -> dict[str | None, list[Span]]:
+    """Index spans by parent id (children sorted by start time)."""
+    children: dict[str | None, list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: (span.start, span.span_id))
+    return children
+
+
+def walk_tree(spans: Iterable[Span]) -> Iterator[tuple[int, Span]]:
+    """Yield ``(depth, span)`` depth-first.  Roots are spans whose
+    parent is unknown locally (e.g. a worker trace alone)."""
+    spans = list(spans)
+    children = span_tree(spans)
+    known = {span.span_id for span in spans}
+
+    def visit(span: Span, depth: int) -> Iterator[tuple[int, Span]]:
+        yield depth, span
+        for child in children.get(span.span_id, ()):
+            yield from visit(child, depth + 1)
+
+    for span in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        if span.parent_id is None or span.parent_id not in known:
+            yield from visit(span, 0)

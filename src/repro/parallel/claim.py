@@ -35,6 +35,7 @@ from repro.atlas.shards import (
     shard_ranges,
 )
 from repro.atlas.store import AtlasStore, ShardRecord
+from repro.obs import OBS
 
 #: Default lease time-to-live.  Heartbeats refresh the lease after
 #: every shard batch, so the TTL only needs to exceed one shard's scan
@@ -158,19 +159,29 @@ def claim_worker(spec: DatasetSpec, seed: int | str = 0,
             if not claim_shard(store, spec_hash, shard.shard_id, worker,
                                ttl=ttl, broken=outcome.broken):
                 outcome.skipped.append(shard.shard_id)
+                if OBS.enabled:
+                    OBS.counter("claim.shards_skipped_total",
+                                worker=worker).inc()
                 continue
             claimed_any = True
             started = time.perf_counter()
             aggregate = scan_range(spec, seed, shard.lo, shard.hi,
                                    kernel=kernel)
-            store.append(ShardRecord(
+            record = ShardRecord(
                 spec_hash=spec_hash, shard_id=shard.shard_id,
                 dataset=spec.key, kind=kind, lo=shard.lo, hi=shard.hi,
                 wall_time=time.perf_counter() - started,
                 aggregate=aggregate,
-            ))
+            )
+            store.append(record)
             release_shard(store, spec_hash, shard.shard_id)
             outcome.scanned.append(shard.shard_id)
+            if OBS.enabled:
+                from repro.atlas.pipeline import _observe_shard
+
+                _observe_shard(record)
+                OBS.counter("claim.shards_scanned_total",
+                            worker=worker).inc()
         if not claimed_any:
             # Everything left is leased by live workers; let them
             # finish (or their leases expire) before the next pass.

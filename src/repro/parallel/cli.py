@@ -17,9 +17,9 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
-import time
 
 from repro.atlas.cli import parse_seed
+from repro.obs.profile import stage
 from repro.atlas.pipeline import scan_dataset
 from repro.atlas.shards import find_dataset
 from repro.atlas.store import AtlasStore
@@ -88,16 +88,19 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     spec = find_dataset(args.dataset)
     workers = resolve_workers(args.workers if args.workers else "auto")
-    started = time.perf_counter()
-    serial = scan_dataset(spec, seed=args.seed, entities=args.entities,
-                          shards=args.shards, executor="serial",
-                          kernel=args.kernel)
-    serial_wall = time.perf_counter() - started
-    started = time.perf_counter()
-    parallel = scan_dataset(spec, seed=args.seed, entities=args.entities,
-                            shards=args.shards, workers=workers,
-                            executor="process", kernel=args.kernel)
-    parallel_wall = time.perf_counter() - started
+    with stage("parallel.bench", executor="serial") as serial_timer:
+        serial = scan_dataset(spec, seed=args.seed,
+                              entities=args.entities,
+                              shards=args.shards, executor="serial",
+                              kernel=args.kernel)
+    serial_wall = serial_timer.elapsed
+    with stage("parallel.bench", executor="process") as parallel_timer:
+        parallel = scan_dataset(spec, seed=args.seed,
+                                entities=args.entities,
+                                shards=args.shards, workers=workers,
+                                executor="process",
+                                kernel=args.kernel)
+    parallel_wall = parallel_timer.elapsed
     serial_sum = aggregate_checksum(serial)
     parallel_sum = aggregate_checksum(parallel)
     speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0

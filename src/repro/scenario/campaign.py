@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import functools
 import pickle
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Sequence
@@ -25,6 +24,8 @@ from typing import Any, Iterable, Sequence
 from repro.core.errors import ScenarioError
 from repro.defenses.base import DefenseStack
 from repro.faults.policy import RunPolicy, execute_cell
+from repro.obs import OBS, ObsChunk
+from repro.obs.profile import stage
 from repro.scenario.spec import AttackScenario, ScenarioRun
 from repro.workload.report import LoadReport
 
@@ -65,26 +66,56 @@ _WORKER_WORLD: tuple[list[AttackScenario], RunPolicy | None] = ([], None)
 
 
 def _init_worker(payload: bytes) -> None:
-    """Unpack the (scenario table, policy) world once per worker."""
+    """Unpack the (scenario table, policy) world once per worker.
+
+    With the obs plane on, the payload grows a third element — the
+    coordinator's ``(trace_id, parent_id)`` — which the worker adopts
+    so its cell spans join the sweep's trace.  Disabled sweeps ship
+    the same two-tuple bytes they always did.
+    """
     global _WORKER_WORLD
-    _WORKER_WORLD = pickle.loads(payload)
+    world = pickle.loads(payload)
+    if len(world) == 3:
+        table, policy, obs_ctx = world
+        OBS.adopt(obs_ctx)
+        _WORKER_WORLD = (table, policy)
+    else:
+        _WORKER_WORLD = world
 
 
-def _execute_shared(batch: tuple[int, tuple[Any, ...]]) -> list[ScenarioRun]:
-    """Worker entry point: (scenario-table index, seed batch)."""
+def _execute_shared(batch: tuple[int, tuple[Any, ...]]):
+    """Worker entry point: (scenario-table index, seed batch).
+
+    When the plane is on, the batch runs under a ``campaign.batch``
+    span and comes back wrapped in an :class:`repro.obs.ObsChunk`
+    carrying this worker's metric/span delta; the coordinator absorbs
+    it in ``merge_chunk``.  Off, the raw run list travels unchanged.
+    """
     index, seeds = batch
     scenarios, policy = _WORKER_WORLD
     scenario = scenarios[index]
-    return [execute_cell(scenario, seed, policy) for seed in seeds]
+    if not OBS.enabled:
+        return [execute_cell(scenario, seed, policy) for seed in seeds]
+    with OBS.span("campaign.batch", table_index=str(index),
+                  cells=len(seeds)):
+        runs = [execute_cell(scenario, seed, policy) for seed in seeds]
+    return ObsChunk(runs=runs, payload=OBS.flush())
 
 
 def _execute_indexed(batch: tuple[int, tuple[Any, ...]],
                      table: Sequence[AttackScenario],
                      policy: RunPolicy | None = None) -> list[ScenarioRun]:
     """Thread-executor twin of :func:`_execute_shared`: same batch
-    shape, but the table is shared by reference (no process boundary)."""
+    shape, but the table is shared by reference (no process boundary),
+    so spans/metrics land in the coordinator's registry directly."""
     index, seeds = batch
-    return [execute_cell(table[index], seed, policy) for seed in seeds]
+    if not OBS.enabled:
+        return [execute_cell(table[index], seed, policy)
+                for seed in seeds]
+    with OBS.span("campaign.batch", table_index=str(index),
+                  cells=len(seeds)):
+        return [execute_cell(table[index], seed, policy)
+                for seed in seeds]
 
 
 def _batch_tasks(tasks: list[tuple[AttackScenario, Any]],
@@ -602,52 +633,81 @@ class Campaign:
         totals = RunTotals(key="campaign")
         for run in cached.values():
             totals.note_run(run)
-        started = time.perf_counter()
-        if kind == "serial":
-            fresh = []
-            for task in missing:
-                run = _execute_task(task, policy)
-                _record_run(store, run, task[0], spec_hashes,
-                            workload_hashes)
-                totals.note_run(run)
-                fresh.append(run)
-        else:
-            # Batches name their scenario by table index; the table
-            # itself crosses the process boundary exactly once, inside
-            # the worker initializer (pickled here once so the pool
-            # ships identical bytes to every worker instead of
-            # re-serialising the world per worker, let alone per batch).
-            table, batches = _batch_tasks(missing, count)
-            if kind == "thread":
-                pool_cls: Any = ThreadPoolExecutor
-                pool_kwargs: dict[str, Any] = {}
-                execute: Any = functools.partial(
-                    _execute_indexed, table=table, policy=policy)
-            else:
-                pool_cls = ProcessPoolExecutor
-                pool_kwargs = {
-                    "initializer": _init_worker,
-                    "initargs": (pickle.dumps((table, policy)),),
-                }
-                execute = _execute_shared
+        sweep_span = None
+        if OBS.enabled:
+            sweep_span = OBS.spans.start(
+                "campaign.sweep", cells=len(tasks),
+                missing=len(missing), executor=kind, workers=count)
+            OBS.counter("campaign.sweeps_total").inc()
+            if cached:
+                OBS.counter("campaign.cached_cells_total").inc(
+                    len(cached))
+        prev_ambient = OBS.spans.ambient_parent
+        try:
+            with stage("campaign.sweep", executor=kind) as timer:
+                if kind == "serial":
+                    fresh = []
+                    for task in missing:
+                        run = _execute_task(task, policy)
+                        _record_run(store, run, task[0], spec_hashes,
+                                    workload_hashes)
+                        totals.note_run(run)
+                        fresh.append(run)
+                else:
+                    # Batches name their scenario by table index; the
+                    # table itself crosses the process boundary exactly
+                    # once, inside the worker initializer (pickled here
+                    # once so the pool ships identical bytes to every
+                    # worker instead of re-serialising the world per
+                    # worker, let alone per batch).
+                    table, batches = _batch_tasks(missing, count)
+                    if kind == "thread":
+                        pool_cls: Any = ThreadPoolExecutor
+                        pool_kwargs: dict[str, Any] = {}
+                        execute: Any = functools.partial(
+                            _execute_indexed, table=table, policy=policy)
+                        if sweep_span is not None:
+                            # Pool threads have empty span stacks; the
+                            # ambient parent nests their batch spans
+                            # under this sweep.
+                            OBS.spans.ambient_parent = sweep_span.span_id
+                    else:
+                        world: tuple = (table, policy)
+                        if OBS.enabled:
+                            world = (table, policy, OBS.worker_context())
+                        pool_cls = ProcessPoolExecutor
+                        pool_kwargs = {
+                            "initializer": _init_worker,
+                            "initargs": (pickle.dumps(world),),
+                        }
+                        execute = _execute_shared
 
-            def merge_chunk(index: int, chunk: list[ScenarioRun]) -> None:
-                # Fires in *completion* order: every finished batch is
-                # durable and folded into the streaming totals before
-                # later batches land, so a killed sweep resumes with
-                # only the missing/failed cells and the aggregate never
-                # waits on an end-of-run barrier list.
-                _record_chunk(store, chunk, table[batches[index][0]],
-                              spec_hashes, workload_hashes)
-                for run in chunk:
-                    totals.note_run(run)
+                    def merge_chunk(index: int, chunk) -> None:
+                        # Fires in *completion* order: every finished
+                        # batch is durable and folded into the streaming
+                        # totals before later batches land, so a killed
+                        # sweep resumes with only the missing/failed
+                        # cells and the aggregate never waits on an
+                        # end-of-run barrier list.  Worker obs deltas
+                        # are absorbed here, also exactly once.
+                        runs = OBS.absorb_chunk(chunk)
+                        _record_chunk(store, runs,
+                                      table[batches[index][0]],
+                                      spec_hashes, workload_hashes)
+                        for run in runs:
+                            totals.note_run(run)
 
-            with pool_cls(max_workers=count, **pool_kwargs) as pool:
-                ordered = run_stealing(pool, execute, batches,
-                                       window=2 * count,
-                                       on_result=merge_chunk)
-            fresh = [run for chunk in ordered for run in chunk]
-        wall_clock = time.perf_counter() - started
+                    with pool_cls(max_workers=count, **pool_kwargs) as pool:
+                        ordered = run_stealing(pool, execute, batches,
+                                               window=2 * count,
+                                               on_result=merge_chunk)
+                    fresh = [run for chunk in ordered
+                             for run in OBS.chunk_runs(chunk)]
+        finally:
+            OBS.spans.ambient_parent = prev_ambient
+            if sweep_span is not None:
+                OBS.spans.finish(sweep_span)
+        wall_clock = timer.elapsed
         # Reassemble in original task order: batching preserves the
         # missing-task order, so splicing fresh runs into the cached
         # gaps reproduces the uninterrupted sweep's run list exactly.

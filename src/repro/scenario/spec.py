@@ -32,6 +32,8 @@ from repro.faults.spec import FaultPlan
 from repro.dns.records import TYPE_A, ResourceRecord
 from repro.dns.resolver import ResolverConfig
 from repro.netsim.host import HostConfig
+from repro.obs import OBS
+from repro.obs.profile import observe_scheduler
 from repro.testbed import SERVICE_IP, TARGET_DOMAIN, standard_testbed
 from repro.workload.population import WorkloadSpec
 from repro.workload.report import LoadReport
@@ -505,12 +507,25 @@ class BuiltScenario:
                 "delayed": network.stats.faults_delayed,
                 "duplicated": network.stats.faults_duplicated,
             }
+        wall_time = time.perf_counter() - started
+        if OBS.enabled:
+            # End-of-run mirror only: the simulator hot loop stays
+            # untouched; everything here reads counters the run
+            # already kept.
+            observe_scheduler(network.scheduler, wall_time=wall_time)
+            if network.fault_injector is not None:
+                OBS.counter("faults.dropped_total").inc(
+                    network.stats.faults_dropped)
+                OBS.counter("faults.delayed_total").inc(
+                    network.stats.faults_delayed)
+                OBS.counter("faults.duplicated_total").inc(
+                    network.stats.faults_duplicated)
         return ScenarioRun(
             label=self.scenario.display_label,
             method=self.scenario.canonical_method,
             seed=self.seed,
             result=result,
-            wall_time=time.perf_counter() - started,
+            wall_time=wall_time,
             app_result=app_result,
             defense=self.scenario.defense_key,
             load_report=load_report,

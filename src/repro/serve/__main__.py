@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 
+from repro import obs
 from repro.parallel.workers import parse_workers, resolve_workers
 from repro.serve.api import make_server
 from repro.serve.jobs import JobService
@@ -40,8 +41,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="inject a deterministic harness fault, e.g."
                              " 'job:2' crashes the worker on the 2nd job"
                              " (testing/CI only)")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable the observability plane (metrics,"
+                             " GET /metrics); serve enables it by"
+                             " default since a long-lived service is"
+                             " exactly what it exists to watch")
     args = parser.parse_args(argv)
 
+    if args.no_obs:
+        obs.disable()
+    else:
+        obs.enable()
     service = JobService(args.store, workers=resolve_workers(args.workers),
                          chaos=args.chaos)
     server = make_server(service, host=args.host, port=args.port,

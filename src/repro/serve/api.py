@@ -3,7 +3,10 @@
 ``ThreadingHTTPServer`` + ``BaseHTTPRequestHandler`` — no new
 dependencies.  Endpoints (all JSON):
 
-* ``GET  /health``        — liveness + store totals
+* ``GET  /health``        — liveness + store totals + job queue depth,
+  per-worker heartbeats and the store's cumulative busy-retry count
+* ``GET  /metrics``       — the obs registry, Prometheus text format
+  (``?format=json`` for the raw snapshot); 503 while the plane is off
 * ``POST /jobs``          — submit a campaign (202, or 400 on a
   malformed payload; see :class:`repro.serve.jobs.JobSpec`)
 * ``GET  /jobs``          — every job's lifecycle state
@@ -14,6 +17,11 @@ dependencies.  Endpoints (all JSON):
   includes the full per-run stats JSON
 * ``GET  /aggregate``     — mergeable totals, grouped by ``?by=axis``
 
+With the obs plane on (the serve CLI enables it unless ``--no-obs``),
+every request is counted and timed per route/status, and ``/metrics``
+refreshes live gauges — queue depth, workers alive, store busy
+retries — at scrape time.
+
 The server itself is stateless: every durable byte lives in the SQLite
 store, so restarting the service (or pointing a second one at the same
 file) loses nothing — resubmitted campaigns skip every stored cell.
@@ -22,12 +30,29 @@ file) loses nothing — resubmitted campaigns skip every stored cell.
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro.obs import OBS
+from repro.obs.export import (
+    CONTENT_TYPE as METRICS_CONTENT_TYPE,
+    render_prometheus,
+    snapshot,
+)
 from repro.serve.jobs import JobError, JobService
 from repro.store.aggregate import GROUP_AXES, totals_from_store
 from repro.store.db import StoreError
+
+#: Known GET routes, for the per-route request metrics label (dynamic
+#: /jobs/<id> collapses to one series; anything else is "other" so a
+#: scanner cannot mint unbounded label values).
+_ROUTES = ("/health", "/metrics", "/jobs", "/runs", "/aggregate")
+
+#: Request-latency histogram edges (ms): routes answer in microseconds
+#: to, worst case, a slow aggregate over a large store.
+_REQUEST_EDGES_MS = (0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+                     250.0, 1000.0, 5000.0)
 
 #: Hard cap on ``/runs`` page size; clients page with ``limit``.
 MAX_RUNS_PAGE = 1000
@@ -63,9 +88,16 @@ class ServeHandler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------------
 
     def _send(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_bytes(status,
+                         json.dumps(payload, sort_keys=True)
+                         .encode("utf-8"),
+                         "application/json")
+
+    def _send_bytes(self, status: int, body: bytes,
+                    content_type: str) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -85,9 +117,53 @@ class ServeHandler(BaseHTTPRequestHandler):
             filters["success"] = query["success"] == "yes"
         return filters
 
+    # -- request metrics ---------------------------------------------------------
+
+    def _route_label(self) -> str:
+        path = urlparse(self.path).path.rstrip("/")
+        if path.startswith("/jobs/"):
+            return "/jobs/{id}"
+        return path if path in _ROUTES else "other"
+
+    def _observed(self, verb: str, handler) -> None:
+        """Run a request handler, counting and timing it per route.
+
+        ``_send_bytes`` records the final status on the handler
+        instance; one request sends exactly one response.
+        """
+        if not OBS.enabled:
+            handler()
+            return
+        started = time.perf_counter()
+        try:
+            handler()
+        finally:
+            route = self._route_label()
+            OBS.counter("serve.requests_total", route=route, verb=verb,
+                        status=str(getattr(self, "_status", 0))).inc()
+            OBS.histogram("serve.request_ms",
+                          edges=_REQUEST_EDGES_MS, route=route,
+                          verb=verb).observe(
+                (time.perf_counter() - started) * 1000.0)
+
+    def _refresh_live_gauges(self) -> None:
+        """Point-in-time service vitals, re-read at every scrape."""
+        OBS.gauge("serve.queue_depth").set(self.service.queue_depth())
+        OBS.gauge("serve.workers_alive").set(
+            sum(1 for worker in self.service.worker_status()
+                if worker["alive"]))
+        OBS.gauge("store.busy_retries_live").set(
+            self.service.store.total_busy_retries())
+
     # -- routes ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler name)
+        self._observed("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler name)
+        self._observed("POST", self._handle_post)
+
+    def _handle_get(self) -> None:
         path = urlparse(self.path).path.rstrip("/")
         query = self._query()
         try:
@@ -97,7 +173,27 @@ class ServeHandler(BaseHTTPRequestHandler):
                     "store": str(self.service.store.path),
                     "records": self.service.store.count(),
                     "workers": self.service.workers,
+                    "queue_depth": self.service.queue_depth(),
+                    "busy_retries":
+                        self.service.store.total_busy_retries(),
+                    "worker_status": self.service.worker_status(),
                 })
+            elif path == "/metrics":
+                if not OBS.enabled:
+                    self._error(503, "observability plane disabled; "
+                                     "start serve without --no-obs or "
+                                     "set REPRO_OBS=1")
+                    return
+                self._refresh_live_gauges()
+                if query.get("format") == "json":
+                    self._send(200, snapshot(OBS.registry,
+                                             spans=OBS.spans))
+                else:
+                    self._send_bytes(
+                        200,
+                        render_prometheus(OBS.registry)
+                        .encode("utf-8"),
+                        METRICS_CONTENT_TYPE)
             elif path == "/jobs":
                 self._send(200, {"jobs": [job.to_json() for job in
                                           self.service.jobs()]})
@@ -135,7 +231,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         except (StoreError, ValueError) as exc:
             self._error(400, str(exc))
 
-    def do_POST(self) -> None:  # noqa: N802 (stdlib handler name)
+    def _handle_post(self) -> None:
         path = urlparse(self.path).path.rstrip("/")
         if path != "/jobs":
             self._error(404, f"no route {path!r}")

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.errors import ScenarioError
+from repro.obs import OBS
+from repro.obs.profile import stage
 from repro.store.db import RunStore
 
 #: Submission -> terminal states a poller can observe.
@@ -205,6 +207,14 @@ class JobService:
                              name=f"repro-serve-worker-{index}")
             for index in range(self.workers)
         ]
+        # Per-worker liveness: each worker stamps only its own entry
+        # (every loop iteration, so a wedged worker's heartbeat ages),
+        # and /health + /metrics read the map without locking.
+        self._heartbeats: dict[str, dict[str, Any]] = {
+            thread.name: {"state": "starting", "job": "",
+                          "heartbeat": time.time(), "jobs_done": 0}
+            for thread in self._threads
+        }
         for thread in self._threads:
             thread.start()
 
@@ -238,6 +248,24 @@ class JobService:
             time.sleep(0.02)
         raise TimeoutError(f"job {job_id} still pending after {timeout}s")
 
+    def queue_depth(self) -> int:
+        """Jobs waiting or in flight (qsize is advisory, like the
+        queue module documents — good enough for a depth gauge)."""
+        return self._queue.qsize()
+
+    def worker_status(self) -> list[dict]:
+        """Liveness/heartbeat row per worker thread, for /health."""
+        alive = {thread.name: thread.is_alive()
+                 for thread in self._threads}
+        now = time.time()
+        return [
+            {"name": name, "alive": alive.get(name, False),
+             "state": beat["state"], "job": beat["job"],
+             "jobs_done": beat["jobs_done"],
+             "heartbeat_age": round(now - beat["heartbeat"], 3)}
+            for name, beat in sorted(self._heartbeats.items())
+        ]
+
     def shutdown(self) -> None:
         """Stop the workers after the queue drains."""
         for _ in self._threads:
@@ -254,12 +282,26 @@ class JobService:
         from repro.faults.policy import DEFAULT_POLICY, error_summary
         from repro.scenario.campaign import Campaign
 
+        beat = self._heartbeats[threading.current_thread().name]
         while True:
-            job = self._queue.get()
+            beat["state"] = "idle"
+            beat["heartbeat"] = time.time()
+            try:
+                # Bounded get: the loop wakes once a second even when
+                # the queue is empty, so an idle worker's heartbeat
+                # stays fresh and a silent one reads as wedged.
+                job = self._queue.get(timeout=1.0)
+            except queue.Empty:
+                continue
             if job is None:
+                beat["state"] = "stopped"
+                beat["heartbeat"] = time.time()
                 return
             job.state = "running"
             job.started = time.time()
+            beat["state"] = "running"
+            beat["job"] = job.id
+            beat["heartbeat"] = time.time()
             try:
                 ordinal = next(self._started_jobs)
                 if should_fail(self.chaos, "job", ordinal):
@@ -272,14 +314,15 @@ class JobService:
                 campaign = Campaign(executor="serial",
                                     policy=DEFAULT_POLICY)
                 scenarios = job.spec.scenarios()
-                if job.spec.defend:
-                    result = campaign.run_defended(
-                        scenarios, stacks=job.spec.defend,
-                        seeds=job.spec.seeds, store=self.store)
-                else:
-                    result = campaign.run(scenarios,
-                                          seeds=job.spec.seeds,
-                                          store=self.store)
+                with stage("serve.job"):
+                    if job.spec.defend:
+                        result = campaign.run_defended(
+                            scenarios, stacks=job.spec.defend,
+                            seeds=job.spec.seeds, store=self.store)
+                    else:
+                        result = campaign.run(scenarios,
+                                              seeds=job.spec.seeds,
+                                              store=self.store)
                 job.summary = {
                     "runs": len(result.runs),
                     "successes": result.successes,
@@ -306,4 +349,10 @@ class JobService:
                 job.state = "failed"
             finally:
                 job.finished = time.time()
+                if OBS.enabled:
+                    OBS.counter("serve.jobs_total",
+                                state=job.state).inc()
+                beat["jobs_done"] += 1
+                beat["job"] = ""
+                beat["heartbeat"] = time.time()
                 self._queue.task_done()

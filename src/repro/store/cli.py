@@ -2,7 +2,7 @@
 
 Subcommands::
 
-    inspect  runs.db                     # totals, axes, format
+    inspect  runs.db [--json]            # totals, axes, format
     query    runs.db --method saddns     # matching records as a table
     agg      runs.db --by defense        # grouped mergeable totals
     export   runs.db out.jsonl           # records as JSON lines
@@ -52,6 +52,24 @@ def _filters(args: argparse.Namespace) -> dict:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     store = RunStore(args.store)
     totals = totals_from_store(store).get("all")
+    if args.json:
+        # Machine-readable twin of the prose below: stable keys, full
+        # totals payload, so scripts (and the obs CLI) can consume it.
+        payload = {
+            "schema": "store-inspect/1",
+            "store": str(store.path),
+            "records": store.count(),
+            "failed": store.count(status="failed"),
+            "busy_retries": store.total_busy_retries(),
+            "spec_hashes": len(store.distinct("spec_hash")),
+            "axes": {axis: store.distinct(axis)
+                     for axis in ("method", "defense", "app")},
+            "totals": totals.to_json()
+            if totals is not None else None,
+        }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
     print(f"store:    {store.path}")
     print(f"records:  {store.count()}")
     failed = store.count(status="failed")
@@ -149,6 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = commands.add_parser(
         "inspect", help="store-level totals and axes")
     inspect.add_argument("store", help="path to the SQLite run store")
+    inspect.add_argument("--json", action="store_true",
+                        help="machine-readable output")
     inspect.set_defaults(fn=_cmd_inspect)
 
     query = commands.add_parser(

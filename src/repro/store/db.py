@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.obs import OBS
 from repro.store.schema import STORE_FORMAT_VERSION, RunRecord
 
 #: Columns a query filter may constrain (whitelist: filters come from
@@ -225,6 +226,8 @@ class RunStore:
         with self._retry_lock:
             self.busy_retries += 1
             self._unflushed_retries += 1
+        if OBS.enabled:
+            OBS.counter("store.busy_retries_total").inc()
 
     def _flush_busy_retries(self, connection: sqlite3.Connection) -> None:
         """Fold pending retry counts into the meta table (best-effort:
@@ -290,6 +293,9 @@ class RunStore:
 
         written = retry_locked(_write, on_retry=self._note_busy_retry)
         self._flush_busy_retries(connection)
+        if OBS.enabled:
+            OBS.counter("store.writes_total"
+                        if written else "store.replays_total").inc()
         return written
 
     def record_many(self, records: Iterable[RunRecord]) -> int:

@@ -35,6 +35,8 @@ from repro.dns.records import TYPE_A, rr_a, type_code
 from repro.dns.resolver import DNS_PORT, RecursiveResolver
 from repro.dns.wire import decode_message, encode_message
 from repro.netsim.packet import UdpDatagram
+from repro.obs import OBS
+from repro.obs.profile import stage
 from repro.testbed import Testbed
 from repro.workload.population import WorkloadSpec
 from repro.workload.report import CurvePoint, LoadReport
@@ -108,15 +110,17 @@ class WorkloadEngine:
         """Schedule every arrival, then run the cache-priming warmup."""
         if not self.active:
             return
-        self.install()
-        scheduler = self.network.scheduler
-        self.origin = self.network.now
-        self._expirations_at_begin = self.resolver.cache.stats.expirations
-        for query in self.trace:
-            scheduler.call_later(query.at, self._fire, query)
-            self._pending += 1
-        if self.spec.warmup > 0:
-            self.network.run(self.spec.warmup)
+        with stage("workload.begin"):
+            self.install()
+            scheduler = self.network.scheduler
+            self.origin = self.network.now
+            self._expirations_at_begin = \
+                self.resolver.cache.stats.expirations
+            for query in self.trace:
+                scheduler.call_later(query.at, self._fire, query)
+                self._pending += 1
+            if self.spec.warmup > 0:
+                self.network.run(self.spec.warmup)
 
     def finish(self) -> LoadReport:
         """Drain remaining load and finalize the report."""
@@ -124,10 +128,11 @@ class WorkloadEngine:
             return self.report
         self.finished = True
         if self.active:
-            tail = self.origin + self._span_end \
-                + self.spec.client_timeout + 0.001
-            if self.network.now < tail:
-                self.network.run(tail - self.network.now)
+            with stage("workload.drain"):
+                tail = self.origin + self._span_end \
+                    + self.spec.client_timeout + 0.001
+                if self.network.now < tail:
+                    self.network.run(tail - self.network.now)
             self.report.duration = self._measured_span
             self.report.cache_expirations = (
                 self.resolver.cache.stats.expirations
@@ -141,6 +146,23 @@ class WorkloadEngine:
                 )
                 for index in range(CURVE_BUCKETS)
             ]
+            if OBS.enabled:
+                # Mirror the finished report's aggregates only — the
+                # per-arrival hot path records nothing, so a loaded run
+                # costs the same with the plane on.
+                report = self.report
+                OBS.counter("workload.offered_total").inc(
+                    report.offered)
+                OBS.counter("workload.answered_total").inc(
+                    report.answered)
+                OBS.counter("workload.timeouts_total").inc(
+                    report.timeouts)
+                OBS.counter("workload.poisoned_answers_total").inc(
+                    report.poisoned_answers)
+                OBS.counter("workload.cache_hits_total").inc(
+                    report.cache_hits)
+                OBS.histogram("workload.latency_ms").observe_bins(
+                    report.latency_bins)
         return self.report
 
     # -- world preparation -----------------------------------------------------

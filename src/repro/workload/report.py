@@ -25,9 +25,11 @@ import json
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import DEFAULT_EDGES_MS, interpolated_percentile
+
 #: Histogram bin upper edges in milliseconds; the last bin is open.
-LATENCY_EDGES_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
-                    500.0, 1000.0, 2000.0, 5000.0, 10000.0)
+#: One scale shared with every obs histogram (see repro.obs.metrics).
+LATENCY_EDGES_MS = DEFAULT_EDGES_MS
 
 
 @dataclass(frozen=True)
@@ -124,25 +126,8 @@ class LoadReport:
         Linear interpolation inside the winning bin; the open last bin
         reports its lower edge.  ``0.0`` when nothing was answered.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"percentile must be in [0, 1]: {q}")
-        total = sum(self.latency_bins)
-        if total == 0:
-            return 0.0
-        target = q * total
-        seen = 0
-        for index, count in enumerate(self.latency_bins):
-            if count == 0:
-                continue
-            if seen + count >= target:
-                low = LATENCY_EDGES_MS[index - 1] if index > 0 else 0.0
-                if index >= len(LATENCY_EDGES_MS):
-                    return low
-                high = LATENCY_EDGES_MS[index]
-                inside = (target - seen) / count
-                return low + (high - low) * inside
-            seen += count
-        return LATENCY_EDGES_MS[-1]
+        return interpolated_percentile(self.latency_bins,
+                                       LATENCY_EDGES_MS, q)
 
     # -- aggregation -----------------------------------------------------------
 

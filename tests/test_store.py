@@ -398,6 +398,18 @@ class TestStoreCli:
         out = capsys.readouterr().out
         assert "2 stored runs" in out
 
+    def test_inspect_json(self, tmp_path, capsys):
+        db = self._db(tmp_path)
+        assert store_main(["inspect", db, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "store-inspect/1"
+        assert payload["records"] == 4
+        assert payload["failed"] == 0
+        assert payload["axes"]["defense"] == ["dnssec", "none"]
+        assert payload["totals"]["runs"] == 4
+        # One scenario per defense stack: bare + dnssec.
+        assert payload["spec_hashes"] == 2
+
     def test_agg_and_export(self, tmp_path, capsys):
         db = self._db(tmp_path)
         assert store_main(["agg", db, "--by", "defense"]) == 0
